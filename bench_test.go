@@ -1,0 +1,311 @@
+// Package icfgpatch_test holds the benchmark harness: one benchmark per
+// table and figure of the paper's evaluation. The benchmarks execute the
+// same pipelines as cmd/icfg-experiments and report the paper's metrics
+// (cycle overhead percentages, trap counts, speedups) via b.ReportMetric,
+// so `go test -bench=. -benchmem` regenerates every result.
+package icfgpatch_test
+
+import (
+	"sync"
+	"testing"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/baseline"
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/core"
+	"icfgpatch/internal/emu"
+	"icfgpatch/internal/experiments"
+	"icfgpatch/internal/instrument"
+	"icfgpatch/internal/rtlib"
+	"icfgpatch/internal/workload"
+)
+
+// blockEmpty is the paper's Table 3 instrumentation request.
+func blockEmpty() instrument.Request {
+	return instrument.Request{Where: instrument.BlockEntry, Payload: instrument.PayloadEmpty}
+}
+
+// mustRun executes a binary with the runtime library preloaded.
+func mustRun(b *testing.B, img *bin.Binary, arg uint64) emu.Result {
+	b.Helper()
+	lib, err := rtlib.Preload(img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := emu.Load(img, emu.Options{Runtime: lib, Arg: arg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkTable1Capabilities regenerates the qualitative comparison
+// (paper Table 1).
+func BenchmarkTable1Capabilities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := baseline.Table1(); len(rows) != 7 {
+			b.Fatal("table 1 shape")
+		}
+	}
+}
+
+// BenchmarkTable2Trampolines constructs and encodes every trampoline
+// form of paper Table 2 on all three architectures.
+func BenchmarkTable2Trampolines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, a := range arch.All() {
+			if tr, ok := arch.NewShortTrampoline(a, 0x10000, 0x10040); ok {
+				if _, err := tr.Encode(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if tr, ok := arch.NewLongTrampoline(a, 0x10000, 0x5000000, arch.R9, 0x10008000); ok {
+				if _, err := tr.Encode(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+			tr := arch.NewTrapTrampoline(a, 0x10000, 0x5000000)
+			if _, err := tr.Encode(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// table3Fixture caches one representative SPEC-like benchmark per
+// architecture with its rewrites.
+type table3Fixture struct {
+	orig emu.Result
+	imgs map[string]*bin.Binary
+}
+
+var (
+	table3Once sync.Once
+	table3     map[arch.Arch]*table3Fixture
+)
+
+func table3Setup(b *testing.B) map[arch.Arch]*table3Fixture {
+	b.Helper()
+	table3Once.Do(func() {
+		table3 = map[arch.Arch]*table3Fixture{}
+		for _, a := range arch.All() {
+			suite, err := workload.SPECSuite(a, false)
+			if err != nil {
+				panic(err)
+			}
+			p := suite[0] // 600.perlbench_s: switch- and call-heavy
+			fx := &table3Fixture{imgs: map[string]*bin.Binary{}}
+			m, err := emu.Load(p.Binary, emu.Options{})
+			if err != nil {
+				panic(err)
+			}
+			fx.orig, err = m.Run()
+			if err != nil {
+				panic(err)
+			}
+			gap := uint64(0)
+			if a == arch.PPC {
+				gap = 40 << 20
+			}
+			for _, mode := range []core.Mode{core.ModeDir, core.ModeJT, core.ModeFuncPtr} {
+				rw, err := core.Rewrite(p.Binary, core.Options{Mode: mode, Request: blockEmpty(), Verify: true, InstrGap: gap})
+				if err != nil {
+					panic(err)
+				}
+				fx.imgs[mode.String()] = rw.Binary
+			}
+			if srbi, err := baseline.SRBI(p.Binary, baseline.SRBIOptions{Request: blockEmpty(), Verify: true, InstrGap: gap}); err == nil {
+				fx.imgs["SRBI"] = srbi.Binary
+			}
+			table3[a] = fx
+		}
+	})
+	return table3
+}
+
+// BenchmarkTable3SPEC measures the block-level empty instrumentation
+// overhead (paper Table 3) of each approach on a representative
+// benchmark, per architecture. The reported overhead_pct metric is the
+// paper's "time overhead" column.
+func BenchmarkTable3SPEC(b *testing.B) {
+	fixtures := table3Setup(b)
+	for _, a := range arch.All() {
+		fx := fixtures[a]
+		for _, name := range []string{"SRBI", "dir", "jt", "func-ptr"} {
+			img := fx.imgs[name]
+			if img == nil {
+				continue
+			}
+			b.Run(a.String()+"/"+name, func(b *testing.B) {
+				var last emu.Result
+				for i := 0; i < b.N; i++ {
+					last = mustRun(b, img, 0)
+				}
+				ovh := 100 * (float64(last.Cycles)/float64(fx.orig.Cycles) - 1)
+				b.ReportMetric(ovh, "overhead_%")
+				b.ReportMetric(float64(last.Traps), "traps")
+			})
+		}
+	}
+}
+
+// BenchmarkTable3Rewrite measures the rewriter's own throughput (bytes
+// of text rewritten per second) — the cost of running the tool, not of
+// the rewritten binary.
+func BenchmarkTable3Rewrite(b *testing.B) {
+	for _, a := range arch.All() {
+		suite, err := workload.SPECSuite(a, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := suite[1] // 602.gcc_s, the largest
+		b.Run(a.String(), func(b *testing.B) {
+			b.SetBytes(int64(p.Binary.Text().Size()))
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Rewrite(p.Binary, core.Options{Mode: core.ModeJT, Request: blockEmpty(), Verify: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFirefoxLibxul drives the Section 8.2 libxul.so workloads
+// through the jt and func-ptr rewrites.
+func BenchmarkFirefoxLibxul(b *testing.B) {
+	p, err := workload.Libxul(arch.X64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []core.Mode{core.ModeJT, core.ModeFuncPtr} {
+		rw, err := core.Rewrite(p.Binary, core.Options{Mode: mode, Request: blockEmpty(), Verify: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(mode.String(), func(b *testing.B) {
+			m0, err := emu.Load(p.Binary, emu.Options{Arg: workload.CmdLatencyBenchmark})
+			if err != nil {
+				b.Fatal(err)
+			}
+			orig, err := m0.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var last emu.Result
+			for i := 0; i < b.N; i++ {
+				last = mustRun(b, rw.Binary, workload.CmdLatencyBenchmark)
+			}
+			b.ReportMetric(100*(float64(last.Cycles)/float64(orig.Cycles)-1), "latency_overhead_%")
+		})
+	}
+}
+
+// BenchmarkDockerGo drives the Section 8.2 Docker experiment's "run"
+// command through the jt rewrite with Go runtime RA translation.
+func BenchmarkDockerGo(b *testing.B) {
+	p, err := workload.Docker(arch.X64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rw, err := core.Rewrite(p.Binary, core.Options{Mode: core.ModeJT, Request: blockEmpty(), Verify: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m0, err := emu.Load(p.Binary, emu.Options{Arg: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	orig, err := m0.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last emu.Result
+	for i := 0; i < b.N; i++ {
+		last = mustRun(b, rw.Binary, 2)
+	}
+	b.ReportMetric(100*(float64(last.Cycles)/float64(orig.Cycles)-1), "overhead_%")
+	b.ReportMetric(float64(last.Walks), "gc_walks")
+}
+
+// BenchmarkBOLTComparison performs the Section 8.3 block-reordering
+// transformation with the incremental rewriter (the configuration that
+// works on all benchmarks) and runs the result.
+func BenchmarkBOLTComparison(b *testing.B) {
+	suite, err := workload.SPECSuite(arch.X64, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := suite[0]
+	req := instrument.Request{Where: instrument.FuncEntry, Payload: instrument.PayloadEmpty}
+	rw, err := core.Rewrite(p.Binary, core.Options{
+		Mode: core.ModeJT, Request: req, Verify: true,
+		Variant: core.Variant{ReverseBlocks: true},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		mustRun(b, rw.Binary, 0)
+	}
+	b.ReportMetric(100*rw.Stats.SizeIncrease(), "size_increase_%")
+}
+
+// BenchmarkDiogenesCaseStudy runs the Section 9 identification test under
+// both rewrites; the speedup metric is the paper's 60x headline.
+func BenchmarkDiogenesCaseStudy(b *testing.B) {
+	res, err := experiments.Diogenes()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := workload.Libcuda(arch.X64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets := workload.DiogenesTargets(p, 70)
+	rw, err := core.Rewrite(p.Binary, core.Options{
+		Mode:    core.ModeJT,
+		Request: instrument.Request{Where: instrument.FuncEntry, Payload: instrument.PayloadCounter, Funcs: targets},
+		Verify:  true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		mustRun(b, rw.Binary, 0)
+	}
+	b.ReportMetric(res.Speedup, "speedup_x")
+	b.ReportMetric(float64(res.MainstreamTraps), "mainstream_traps")
+}
+
+// BenchmarkFigure2FailureModes exercises the failure-mode pipeline.
+func BenchmarkFigure2FailureModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.UnderApproxDetected {
+			b.Fatal("under-approximation undetected")
+		}
+	}
+}
+
+// BenchmarkAblation runs the design-choice ablation study (DESIGN.md's
+// per-experiment index) on the trampoline-stressed PPC configuration.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Ablation(arch.PPC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Name == "- superblocks" {
+				b.ReportMetric(float64(row.Traps), "traps_without_superblocks")
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Command icfg-asm assembles the toolkit's text assembly format into a
+// serialised binary consumable by icfg-rewrite and icfg-objdump.
+//
+// Usage:
+//
+//	icfg-asm -o out.icfg in.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"icfgpatch/internal/asm"
+)
+
+func main() {
+	out := flag.String("o", "", "output path (required)")
+	flag.Parse()
+	if flag.NArg() != 1 || *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: icfg-asm -o out.icfg in.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	img, dbg, err := asm.AssembleText(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if err := img.WriteFile(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("assembled %s: %s, %d functions, %d bytes of text\n",
+		flag.Arg(0), img.Arch, len(dbg.FuncStart), img.Text().Size())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "icfg-asm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command icfg-experiments reproduces the paper's evaluation tables and
+// figures on the synthetic workload suite and prints them.
+//
+// Usage:
+//
+//	icfg-experiments [-run all|table1|table2|table3|figure1|figure2|firefox|docker|bolt|diogenes] [-arch x64|ppc|a64|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/experiments"
+)
+
+func main() {
+	runSel := flag.String("run", "all", "experiment to run: all, table1, table2, table3, figure1, figure2, firefox, docker, bolt, diogenes, ablation, trampolines")
+	archSel := flag.String("arch", "all", "architecture for table3: x64, ppc, a64, all")
+	flag.Parse()
+
+	want := func(name string) bool { return *runSel == "all" || *runSel == name }
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "icfg-experiments:", err)
+		os.Exit(1)
+	}
+
+	if want("table1") {
+		fmt.Println(experiments.Table1Render())
+	}
+	if want("table2") {
+		fmt.Println(experiments.Table2Render())
+	}
+	if want("figure1") {
+		out, err := experiments.Figure1Render()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(out)
+	}
+	if want("figure2") {
+		res, err := experiments.Figure2()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if want("table3") {
+		var arches []arch.Arch
+		switch strings.ToLower(*archSel) {
+		case "all":
+			arches = arch.All()
+		case "x64":
+			arches = []arch.Arch{arch.X64}
+		case "ppc":
+			arches = []arch.Arch{arch.PPC}
+		case "a64":
+			arches = []arch.Arch{arch.A64}
+		default:
+			fail(fmt.Errorf("unknown architecture %q", *archSel))
+		}
+		for _, a := range arches {
+			res, err := experiments.Table3ForArch(a)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(res.Render())
+		}
+	}
+	if want("firefox") {
+		res, err := experiments.Firefox()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if want("docker") {
+		res, err := experiments.Docker()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if want("bolt") {
+		res, err := experiments.BOLTComparison()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if want("diogenes") {
+		res, err := experiments.Diogenes()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if want("ablation") {
+		res, err := experiments.Ablation(arch.PPC)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if want("trampolines") {
+		for _, a := range arch.All() {
+			res, err := experiments.Trampolines(a)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(res.Render())
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Command icfg-objdump inspects a serialised binary: section layout,
+// symbols, relocations, metadata, and a full disassembly.
+//
+// Usage:
+//
+//	icfg-objdump [-d] [-sym func] file.icfg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"icfgpatch/internal/analysis"
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/cfg"
+)
+
+// printCFG disassembles by control-flow traversal and prints each
+// function's blocks, edges and resolved jump tables.
+func printCFG(img *bin.Binary, symSel string) {
+	var g *cfg.Graph
+	var err error
+	if len(img.FuncSymbols()) == 0 {
+		g, err = cfg.BuildStripped(img, analysis.NewJumpTables(img))
+	} else {
+		g, err = cfg.Build(img, analysis.NewJumpTables(img))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icfg-objdump:", err)
+		os.Exit(1)
+	}
+	kinds := map[cfg.EdgeKind]string{
+		cfg.EdgeFall: "fall", cfg.EdgeJump: "jump", cfg.EdgeCond: "cond",
+		cfg.EdgeCallFall: "call-fall", cfg.EdgeIndirect: "indirect",
+	}
+	for _, f := range g.Funcs {
+		if symSel != "" && f.Name != symSel {
+			continue
+		}
+		status := "ok"
+		if f.Err != nil {
+			status = "FAILED: " + f.Err.Error()
+		}
+		fmt.Printf("%sfunc %s [%#x,%#x) blocks=%d %s%s", "\n", f.Name, f.Entry, f.End, len(f.Blocks), status, "\n")
+		for _, blk := range f.Blocks {
+			fmt.Printf("  block %#x..%#x (%d instrs) ends %s%s", blk.Start, blk.End, len(blk.Instrs), blk.Last().Kind, "\n")
+			for _, e := range blk.Succs {
+				fmt.Printf("    -> %#x (%s)%s", e.To, kinds[e.Kind], "\n")
+			}
+		}
+		for _, ij := range f.IndirectJumps {
+			switch {
+			case ij.Table != nil:
+				fmt.Printf("  jump table @%#x: %d entries of %d bytes at %#x (exact=%v)%s",
+					ij.Addr, ij.Table.Count, ij.Table.EntrySize, ij.Table.TableAddr, ij.Table.BoundExact, "\n")
+			case ij.TailCall:
+				fmt.Printf("  indirect tail call @%#x%s", ij.Addr, "\n")
+			default:
+				fmt.Printf("  unresolved indirect jump @%#x: %v%s", ij.Addr, ij.Err, "\n")
+			}
+		}
+	}
+}
+
+func main() {
+	disas := flag.Bool("d", false, "disassemble function symbols")
+	showCFG := flag.Bool("cfg", false, "print control flow graphs (blocks, edges, jump tables)")
+	symSel := flag.String("sym", "", "disassemble only this function")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: icfg-objdump [-d] [-cfg] [-sym name] file.icfg")
+		os.Exit(2)
+	}
+	img, err := bin.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icfg-objdump:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("arch %s  pie=%v  shared=%v  entry %#x\n", img.Arch, img.PIE, img.SharedLib, img.Entry)
+	for k, v := range img.Meta {
+		fmt.Printf("  meta %s=%s\n", k, v)
+	}
+	fmt.Println("\nsections:")
+	for _, s := range img.Sections {
+		flags := ""
+		if s.Flags&bin.FlagAlloc != 0 {
+			flags += "A"
+		}
+		if s.Flags&bin.FlagExec != 0 {
+			flags += "X"
+		}
+		if s.Flags&bin.FlagWrite != 0 {
+			flags += "W"
+		}
+		fmt.Printf("  %-16s %#10x..%#10x %8d %s\n", s.Name, s.Addr, s.End(), s.Size(), flags)
+	}
+	fmt.Printf("\n%d symbols, %d dynamic, %d runtime relocs, %d link relocs\n",
+		len(img.Symbols), len(img.DynSymbols), len(img.Relocs), len(img.LinkRelocs))
+
+	if *showCFG {
+		printCFG(img, *symSel)
+		return
+	}
+	if !*disas && *symSel == "" {
+		return
+	}
+	text := img.Text()
+	for _, sym := range img.FuncSymbols() {
+		if *symSel != "" && sym.Name != *symSel {
+			continue
+		}
+		fmt.Printf("\n%08x <%s>:\n", sym.Addr, sym.Name)
+		if text == nil || !text.Contains(sym.Addr) {
+			fmt.Println("  (outside text)")
+			continue
+		}
+		data := text.Data[sym.Addr-text.Addr : sym.Addr+sym.Size-text.Addr]
+		for _, ins := range arch.DecodeAll(img.Arch, data, sym.Addr) {
+			target := ""
+			if t, ok := ins.Target(); ok {
+				if f, ok2 := img.FuncAt(t); ok2 {
+					target = fmt.Sprintf("  <%s+%#x>", f.Name, t-f.Addr)
+				}
+			}
+			fmt.Printf("  %8x: %s%s\n", ins.Addr, ins, target)
+		}
+	}
+}

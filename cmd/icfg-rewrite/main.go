@@ -1,0 +1,100 @@
+// Command icfg-rewrite applies incremental CFG patching to a serialised
+// binary (.icfg file, as produced by the asm toolchain or icfg-objdump's
+// tooling) and writes the rewritten image.
+//
+// Usage:
+//
+//	icfg-rewrite -mode jt [-where block|func] [-payload empty|counter]
+//	             [-funcs f1,f2] [-verify] [-gap bytes] -o out.icfg in.icfg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/core"
+	"icfgpatch/internal/instrument"
+)
+
+func main() {
+	mode := flag.String("mode", "jt", "rewriting mode: dir, jt, func-ptr")
+	where := flag.String("where", "block", "instrumentation point: block, func")
+	payload := flag.String("payload", "empty", "payload: empty, counter")
+	funcs := flag.String("funcs", "", "comma-separated function subset (default: all)")
+	verify := flag.Bool("verify", false, "overwrite stale original code with illegal instructions")
+	gap := flag.Uint64("gap", 0, "force a gap (bytes) before the relocated code section")
+	out := flag.String("o", "", "output path (required)")
+	flag.Parse()
+
+	if flag.NArg() != 1 || *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: icfg-rewrite [flags] -o out.icfg in.icfg")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	img, err := bin.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := core.Options{Verify: *verify, InstrGap: *gap}
+	switch *mode {
+	case "dir":
+		opts.Mode = core.ModeDir
+	case "jt":
+		opts.Mode = core.ModeJT
+	case "func-ptr", "funcptr":
+		opts.Mode = core.ModeFuncPtr
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	switch *where {
+	case "block":
+		opts.Request.Where = instrument.BlockEntry
+	case "func":
+		opts.Request.Where = instrument.FuncEntry
+	default:
+		fatal(fmt.Errorf("unknown instrumentation point %q", *where))
+	}
+	switch *payload {
+	case "empty":
+		opts.Request.Payload = instrument.PayloadEmpty
+	case "counter":
+		opts.Request.Payload = instrument.PayloadCounter
+	default:
+		fatal(fmt.Errorf("unknown payload %q", *payload))
+	}
+	if *funcs != "" {
+		opts.Request.Funcs = strings.Split(*funcs, ",")
+	}
+
+	res, err := core.Rewrite(img, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if err := res.Binary.WriteFile(*out); err != nil {
+		fatal(err)
+	}
+
+	s := res.Stats
+	fmt.Printf("rewrote %s (%s, mode %s)\n", flag.Arg(0), img.Arch, opts.Mode)
+	fmt.Printf("  functions:    %d/%d instrumented (coverage %.2f%%)\n",
+		s.InstrumentedFuncs, s.TotalFuncs, 100*s.Coverage())
+	if len(s.SkippedFuncs) > 0 {
+		fmt.Printf("  skipped:      %s\n", strings.Join(s.SkippedFuncs, ", "))
+	}
+	fmt.Printf("  CFL blocks:   %d (+%d scratch blocks)\n", s.CFLBlocks, s.ScratchBlocks)
+	fmt.Printf("  trampolines:  %v\n", s.Trampolines)
+	fmt.Printf("  jump tables:  %d cloned\n", s.ClonedTables)
+	fmt.Printf("  fn pointers:  %d rewritten\n", s.RewrittenPtrs)
+	fmt.Printf("  ra map:       %d entries\n", s.RAMapEntries)
+	fmt.Printf("  size:         %d -> %d bytes (+%.2f%%)\n",
+		s.OrigLoadedSize, s.NewLoadedSize, 100*s.SizeIncrease())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "icfg-rewrite:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Go runtime support (paper Section 6.2): rewrite a Docker-like Go
+// binary whose runtime natively walks the stack (garbage collection
+// model). With runtime return-address translation the tracebacks keep
+// working against the unmodified pclntab; without it the Go runtime
+// aborts the moment it meets a relocated return address.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/core"
+	"icfgpatch/internal/emu"
+	"icfgpatch/internal/instrument"
+	"icfgpatch/internal/rtlib"
+	"icfgpatch/internal/workload"
+)
+
+func main() {
+	p, err := workload.Docker(arch.X64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("docker-like Go binary: %d functions, pclntab present, no jump tables\n",
+		len(p.Binary.FuncSymbols()))
+
+	req := instrument.Request{Where: instrument.BlockEntry, Payload: instrument.PayloadEmpty}
+
+	// func-ptr mode refuses the Go function table (Listing 1 territory).
+	if _, err := core.Rewrite(p.Binary, core.Options{Mode: core.ModeFuncPtr, Request: req, Verify: true}); err != nil {
+		fmt.Println("func-ptr mode:", err)
+	}
+
+	// jt mode with RA translation: the "docker run" command (#2) works.
+	rw, err := core.Rewrite(p.Binary, core.Options{Mode: core.ModeJT, Request: req, Verify: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("jt mode: coverage %.2f%%, %d ra_map entries\n",
+		100*rw.Stats.Coverage(), rw.Stats.RAMapEntries)
+
+	origM, _ := emu.Load(p.Binary, emu.Options{Arg: 2})
+	orig, err := origM.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib, _ := rtlib.Preload(rw.Binary)
+	m, _ := emu.Load(rw.Binary, emu.Options{Arg: 2, Runtime: lib})
+	got, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("docker run: outputs match=%v, %d GC stack walks, overhead %.2f%%\n",
+		string(got.Output) == string(orig.Output), got.Walks,
+		100*(float64(got.Cycles)/float64(orig.Cycles)-1))
+
+	// Without the RA map: the Go runtime aborts on the first traceback.
+	broken, err := core.Rewrite(p.Binary, core.Options{Mode: core.ModeJT, Request: req, Verify: true, NoRAMap: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	blib, _ := rtlib.Preload(broken.Binary)
+	bm, _ := emu.Load(broken.Binary, emu.Options{Arg: 2, Runtime: blib})
+	if _, err := bm.Run(); err != nil {
+		fmt.Println("without RA translation:", err)
+	} else {
+		fmt.Println("without RA translation: unexpectedly survived")
+	}
+}

@@ -1,0 +1,3 @@
+module icfgpatch
+
+go 1.22

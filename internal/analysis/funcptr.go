@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/cfg"
+)
+
+// ErrImprecise reports that function pointer identification cannot be
+// precise for this binary. Per the safety requirement of Section 5.2,
+// modifying an over- or under-approximated pointer set changes program
+// behaviour, so func-ptr mode must refuse rather than guess — the
+// situation the paper hits with Go's language-specific function tables.
+var ErrImprecise = errors.New("analysis: imprecise function pointers")
+
+// PtrSiteKind classifies where a function pointer is defined.
+type PtrSiteKind uint8
+
+// Pointer definition sites.
+const (
+	// PtrReloc is a runtime relocation whose value is a code address
+	// (the PIE case Egalito and RetroWrite rely on).
+	PtrReloc PtrSiteKind = iota
+	// PtrDataCell is an 8-byte initialised data cell holding a code
+	// address in position dependent binaries.
+	PtrDataCell
+	// PtrCodeImm is a code-materialised pointer: a movimm (X64) or a
+	// movz/movk pair (fixed-width ISAs) whose composed value is a code
+	// address.
+	PtrCodeImm
+)
+
+// PtrSite is one function pointer definition.
+type PtrSite struct {
+	Kind PtrSiteKind
+	// Slot is the data address being initialised (PtrReloc/PtrDataCell).
+	Slot uint64
+	// Instrs are the materialising instruction addresses (PtrCodeImm).
+	Instrs []uint64
+	// Value is the pointer value: a function entry, possibly plus a
+	// small delta (the Listing 1 "goexit+1" pattern). The rewriter maps
+	// it through the instruction-level relocation map, which is the
+	// forward-slicing-tracked rewrite of Section 5.2.
+	Value uint64
+}
+
+// FuncPointers identifies every function pointer definition in the
+// binary, or fails with ErrImprecise when a candidate cannot be
+// validated: a code-address-like value that does not land on an
+// instruction boundary of its function means the binary manufactures
+// code pointers the analysis cannot model (Go function tables).
+func FuncPointers(b *bin.Binary, g *cfg.Graph) ([]PtrSite, error) {
+	text := b.Text()
+	if text == nil {
+		return nil, fmt.Errorf("analysis: no text section")
+	}
+	var sites []PtrSite
+
+	// validate classifies a code-address-like value: keep (a rewritable
+	// pointer into relocated code), skip (needs no rewriting: targets
+	// stay in place — pointers into unanalysable functions, in-code
+	// table data, inter-function padding), or fail (a pointer into
+	// relocated code that is not an instruction boundary: rewriting it
+	// cannot be precise, so func-ptr mode must refuse).
+	validate := func(v uint64, what string) (keep bool, err error) {
+		f, ok := g.FuncContaining(v)
+		if !ok {
+			return false, nil // padding or data-in-text; stays in place
+		}
+		if !f.Instrumentable() {
+			return false, nil // function is not relocated; value stays valid
+		}
+		if v == f.Entry {
+			return true, nil
+		}
+		for _, dr := range f.DataRanges {
+			if v >= dr[0] && v < dr[1] {
+				return false, nil // pointer to embedded table data
+			}
+		}
+		blk, ok := f.BlockContaining(v)
+		if !ok {
+			return false, fmt.Errorf("%w: %s value %#x points into unexplored bytes of %s", ErrImprecise, what, v, f.Name)
+		}
+		for _, ins := range blk.Instrs {
+			if ins.Addr == v {
+				return true, nil
+			}
+		}
+		return false, fmt.Errorf("%w: %s value %#x is not an instruction boundary in %s", ErrImprecise, what, v, f.Name)
+	}
+
+	slotSeen := map[uint64]bool{}
+
+	// Runtime relocations (PIE).
+	for _, rl := range b.Relocs {
+		if rl.Kind != bin.RelocRelative {
+			continue
+		}
+		v := uint64(rl.Addend)
+		if !text.Contains(v) {
+			continue
+		}
+		keep, err := validate(v, "relocation")
+		if err != nil {
+			return nil, err
+		}
+		slotSeen[rl.Off] = true
+		if !keep {
+			continue
+		}
+		sites = append(sites, PtrSite{Kind: PtrReloc, Slot: rl.Off, Value: v})
+	}
+
+	// Initialised data cells (position dependent binaries have no
+	// relocations, so pointers hide in plain data).
+	if data := b.Section(bin.SecData); data != nil {
+		for off := uint64(0); off+8 <= data.Size(); off += 8 {
+			slot := data.Addr + off
+			if slotSeen[slot] {
+				continue
+			}
+			v := binary.LittleEndian.Uint64(data.Data[off:])
+			if !text.Contains(v) {
+				continue
+			}
+			keep, err := validate(v, "data cell")
+			if err != nil {
+				return nil, err
+			}
+			if !keep {
+				continue
+			}
+			sites = append(sites, PtrSite{Kind: PtrDataCell, Slot: slot, Value: v})
+		}
+	}
+
+	// Code-materialised pointers.
+	for _, f := range g.Funcs {
+		if !f.Instrumentable() {
+			continue
+		}
+		for _, blk := range f.Blocks {
+			for i, ins := range blk.Instrs {
+				switch ins.Kind {
+				case arch.MovImm:
+					v := uint64(ins.Imm)
+					if !text.Contains(v) {
+						continue
+					}
+					keep, err := validate(v, "immediate")
+					if err != nil {
+						return nil, err
+					}
+					if !keep {
+						continue
+					}
+					sites = append(sites, PtrSite{Kind: PtrCodeImm, Instrs: []uint64{ins.Addr}, Value: v})
+				case arch.MovImm16:
+					// movz/movk pair materialisation.
+					if ins.Shift != 0 || i+1 >= len(blk.Instrs) {
+						continue
+					}
+					next := blk.Instrs[i+1]
+					if next.Kind != arch.MovK16 || next.Rd != ins.Rd || next.Shift != 1 {
+						continue
+					}
+					v := uint64(ins.Imm) | uint64(next.Imm)<<16
+					if !text.Contains(v) {
+						continue
+					}
+					keep, err := validate(v, "movz/movk pair")
+					if err != nil {
+						return nil, err
+					}
+					if !keep {
+						continue
+					}
+					sites = append(sites, PtrSite{Kind: PtrCodeImm, Instrs: []uint64{ins.Addr, next.Addr}, Value: v})
+				}
+			}
+		}
+	}
+	return sites, nil
+}

@@ -1,0 +1,376 @@
+// Package analysis implements the two indirect control flow analyses of
+// Section 5: jump-table analysis (intra-procedural) and function-pointer
+// analysis (inter-procedural). Both are deliberately honest about their
+// limits: jump-table analysis degrades along the paper's failure
+// taxonomy (graceful failure, Assumption-2 bound extension, tolerated
+// over-approximation) and function-pointer analysis refuses binaries it
+// cannot handle precisely rather than mis-rewriting them.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/cfg"
+	"icfgpatch/internal/dataflow"
+)
+
+// MaxTableEntries caps Assumption-2 bound extension.
+const MaxTableEntries = 512
+
+// JumpTables is the jump-table resolver plugged into cfg.Build. It keeps
+// program-wide boundary hints (known data-access addresses and table
+// bases) used to bound tables whose size check could not be recovered,
+// per Assumption 2 of the paper.
+type JumpTables struct {
+	bin *bin.Binary
+	// Strict disables Assumption-2 bound extension: tables without a
+	// visible bounds check fail (the SRBI-era behaviour the paper
+	// improves on).
+	Strict bool
+	// boundaries are sorted addresses known to start non-table data or
+	// another table: PC-relative access targets and materialised
+	// constants found anywhere in the code.
+	boundaries []uint64
+}
+
+// NewJumpTables scans the binary for boundary hints and returns the
+// resolver.
+func NewJumpTables(b *bin.Binary) *JumpTables {
+	jt := &JumpTables{bin: b}
+	jt.scanBoundaries()
+	return jt
+}
+
+// scanBoundaries decodes the text section linearly, collecting every
+// address the code forms PC-relatively or materialises as a constant.
+// Jump tables never extend past such an address ("we identify non-jump
+// table memory accesses and ensure jump tables will not run into other
+// jump tables or known non-jump table data").
+func (jt *JumpTables) scanBoundaries() {
+	text := jt.bin.Text()
+	if text == nil {
+		return
+	}
+	seen := map[uint64]bool{}
+	addBound := func(a uint64) {
+		if !seen[a] {
+			seen[a] = true
+			jt.boundaries = append(jt.boundaries, a)
+		}
+	}
+	inData := func(a uint64) bool {
+		s := jt.bin.SectionAt(a)
+		return s != nil
+	}
+	var pendingPage map[arch.Reg]uint64
+	pendingPage = map[arch.Reg]uint64{}
+	for _, ins := range arch.DecodeAll(jt.bin.Arch, text.Data, text.Addr) {
+		switch ins.Kind {
+		case arch.Lea:
+			if t, _ := ins.Target(); inData(t) {
+				addBound(t)
+			}
+			delete(pendingPage, ins.Rd)
+		case arch.LeaHi:
+			t, _ := ins.Target()
+			pendingPage[ins.Rd] = t
+		case arch.ALUImm, arch.AddImm16:
+			isAdd := ins.Kind == arch.AddImm16 || ins.Op == arch.Add
+			if isAdd && ins.Rd == ins.Rs1 {
+				if page, ok := pendingPage[ins.Rd]; ok && ins.Imm >= 0 && ins.Imm < 4096 {
+					if t := page + uint64(ins.Imm); inData(t) {
+						addBound(t)
+					}
+				}
+			}
+			delete(pendingPage, ins.Rd)
+		case arch.MovImm:
+			if v := uint64(ins.Imm); inData(v) {
+				addBound(v)
+			}
+			delete(pendingPage, ins.Rd)
+		case arch.LoadPC:
+			if t := ins.Addr + uint64(ins.Imm); inData(t) {
+				addBound(t)
+			}
+			delete(pendingPage, ins.Rd)
+		default:
+			if ins.Defs(jt.bin.Arch) != 0 {
+				for r := arch.Reg(0); r < arch.NumRegs; r++ {
+					if ins.Defs(jt.bin.Arch).Has(r) {
+						delete(pendingPage, r)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(jt.boundaries, func(i, j int) bool { return jt.boundaries[i] < jt.boundaries[j] })
+}
+
+// nextBoundary returns the first boundary strictly greater than addr,
+// or the end of addr's section.
+func (jt *JumpTables) nextBoundary(addr uint64) uint64 {
+	limit := uint64(1) << 62
+	if s := jt.bin.SectionAt(addr); s != nil {
+		limit = s.End()
+	}
+	i := sort.Search(len(jt.boundaries), func(i int) bool { return jt.boundaries[i] > addr })
+	if i < len(jt.boundaries) && jt.boundaries[i] < limit {
+		return jt.boundaries[i]
+	}
+	return limit
+}
+
+// ResolveJump implements cfg.Resolver: backward slicing from the
+// indirect jump, symbolic target expression matching, bound inference,
+// and entry decoding with validation.
+func (jt *JumpTables) ResolveJump(b *bin.Binary, f *cfg.Func, jumpAddr uint64) (*cfg.ResolvedTable, error) {
+	blk, ok := f.BlockContaining(jumpAddr)
+	if !ok {
+		return nil, fmt.Errorf("analysis: jump at %#x not in a block", jumpAddr)
+	}
+	jump := blk.Last()
+	if jump.Addr != jumpAddr || jump.Kind != arch.JumpInd {
+		return nil, fmt.Errorf("analysis: no indirect jump at %#x", jumpAddr)
+	}
+	slicer := dataflow.NewSlicer(b.Arch, f, b.TOCValue)
+	expr := slicer.SliceValue(jumpAddr, jump.Rs1, 96)
+
+	tbl, err := matchTargetExpr(expr, f)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s at %#x: %w", f.Name, jumpAddr, err)
+	}
+	tbl.JumpAddr = jumpAddr
+
+	// Bound inference: exact when the bounds check is visible, else
+	// Assumption-2 extension to the next known boundary.
+	var load arch.Instr
+	if lb, ok := f.BlockContaining(tbl.LoadAddr); ok {
+		for _, ins := range lb.Instrs {
+			if ins.Addr == tbl.LoadAddr {
+				load = ins
+			}
+		}
+	}
+	n, exact := slicer.FindBoundsCheck(tbl.LoadAddr, load.Rs2, 64)
+	if !exact && jt.Strict {
+		return nil, fmt.Errorf("analysis: %s at %#x: jump table bound not provable (strict mode)", f.Name, jumpAddr)
+	}
+	if !exact {
+		limit := jt.nextBoundary(tbl.TableAddr)
+		n = int((limit - tbl.TableAddr) / uint64(tbl.EntrySize))
+		if n > MaxTableEntries {
+			n = MaxTableEntries
+		}
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("analysis: %s at %#x: empty jump table at %#x", f.Name, jumpAddr, tbl.TableAddr)
+	}
+	tbl.BoundExact = exact
+
+	// Decode and validate entries; inexact bounds trim at the first
+	// implausible target instead of failing.
+	for k := 0; k < n; k++ {
+		entryAddr := tbl.TableAddr + uint64(k*tbl.EntrySize)
+		raw, err := b.ReadAt(entryAddr, uint64(tbl.EntrySize))
+		if err != nil {
+			if exact {
+				return nil, fmt.Errorf("analysis: %s: table at %#x truncated by section end", f.Name, tbl.TableAddr)
+			}
+			break
+		}
+		target, valid := tbl.DecodeEntry(decodeRaw(raw, tbl.Signed))
+		if !valid || !plausibleTarget(b, f, tbl, target) {
+			if exact {
+				return nil, fmt.Errorf("analysis: %s: table entry %d at %#x has implausible target %#x", f.Name, k, tbl.TableAddr, target)
+			}
+			break
+		}
+		tbl.Targets = append(tbl.Targets, target)
+	}
+	if len(tbl.Targets) == 0 {
+		return nil, fmt.Errorf("analysis: %s at %#x: no valid entries at %#x", f.Name, jumpAddr, tbl.TableAddr)
+	}
+	tbl.Count = len(tbl.Targets)
+
+	// In-text tables are data embedded in code (PPC, Assumption 1).
+	txt := b.Text()
+	tbl.InText = txt != nil && txt.Contains(tbl.TableAddr)
+
+	// Collect base-forming instructions for cloning.
+	collectPatchSites(b.Arch, f, tbl)
+	return tbl, nil
+}
+
+// decodeRaw reads a little-endian table entry.
+func decodeRaw(raw []byte, signed bool) int64 {
+	var u uint64
+	for i, b := range raw {
+		u |= uint64(b) << (8 * i)
+	}
+	if signed {
+		shift := 64 - 8*uint(len(raw))
+		return int64(u<<shift) >> shift
+	}
+	return int64(u)
+}
+
+// matchTargetExpr recognises the three tar(x) shapes of Section 5.1.
+func matchTargetExpr(e *dataflow.Expr, f *cfg.Func) (*cfg.ResolvedTable, error) {
+	switch e.Kind {
+	case dataflow.ETableLoad:
+		if e.Base == nil || e.Base.Kind != dataflow.EConst {
+			return nil, fmt.Errorf("cannot find where the jump table starts (base is %s)", e.Base)
+		}
+		if e.Size != 8 {
+			return nil, fmt.Errorf("sub-word absolute table entries (size %d)", e.Size)
+		}
+		return &cfg.ResolvedTable{
+			LoadAddr:  e.LoadAddr,
+			TableAddr: e.Base.Const,
+			EntrySize: int(e.Size),
+			Signed:    e.Signed,
+			Kind:      cfg.TarAbs,
+		}, nil
+	case dataflow.EAdd:
+		// tar(x) = base + load  (table-relative), or
+		// tar(x) = funcStart + (load << 2) (A64 compressed).
+		a, b := e.A, e.B
+		if a.Kind == dataflow.EConst {
+			a, b = b, a
+		}
+		if b.Kind != dataflow.EConst {
+			return nil, fmt.Errorf("jump target is %s: untrackable", e)
+		}
+		switch a.Kind {
+		case dataflow.ETableLoad:
+			if a.Base == nil || a.Base.Kind != dataflow.EConst {
+				return nil, fmt.Errorf("cannot find where the jump table starts (base is %s)", a.Base)
+			}
+			if a.Base.Const != b.Const {
+				return nil, fmt.Errorf("table-relative add base %#x does not match table %#x", b.Const, a.Base.Const)
+			}
+			return &cfg.ResolvedTable{
+				LoadAddr:  a.LoadAddr,
+				TableAddr: a.Base.Const,
+				EntrySize: int(a.Size),
+				Signed:    a.Signed,
+				Kind:      cfg.TarTableRel,
+			}, nil
+		case dataflow.EShl:
+			tl := a.A
+			if a.Const != 2 || tl == nil || tl.Kind != dataflow.ETableLoad {
+				return nil, fmt.Errorf("jump target is %s: untrackable", e)
+			}
+			if tl.Base == nil || tl.Base.Kind != dataflow.EConst {
+				return nil, fmt.Errorf("cannot find where the jump table starts (base is %s)", tl.Base)
+			}
+			if !f.Contains(b.Const) {
+				return nil, fmt.Errorf("compressed table base %#x outside function", b.Const)
+			}
+			return &cfg.ResolvedTable{
+				LoadAddr:  tl.LoadAddr,
+				TableAddr: tl.Base.Const,
+				EntrySize: int(tl.Size),
+				Signed:    tl.Signed,
+				Kind:      cfg.TarFuncRel4,
+				FuncStart: b.Const,
+			}, nil
+		}
+		return nil, fmt.Errorf("jump target is %s: untrackable", e)
+	default:
+		return nil, fmt.Errorf("jump target is %s: untrackable", e)
+	}
+}
+
+// plausibleTarget validates a decoded target the way Section 5.1's
+// trimming does: targets must land inside the function (relative forms)
+// or inside the code section at instruction alignment (absolute form).
+func plausibleTarget(b *bin.Binary, f *cfg.Func, tbl *cfg.ResolvedTable, target uint64) bool {
+	if target%b.Arch.InstrAlign() != 0 {
+		return false
+	}
+	switch tbl.Kind {
+	case cfg.TarAbs:
+		txt := b.Text()
+		return txt != nil && txt.Contains(target) && f.Contains(target)
+	default:
+		return f.Contains(target)
+	}
+}
+
+// collectPatchSites walks backward from the table read collecting the
+// instructions whose immediates form the table base (and, for
+// TarFuncRel4, the function-start base), so cloning can retarget them.
+func collectPatchSites(a arch.Arch, f *cfg.Func, tbl *cfg.ResolvedTable) {
+	blk, ok := f.BlockContaining(tbl.JumpAddr)
+	if !ok {
+		return
+	}
+	idx := len(blk.Instrs) - 1
+	budget := 96
+	matchesTable := func(v uint64) bool { return v == tbl.TableAddr }
+	matchesFunc := func(v uint64) bool {
+		return tbl.Kind == cfg.TarFuncRel4 && v == tbl.FuncStart
+	}
+	addSite := func(addr uint64, forFunc bool) {
+		if forFunc {
+			tbl.FuncStartInstrs = append(tbl.FuncStartInstrs, addr)
+		} else {
+			tbl.BaseInstrs = append(tbl.BaseInstrs, addr)
+		}
+	}
+	var pagePending map[arch.Reg]bool
+	pagePending = map[arch.Reg]bool{}
+	for budget > 0 {
+		budget--
+		idx--
+		for idx < 0 {
+			if len(blk.Preds) != 1 {
+				return
+			}
+			pb, ok := f.BlockAt(blk.Preds[0])
+			if !ok {
+				return
+			}
+			blk = pb
+			idx = len(blk.Instrs) - 1
+			if idx < 0 {
+				idx = -1
+			}
+		}
+		ins := blk.Instrs[idx]
+		switch ins.Kind {
+		case arch.Lea:
+			t, _ := ins.Target()
+			if matchesTable(t) {
+				addSite(ins.Addr, false)
+			} else if matchesFunc(t) {
+				addSite(ins.Addr, true)
+			}
+		case arch.LeaHi:
+			t, _ := ins.Target()
+			if t == tbl.TableAddr&^0xFFF && pagePending[ins.Rd] {
+				addSite(ins.Addr, false)
+			}
+		case arch.ALUImm, arch.AddImm16:
+			isAdd := ins.Kind == arch.AddImm16 || ins.Op == arch.Add
+			if isAdd && ins.Rd == ins.Rs1 && uint64(ins.Imm) == tbl.TableAddr&0xFFF {
+				addSite(ins.Addr, false)
+				pagePending[ins.Rd] = true
+			}
+		case arch.MovImm:
+			if matchesTable(uint64(ins.Imm)) {
+				addSite(ins.Addr, false)
+			}
+		case arch.MovImm16, arch.MovK16:
+			chunk := (tbl.TableAddr >> (16 * ins.Shift)) & 0xFFFF
+			if uint64(ins.Imm) == chunk {
+				addSite(ins.Addr, false)
+			}
+		}
+	}
+}

@@ -1,0 +1,400 @@
+// Package arch defines the three synthetic instruction set architectures
+// used throughout the toolkit: X64 (a variable-length ISA modelled on
+// x86-64), PPC (a fixed-width ISA modelled on ppc64le, with a table of
+// contents register and a ±32MB direct branch), and A64 (a fixed-width ISA
+// modelled on aarch64, with a ±128MB direct branch and adrp-style address
+// formation).
+//
+// The package provides byte-level encoders and decoders for each ISA,
+// register conventions, per-instruction def/use sets for liveness analysis,
+// and the trampoline instruction sequences from Table 2 of the paper.
+// Every property that the paper's rewriting techniques depend on — branch
+// ranges, instruction lengths, the existence of a short branch form, the
+// need for a scratch register in long trampolines — is reproduced exactly.
+package arch
+
+import "fmt"
+
+// Arch identifies one of the three supported instruction set architectures.
+type Arch uint8
+
+// The supported architectures.
+const (
+	// X64 is a variable-length ISA modelled on x86-64: instructions are
+	// 1 to 10 bytes long, direct branches come in a 2-byte form with a
+	// ±128 byte range and a 5-byte form with a ±2GB range.
+	X64 Arch = iota
+	// PPC is a fixed-width (4-byte) ISA modelled on ppc64le: the direct
+	// branch reaches ±32MB, register r2 is the table-of-contents (TOC)
+	// base, and the long trampoline is a 4-instruction TOC-relative
+	// sequence ending in an indirect branch through the TAR register.
+	PPC
+	// A64 is a fixed-width (4-byte) ISA modelled on aarch64: the direct
+	// branch reaches ±128MB and the long trampoline is a 3-instruction
+	// adrp/add/br sequence with a ±4GB range.
+	A64
+)
+
+// String returns the conventional lower-case name of the architecture.
+func (a Arch) String() string {
+	switch a {
+	case X64:
+		return "x64"
+	case PPC:
+		return "ppc"
+	case A64:
+		return "a64"
+	default:
+		return fmt.Sprintf("arch(%d)", uint8(a))
+	}
+}
+
+// All lists every supported architecture, in the order the paper's
+// evaluation presents them.
+func All() []Arch { return []Arch{X64, PPC, A64} }
+
+// FixedWidth reports whether every instruction of the architecture is
+// exactly 4 bytes long (true for PPC and A64, false for X64).
+func (a Arch) FixedWidth() bool { return a != X64 }
+
+// InstrAlign returns the required alignment of instruction addresses:
+// 4 for the fixed-width ISAs and 1 for X64.
+func (a Arch) InstrAlign() uint64 {
+	if a.FixedWidth() {
+		return 4
+	}
+	return 1
+}
+
+// Valid reports whether a is one of the defined architectures.
+func (a Arch) Valid() bool { return a <= A64 }
+
+// Kind enumerates the abstract operations shared by all three ISAs. The
+// per-architecture encodings differ in length and branch range, but the
+// semantics of each kind are identical, which is what lets the CFG builder,
+// dataflow analyses and emulator be architecture-independent.
+type Kind uint8
+
+// Instruction kinds.
+const (
+	// Nop does nothing. Compilers emit runs of Nops as alignment padding,
+	// which the rewriter harvests as trampoline scratch space.
+	Nop Kind = iota
+	// MovImm loads a 64-bit immediate into Rd. On the fixed-width ISAs the
+	// assembler synthesises large constants from MovImm16/MovK16 pairs; a
+	// single MovImm instruction there carries at most 16 bits.
+	MovImm
+	// MovImm16 loads a zero-extended 16-bit immediate, shifted left by
+	// 16*Shift bits, into Rd (fixed-width ISAs only; movz-like).
+	MovImm16
+	// MovK16 inserts a 16-bit immediate into bits [16*Shift, 16*Shift+16)
+	// of Rd, keeping the other bits (fixed-width ISAs only; movk-like).
+	MovK16
+	// MovReg copies Rs1 into Rd.
+	MovReg
+	// ALU computes Rd = Rs1 <op> Rs2.
+	ALU
+	// ALUImm computes Rd = Rs1 <op> Imm. The immediate fits in 32 bits on
+	// X64 and 12 bits on the fixed-width ISAs.
+	ALUImm
+	// AddIS computes Rd = Rs1 + (Imm << 16) (fixed-width ISAs; the ppc64le
+	// addis idiom used by TOC-relative addressing and long trampolines).
+	AddIS
+	// AddImm16 computes Rd = Rs1 + Imm with a signed 16-bit immediate
+	// (fixed-width ISAs; the ppc64le addi idiom).
+	AddImm16
+	// Load reads SizeBytes bytes from [Rs1 + Imm] into Rd (zero-extended).
+	Load
+	// Store writes the low SizeBytes bytes of Rs2 to [Rs1 + Imm].
+	Store
+	// LoadIdx reads SizeBytes bytes from [Rs1 + Rs2*Scale + Imm] into Rd.
+	// This is the jump-table read idiom on every architecture.
+	LoadIdx
+	// Lea forms the address Addr+Imm in Rd, where Addr is the address of
+	// the Lea instruction itself (PC-relative address formation; lea/adr).
+	Lea
+	// LeaHi forms (Addr &^ 0xFFF) + Imm in Rd, where Imm is a multiple of
+	// 4096 (the aarch64 adrp idiom; ±4GB range on the fixed-width ISAs).
+	LeaHi
+	// LoadPC reads SizeBytes bytes from [Addr + Imm] into Rd (x86-64
+	// RIP-relative load). The assembler uses it for PIE global access.
+	LoadPC
+	// Branch jumps to Addr+Imm unconditionally. X64 has a 2-byte short
+	// form (±128B) and a 5-byte near form (±2GB); PPC reaches ±32MB and
+	// A64 ±128MB in a single 4-byte instruction.
+	Branch
+	// BranchCond jumps to Addr+Imm if register Rs1 satisfies Cond
+	// (compared against zero). Ranges are narrower than Branch on all
+	// three ISAs, which matters when relocating code far away.
+	BranchCond
+	// Call transfers to Addr+Imm, recording the return address: X64 pushes
+	// it on the stack, PPC and A64 write it to the link register LR.
+	Call
+	// CallInd calls the address held in Rs1, recording the return address
+	// in the architecture's conventional location.
+	CallInd
+	// CallIndMem loads a code address from [Rs1 + Imm] and calls it (an
+	// indirect call through memory; the construct Dyninst-10.2's call
+	// emulation mishandled, per Section 8.1 of the paper).
+	CallIndMem
+	// JumpInd jumps to the address held in Rs1 (jump-table dispatch and
+	// indirect tail calls).
+	JumpInd
+	// Ret returns to the recorded return address: X64 pops it from the
+	// stack, PPC and A64 branch to LR.
+	Ret
+	// Trap raises a synchronous trap. The rewriter's last-resort
+	// trampoline; delivery costs hundreds of cycles in the emulator.
+	Trap
+	// Halt stops the program; the value in register r0 is the exit status.
+	Halt
+	// Syscall invokes an emulator service selected by Imm (see package
+	// emu); used for output, so that program results can be compared.
+	Syscall
+	// Throw raises a language-level exception, triggering stack unwinding
+	// through the binary's unwind tables (see package unwind).
+	Throw
+	// Illegal is produced when decoding meaningless bytes. Executing it
+	// faults. The paper's verification mode fills rewritten-away original
+	// code with illegal instructions to detect escaped control flow.
+	Illegal
+)
+
+var kindNames = [...]string{
+	Nop: "nop", MovImm: "movimm", MovImm16: "movz", MovK16: "movk",
+	MovReg: "mov", ALU: "alu", ALUImm: "aluimm", AddIS: "addis",
+	AddImm16: "addi", Load: "load", Store: "store", LoadIdx: "loadidx",
+	Lea: "lea", LeaHi: "adrp", LoadPC: "loadpc", Branch: "b",
+	BranchCond: "bcond", Call: "call", CallInd: "callind",
+	CallIndMem: "callmem", JumpInd: "jumpind", Ret: "ret", Trap: "trap",
+	Halt: "halt", Syscall: "syscall", Throw: "throw", Illegal: "illegal",
+}
+
+// String returns the mnemonic of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ALUOp selects the operation performed by ALU and ALUImm instructions.
+type ALUOp uint8
+
+// ALU operations.
+const (
+	Add ALUOp = iota
+	Sub
+	Mul
+	Div // unsigned; divide by zero faults
+	And
+	Or
+	Xor
+	Shl
+	Shr
+)
+
+var aluNames = [...]string{"add", "sub", "mul", "div", "and", "or", "xor", "shl", "shr"}
+
+// String returns the mnemonic of the operation.
+func (op ALUOp) String() string {
+	if int(op) < len(aluNames) {
+		return aluNames[op]
+	}
+	return fmt.Sprintf("aluop(%d)", uint8(op))
+}
+
+// Cond selects the condition tested by BranchCond, comparing the value of
+// register Rs1 (as a signed 64-bit integer) against zero.
+type Cond uint8
+
+// Branch conditions.
+const (
+	EQ Cond = iota // Rs1 == 0
+	NE             // Rs1 != 0
+	LT             // Rs1 < 0 (signed)
+	GE             // Rs1 >= 0 (signed)
+	GT             // Rs1 > 0 (signed)
+	LE             // Rs1 <= 0 (signed)
+)
+
+var condNames = [...]string{"eq", "ne", "lt", "ge", "gt", "le"}
+
+// String returns the mnemonic of the condition.
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Negate returns the condition with the opposite outcome, used when the
+// relocator rewrites a conditional branch into a branch-over-island pair.
+func (c Cond) Negate() Cond {
+	switch c {
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case LT:
+		return GE
+	case GE:
+		return LT
+	case GT:
+		return LE
+	default:
+		return GT
+	}
+}
+
+// Holds reports whether the condition is satisfied by the signed value v.
+func (c Cond) Holds(v int64) bool {
+	switch c {
+	case EQ:
+		return v == 0
+	case NE:
+		return v != 0
+	case LT:
+		return v < 0
+	case GE:
+		return v >= 0
+	case GT:
+		return v > 0
+	case LE:
+		return v <= 0
+	default:
+		return false
+	}
+}
+
+// Instr is one decoded (or to-be-encoded) instruction. The zero value is a
+// Nop. Addr and EncLen are populated by the decoder and by the assembler
+// after layout; Imm holds immediates, load/store displacements, and — for
+// the PC-relative kinds Branch, BranchCond, Call, Lea, LeaHi and LoadPC —
+// the byte displacement of the target from the *start address* of the
+// instruction, so that target = Addr + Imm.
+type Instr struct {
+	Kind  Kind
+	Op    ALUOp // for ALU, ALUImm
+	Cond  Cond  // for BranchCond
+	Rd    Reg
+	Rs1   Reg
+	Rs2   Reg
+	Imm   int64
+	Size  uint8 // access size in bytes for Load/Store/LoadIdx/LoadPC: 1, 2, 4 or 8
+	Scale uint8 // index scale for LoadIdx: 1, 2, 4 or 8
+	Shift uint8 // 16-bit chunk index for MovImm16/MovK16: 0..3
+	Short bool  // X64 only: request the 2-byte branch encoding
+	// Signed marks sign-extending loads (movsxd/lwa/ldrsw): sub-8-byte
+	// Load/LoadIdx results are sign-extended instead of zero-extended.
+	// Table-relative jump tables depend on it for backward entries.
+	Signed bool
+
+	Addr   uint64 // address of the instruction (set by decoder/assembler)
+	EncLen int    // encoded length in bytes (set by decoder/assembler)
+}
+
+// Target returns the destination address of a PC-relative instruction
+// (Branch, BranchCond, Call, Lea, LoadPC) and whether the instruction has
+// one. For LeaHi it returns the page-aligned base plus the page offset.
+func (i Instr) Target() (uint64, bool) {
+	switch i.Kind {
+	case Branch, BranchCond, Call, Lea, LoadPC:
+		return i.Addr + uint64(i.Imm), true
+	case LeaHi:
+		return (i.Addr &^ 0xFFF) + uint64(i.Imm), true
+	default:
+		return 0, false
+	}
+}
+
+// SetTarget adjusts Imm so that the instruction's PC-relative target is
+// addr, given the instruction's current Addr.
+func (i *Instr) SetTarget(addr uint64) {
+	if i.Kind == LeaHi {
+		// adrp forms page addresses: the low 12 bits of the target come
+		// from a following add.
+		i.Imm = int64((addr &^ 0xFFF) - (i.Addr &^ 0xFFF))
+		return
+	}
+	i.Imm = int64(addr - i.Addr)
+}
+
+// IsControlFlow reports whether the instruction ends a basic block.
+func (i Instr) IsControlFlow() bool {
+	switch i.Kind {
+	case Branch, BranchCond, Call, CallInd, CallIndMem, JumpInd, Ret, Halt, Throw, Trap:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsCall reports whether the instruction is any form of call.
+func (i Instr) IsCall() bool {
+	return i.Kind == Call || i.Kind == CallInd || i.Kind == CallIndMem
+}
+
+// FallsThrough reports whether execution can continue at the next
+// sequential instruction (true for non-control-flow, conditional branches
+// and calls; false for unconditional transfers and stops).
+func (i Instr) FallsThrough() bool {
+	switch i.Kind {
+	case Branch, JumpInd, Ret, Halt, Throw, Illegal:
+		return false
+	default:
+		return true
+	}
+}
+
+// String renders the instruction in a compact objdump-like syntax.
+func (i Instr) String() string {
+	switch i.Kind {
+	case Nop, Ret, Trap, Halt, Throw, Illegal:
+		return i.Kind.String()
+	case MovImm:
+		return fmt.Sprintf("movimm %s, %#x", i.Rd, uint64(i.Imm))
+	case MovImm16:
+		return fmt.Sprintf("movz %s, %#x, lsl %d", i.Rd, uint16(i.Imm), 16*i.Shift)
+	case MovK16:
+		return fmt.Sprintf("movk %s, %#x, lsl %d", i.Rd, uint16(i.Imm), 16*i.Shift)
+	case MovReg:
+		return fmt.Sprintf("mov %s, %s", i.Rd, i.Rs1)
+	case ALU:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rs1, i.Rs2)
+	case ALUImm:
+		return fmt.Sprintf("%si %s, %s, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+	case AddIS:
+		return fmt.Sprintf("addis %s, %s, %d", i.Rd, i.Rs1, i.Imm)
+	case AddImm16:
+		return fmt.Sprintf("addi %s, %s, %d", i.Rd, i.Rs1, i.Imm)
+	case Load:
+		return fmt.Sprintf("load%d %s, [%s%+d]", i.Size, i.Rd, i.Rs1, i.Imm)
+	case Store:
+		return fmt.Sprintf("store%d %s, [%s%+d]", i.Size, i.Rs2, i.Rs1, i.Imm)
+	case LoadIdx:
+		return fmt.Sprintf("load%d %s, [%s+%s*%d%+d]", i.Size, i.Rd, i.Rs1, i.Rs2, i.Scale, i.Imm)
+	case Lea:
+		return fmt.Sprintf("lea %s, pc%+d", i.Rd, i.Imm)
+	case LeaHi:
+		return fmt.Sprintf("adrp %s, pcpage%+d", i.Rd, i.Imm)
+	case LoadPC:
+		return fmt.Sprintf("load%d %s, [pc%+d]", i.Size, i.Rd, i.Imm)
+	case Branch:
+		return fmt.Sprintf("b pc%+d", i.Imm)
+	case BranchCond:
+		return fmt.Sprintf("b.%s %s, pc%+d", i.Cond, i.Rs1, i.Imm)
+	case Call:
+		return fmt.Sprintf("call pc%+d", i.Imm)
+	case CallInd:
+		return fmt.Sprintf("callind %s", i.Rs1)
+	case CallIndMem:
+		return fmt.Sprintf("callmem [%s%+d]", i.Rs1, i.Imm)
+	case JumpInd:
+		return fmt.Sprintf("jumpind %s", i.Rs1)
+	case Syscall:
+		return fmt.Sprintf("syscall %d", i.Imm)
+	default:
+		return i.Kind.String()
+	}
+}

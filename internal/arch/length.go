@@ -1,0 +1,50 @@
+package arch
+
+// EncLen returns the encoded length in bytes of the instruction on the
+// given architecture without encoding it. Lengths depend only on the
+// kind (and the Short flag on X64), which is what lets the assembler and
+// the code relocator lay out code before displacements are resolved.
+func EncLen(a Arch, i Instr) int {
+	if a.FixedWidth() {
+		return 4
+	}
+	switch i.Kind {
+	case Nop, Ret, Trap, Halt, Throw, Illegal:
+		return 1
+	case Syscall, MovReg, CallInd, JumpInd:
+		if i.Kind == MovReg {
+			return 3
+		}
+		if i.Kind == Syscall {
+			return 2
+		}
+		return 2
+	case MovImm:
+		return 10
+	case ALU:
+		return 5
+	case ALUImm:
+		return 8
+	case Load, Store:
+		return 8
+	case LoadIdx:
+		return 10
+	case Lea:
+		return 6
+	case LoadPC:
+		return 7
+	case Branch:
+		if i.Short {
+			return 2
+		}
+		return 5
+	case BranchCond:
+		return 7
+	case Call:
+		return 5
+	case CallIndMem:
+		return 6
+	default:
+		return 1
+	}
+}

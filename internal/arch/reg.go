@@ -1,0 +1,174 @@
+package arch
+
+import "fmt"
+
+// Reg names a machine register. Registers r0 through r15 are general
+// purpose on every architecture; LR and TAR are special registers that
+// exist only on the fixed-width ISAs (PPC and A64).
+type Reg uint8
+
+// Register assignments and conventions shared by the three ISAs.
+const (
+	// R0 holds function return values and the Halt exit status.
+	R0 Reg = iota
+	R1     // first argument register
+	R2     // second argument; on PPC also the TOC base (see TOCReg)
+	R3     // third argument
+	R4     // fourth argument
+	R5     // fifth argument
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	// SP is the stack pointer (r15 by convention on all three ISAs).
+	SP
+	// LR is the link register holding return addresses on PPC and A64.
+	// X64 has no LR; calls push the return address on the stack.
+	LR
+	// TAR is the branch target special register on PPC ("reserved for
+	// system software" per the paper); the 4-instruction long trampoline
+	// branches through it so no general register needs to be clobbered
+	// at the branch itself.
+	TAR
+
+	// NumRegs is the size of the architectural register file including
+	// the special registers.
+	NumRegs = 18
+	// NumGPRegs counts only the general-purpose registers r0..r15.
+	NumGPRegs = 16
+)
+
+// TOCReg is the table-of-contents base register on PPC: position
+// independent ppc64le code addresses globals relative to r2, and the long
+// trampoline forms its target TOC-relatively so that it stays position
+// independent.
+const TOCReg = R2
+
+// NoReg is a sentinel for "no register" in def/use reporting.
+const NoReg Reg = 0xFF
+
+// String returns the conventional register name.
+func (r Reg) String() string {
+	switch {
+	case r == SP:
+		return "sp"
+	case r == LR:
+		return "lr"
+	case r == TAR:
+		return "tar"
+	case r < SP:
+		return fmt.Sprintf("r%d", uint8(r))
+	default:
+		return fmt.Sprintf("reg(%d)", uint8(r))
+	}
+}
+
+// Valid reports whether r denotes an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// RegSet is a bitset of registers, used by the liveness analysis that
+// finds scratch registers for long trampolines.
+type RegSet uint32
+
+// Add returns the set with r included.
+func (s RegSet) Add(r Reg) RegSet {
+	if !r.Valid() {
+		return s
+	}
+	return s | 1<<r
+}
+
+// Remove returns the set with r excluded.
+func (s RegSet) Remove(r Reg) RegSet { return s &^ (1 << r) }
+
+// Has reports whether r is in the set.
+func (s RegSet) Has(r Reg) bool { return r.Valid() && s&(1<<r) != 0 }
+
+// Union returns the union of the two sets.
+func (s RegSet) Union(o RegSet) RegSet { return s | o }
+
+// Minus returns the elements of s not in o.
+func (s RegSet) Minus(o RegSet) RegSet { return s &^ o }
+
+// Count returns the number of registers in the set.
+func (s RegSet) Count() int {
+	n := 0
+	for v := uint32(s); v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// AllGP is the set of all general-purpose registers.
+func AllGP() RegSet { return RegSet(1<<NumGPRegs - 1) }
+
+// Uses returns the set of registers read by the instruction, including
+// implicit reads (Ret reads LR on the fixed-width ISAs and SP on X64;
+// every call reads nothing extra but Store reads its source).
+func (i Instr) Uses(a Arch) RegSet {
+	var s RegSet
+	switch i.Kind {
+	case MovReg:
+		s = s.Add(i.Rs1)
+	case MovK16:
+		s = s.Add(i.Rd) // read-modify-write
+	case ALU:
+		s = s.Add(i.Rs1).Add(i.Rs2)
+	case ALUImm, AddIS, AddImm16:
+		s = s.Add(i.Rs1)
+	case Load:
+		s = s.Add(i.Rs1)
+	case Store:
+		s = s.Add(i.Rs1).Add(i.Rs2)
+	case LoadIdx:
+		s = s.Add(i.Rs1).Add(i.Rs2)
+	case BranchCond:
+		s = s.Add(i.Rs1)
+	case CallInd, JumpInd:
+		s = s.Add(i.Rs1)
+	case CallIndMem:
+		s = s.Add(i.Rs1)
+	case Ret:
+		if a.FixedWidth() {
+			s = s.Add(LR)
+		} else {
+			s = s.Add(SP)
+		}
+	case Call:
+		if !a.FixedWidth() {
+			s = s.Add(SP)
+		}
+	case Halt, Syscall:
+		s = s.Add(R0).Add(R1)
+	}
+	return s
+}
+
+// Defs returns the set of registers written by the instruction, including
+// implicit writes (calls clobber LR on the fixed-width ISAs and SP on X64).
+func (i Instr) Defs(a Arch) RegSet {
+	var s RegSet
+	switch i.Kind {
+	case MovImm, MovImm16, MovK16, MovReg, ALU, ALUImm, AddIS, AddImm16,
+		Load, LoadIdx, Lea, LeaHi, LoadPC:
+		s = s.Add(i.Rd)
+	case Call, CallInd, CallIndMem:
+		if a.FixedWidth() {
+			s = s.Add(LR)
+		} else {
+			s = s.Add(SP)
+		}
+	case Ret:
+		if !a.FixedWidth() {
+			s = s.Add(SP)
+		}
+	case Syscall:
+		s = s.Add(R0)
+	}
+	return s
+}

@@ -1,0 +1,202 @@
+// Package asm is the synthetic compiler toolchain: a builder API for
+// constructing programs (functions, loops, switches, indirect calls,
+// exceptions), an assembler that expands the builder's macro items into
+// concrete instructions using each architecture's code generation idioms,
+// and a linker that lays out sections, resolves references, emits jump
+// tables, unwind tables, symbol tables, dynamic-linking sections and
+// relocations, and produces a bin.Binary.
+//
+// The codegen idioms are the ones the paper's binary analyses
+// characterise: bounds-check-then-dispatch jump tables (in .rodata with
+// 8-byte absolute or 4-byte table-relative entries on X64, embedded in
+// .text on PPC, with 1- or 2-byte function-relative entries in .rodata on
+// A64), nop alignment padding between functions, PC-relative global
+// access with runtime relocations in PIE, and movz/movk address
+// materialisation in position dependent fixed-width code.
+package asm
+
+import (
+	"fmt"
+
+	"icfgpatch/internal/arch"
+)
+
+// Label names a position inside one function, to be bound with Bind.
+type Label int
+
+// TableStyle selects the jump table entry encoding.
+type TableStyle uint8
+
+// Jump table styles.
+const (
+	// TableAbs64 stores 8-byte absolute target addresses (position
+	// dependent X64 and PPC).
+	TableAbs64 TableStyle = iota
+	// TableRel32 stores 4-byte target-minus-table-base offsets (PIE X64,
+	// and PPC where the table is embedded in .text after the dispatch).
+	TableRel32
+	// TableRel8 stores 1-byte unsigned (target-funcStart)/4 offsets
+	// (A64 tbb idiom; only for functions under 1KB).
+	TableRel8
+	// TableRel16 stores 2-byte unsigned (target-funcStart)/4 offsets
+	// (A64 tbh idiom).
+	TableRel16
+)
+
+// String names the style.
+func (s TableStyle) String() string {
+	switch s {
+	case TableAbs64:
+		return "abs64"
+	case TableRel32:
+		return "rel32"
+	case TableRel8:
+		return "rel8"
+	case TableRel16:
+		return "rel16"
+	default:
+		return fmt.Sprintf("style(%d)", uint8(s))
+	}
+}
+
+// EntrySize returns the table entry width in bytes.
+func (s TableStyle) EntrySize() int {
+	switch s {
+	case TableAbs64:
+		return 8
+	case TableRel32:
+		return 4
+	case TableRel8:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// SwitchOpts tune the emitted jump table idiom, including the
+// deliberately analysis-hostile variants the paper's Section 5.1
+// failure analysis is about.
+type SwitchOpts struct {
+	// SpillIndex stores the switch index to a stack slot and reloads it
+	// before the table read, separating the bounds check from the use:
+	// the backward slice hits a memory load, so table-size inference
+	// fails and the analysis must fall back to Assumption-2 bound
+	// extension ("values spilled to and reloaded from memory").
+	SpillIndex bool
+	// OpaqueBase loads the table base address from a data cell instead
+	// of forming it PC-relatively: the analysis cannot find where the
+	// table starts (Failure 1), so the whole function becomes
+	// uninstrumentable.
+	OpaqueBase bool
+}
+
+// refMode says how a resolved target address patches an instruction.
+type refMode uint8
+
+const (
+	refNone  refMode = iota
+	refPC            // Imm = target - instrAddr (branch, call, lea, loadpc)
+	refPage          // Imm = page(target) - page(instrAddr) (adrp)
+	refLo12          // Imm = target & 0xFFF (add after adrp)
+	refAbs64         // Imm = target (x64 movimm)
+	refAbs16         // Imm = 16-bit chunk Shift of target (movz/movk)
+)
+
+// ref is a symbolic operand resolved at link time. Exactly one of label
+// (>= 0), sym (non-empty) or table (>= 0) identifies the target.
+type ref struct {
+	mode   refMode
+	label  Label
+	sym    string
+	table  int
+	addend int64
+}
+
+// pseudoKind marks builder items that expand during finalisation.
+type pseudoKind uint8
+
+const (
+	pseudoNone pseudoKind = iota
+	// pseudoRet expands to the epilogue + return sequence once the
+	// function knows whether it is a leaf and its final frame size.
+	pseudoRet
+)
+
+// slot is one builder item: an instruction (possibly with a symbolic
+// ref), a pseudo item, or an in-text jump table data blob (PPC).
+type slot struct {
+	ins     arch.Instr
+	ref     *ref
+	pseudo  pseudoKind
+	tableIx int // >= 0: this slot is the in-text data of that table
+}
+
+// jumpTable is one switch dispatch table.
+type jumpTable struct {
+	style   TableStyle
+	targets []Label
+	inText  bool // PPC: emitted right after the dispatch in .text
+	// addr is assigned at layout time.
+	addr uint64
+	// fn backlink for resolving target labels.
+	fn *FuncBuilder
+	// loadSlot and dispatchSlot index the function's table-read and
+	// indirect-jump slots, for late style fix-ups and debug info.
+	loadSlot     int
+	dispatchSlot int
+}
+
+// tryRegion records a source-level try block and its catch label.
+type tryRegion struct {
+	startSlot int
+	endSlot   int // exclusive; -1 until EndTry
+	catch     Label
+}
+
+// Global is one data object.
+type Global struct {
+	Name string
+	// Init is the initial contents; the object's size is len(Init).
+	Init []byte
+	// PtrTo, when non-empty, makes this an 8-byte cell holding the
+	// address of that symbol plus Addend. In PIE it gets a runtime
+	// relocation; in position dependent code the address is baked in.
+	PtrTo  string
+	Addend int64
+	addr   uint64
+}
+
+// rodataItem is one read-only blob or jump table, placed in .rodata in
+// insertion order (so generators can interleave tables with constant
+// data, the A64 situation of Assumption 2).
+type rodataItem struct {
+	name  string
+	data  []byte
+	table *jumpTable // nil for plain blobs
+	align uint64
+	addr  uint64 // assigned at layout time
+}
+
+// TableInfo is ground-truth metadata about one emitted jump table,
+// returned in DebugInfo for testing the analyses (the rewriter itself
+// never sees it).
+type TableInfo struct {
+	Func         string
+	Addr         uint64
+	Style        TableStyle
+	EntrySize    int
+	N            int
+	Targets      []uint64
+	DispatchAddr uint64 // address of the JumpInd instruction
+	InText       bool
+}
+
+// DebugInfo is the compiler's ground truth, used only by tests and
+// experiment oracles.
+type DebugInfo struct {
+	FuncStart map[string]uint64
+	FuncEnd   map[string]uint64
+	Tables    []TableInfo
+	// PadRanges lists [start,end) alignment padding ranges in .text.
+	PadRanges [][2]uint64
+}

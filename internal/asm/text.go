@@ -1,0 +1,442 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/bin"
+)
+
+// AssembleText parses the toolkit's assembly text format and links it
+// into a binary. The format drives the same Builder API used
+// programmatically, so everything the builder can express — jump tables,
+// try/catch regions, pointer cells, metadata — is writable by hand:
+//
+//	.arch x64            ; x64 | ppc | a64
+//	.pie                 ; position independent (default: dependent)
+//	.meta lang c++
+//	.global buf 16       ; zero-initialised data object
+//	.fnptr fp callee 0   ; pointer cell: &callee + 0
+//	.func callee
+//	    addi r0, r1, 5
+//	    ret
+//	.func main frame=32
+//	    li r3, 0
+//	loop:
+//	    addi r3, r3, 1
+//	    subi r9, r3, 10
+//	    blt r9, loop
+//	    print r3
+//	    halt
+//	.entry main
+//
+// Comments run from ';' to end of line. Labels end with ':'. Branch
+// mnemonics are b, beq/bne/blt/bge/bgt/ble; ALU register forms are
+// add/sub/mul/div/and/or/xor/shl/shr, with -i suffixed immediate forms;
+// ld/st move 8 bytes via [rN+off]; switch takes an index register, two
+// scratch registers, a case label list and a default label.
+func AssembleText(src string) (*bin.Binary, *DebugInfo, error) {
+	p := &textParser{labels: map[string]Label{}}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, nil, fmt.Errorf("asm: line %d: %w", lineNo+1, err)
+		}
+	}
+	if p.b == nil {
+		return nil, nil, fmt.Errorf("asm: missing .arch directive")
+	}
+	return p.b.Link()
+}
+
+type textParser struct {
+	b      *Builder
+	f      *FuncBuilder
+	labels map[string]Label
+}
+
+// label returns (creating on demand) the named label in the current
+// function.
+func (p *textParser) label(name string) Label {
+	if l, ok := p.labels[name]; ok {
+		return l
+	}
+	l := p.f.NewLabel()
+	p.labels[name] = l
+	return l
+}
+
+func parseReg(s string) (arch.Reg, error) {
+	switch s {
+	case "sp":
+		return arch.SP, nil
+	case "lr":
+		return arch.LR, nil
+	case "tar":
+		return arch.TAR, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		if n, err := strconv.Atoi(s[1:]); err == nil && n >= 0 && n < arch.NumGPRegs {
+			return arch.Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// operands splits "a, b, c" into fields.
+func operands(rest string) []string {
+	if strings.TrimSpace(rest) == "" {
+		return nil
+	}
+	parts := strings.Split(rest, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+var aluOps = map[string]arch.ALUOp{
+	"add": arch.Add, "sub": arch.Sub, "mul": arch.Mul, "div": arch.Div,
+	"and": arch.And, "or": arch.Or, "xor": arch.Xor, "shl": arch.Shl, "shr": arch.Shr,
+}
+
+var condBranches = map[string]arch.Cond{
+	"beq": arch.EQ, "bne": arch.NE, "blt": arch.LT,
+	"bge": arch.GE, "bgt": arch.GT, "ble": arch.LE,
+}
+
+func (p *textParser) line(line string) error {
+	if strings.HasPrefix(line, ".") {
+		return p.directive(line)
+	}
+	if strings.HasSuffix(line, ":") {
+		if p.f == nil {
+			return fmt.Errorf("label outside function")
+		}
+		name := strings.TrimSuffix(line, ":")
+		p.f.Bind(p.label(name))
+		return nil
+	}
+	if p.f == nil {
+		return fmt.Errorf("instruction outside function")
+	}
+	return p.instruction(line)
+}
+
+func (p *textParser) directive(line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".arch":
+		if p.b != nil {
+			return fmt.Errorf(".arch given twice")
+		}
+		if len(fields) != 2 {
+			return fmt.Errorf(".arch needs one operand")
+		}
+		var a arch.Arch
+		switch fields[1] {
+		case "x64":
+			a = arch.X64
+		case "ppc":
+			a = arch.PPC
+		case "a64":
+			a = arch.A64
+		default:
+			return fmt.Errorf("unknown architecture %q", fields[1])
+		}
+		p.b = New(a, false)
+		return nil
+	}
+	if p.b == nil {
+		return fmt.Errorf("%s before .arch", fields[0])
+	}
+	switch fields[0] {
+	case ".pie":
+		// Rebuild the builder in PIE mode; must precede any content.
+		if len(p.b.funcs) > 0 || len(p.b.globals) > 0 {
+			return fmt.Errorf(".pie must precede functions and globals")
+		}
+		p.b = New(p.b.arch, true)
+	case ".meta":
+		if len(fields) < 3 {
+			return fmt.Errorf(".meta needs key and value")
+		}
+		p.b.SetMeta(fields[1], strings.Join(fields[2:], " "))
+	case ".global":
+		if len(fields) != 3 {
+			return fmt.Errorf(".global needs name and size")
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad size %q", fields[2])
+		}
+		p.b.Global(fields[1], n)
+	case ".fnptr":
+		if len(fields) != 4 {
+			return fmt.Errorf(".fnptr needs cell, target, addend")
+		}
+		add, err := parseImm(fields[3])
+		if err != nil {
+			return err
+		}
+		p.b.FuncPtrGlobal(fields[1], fields[2], add)
+	case ".func":
+		if len(fields) < 2 {
+			return fmt.Errorf(".func needs a name")
+		}
+		p.f = p.b.Func(fields[1])
+		p.labels = map[string]Label{}
+		for _, opt := range fields[2:] {
+			if v, ok := strings.CutPrefix(opt, "frame="); ok {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return fmt.Errorf("bad frame %q", v)
+				}
+				p.f.SetFrame(int64(n))
+			} else {
+				return fmt.Errorf("unknown .func option %q", opt)
+			}
+		}
+	case ".entry":
+		if len(fields) != 2 {
+			return fmt.Errorf(".entry needs a name")
+		}
+		p.b.SetEntry(fields[1])
+	case ".export":
+		if len(fields) != 2 {
+			return fmt.Errorf(".export needs a name")
+		}
+		p.b.Export(fields[1])
+	case ".shared":
+		p.b.SetSharedLib()
+	case ".try":
+		p.f.BeginTry()
+	case ".endtry":
+		if len(fields) != 2 {
+			return fmt.Errorf(".endtry needs a catch label")
+		}
+		p.f.EndTry(p.label(fields[1]))
+	default:
+		return fmt.Errorf("unknown directive %s", fields[0])
+	}
+	return nil
+}
+
+func (p *textParser) instruction(line string) error {
+	mnem := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnem, rest = line[:i], line[i+1:]
+	}
+	ops := operands(rest)
+	f := p.f
+
+	reg := func(i int) (arch.Reg, error) {
+		if i >= len(ops) {
+			return 0, fmt.Errorf("%s: missing operand %d", mnem, i+1)
+		}
+		return parseReg(ops[i])
+	}
+	imm := func(i int) (int64, error) {
+		if i >= len(ops) {
+			return 0, fmt.Errorf("%s: missing operand %d", mnem, i+1)
+		}
+		return parseImm(ops[i])
+	}
+
+	switch {
+	case mnem == "nop":
+		f.Nop()
+	case mnem == "ret":
+		f.Return()
+	case mnem == "halt":
+		f.Halt()
+	case mnem == "trap":
+		f.Trap()
+	case mnem == "throw":
+		f.Throw()
+	case mnem == "li":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return err
+		}
+		f.Li(rd, v)
+	case mnem == "mov":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		f.Mov(rd, rs)
+	case mnem == "print":
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		f.Print(rs)
+	case mnem == "call":
+		if len(ops) != 1 {
+			return fmt.Errorf("call needs a function name")
+		}
+		f.CallF(ops[0])
+	case mnem == "callptr":
+		if len(ops) != 2 {
+			return fmt.Errorf("callptr needs tmp register and cell name")
+		}
+		tmp, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		f.CallPtr(tmp, ops[1])
+	case mnem == "tailjump":
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		f.TailJumpReg(rs)
+	case mnem == "b":
+		if len(ops) != 1 {
+			return fmt.Errorf("b needs a label")
+		}
+		f.BranchTo(p.label(ops[0]))
+	case mnem == "ld":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		off, err := imm(1)
+		if err != nil {
+			return err
+		}
+		f.LoadLocal(rd, off)
+	case mnem == "st":
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		off, err := imm(1)
+		if err != nil {
+			return err
+		}
+		f.StoreLocal(rs, off)
+	case mnem == "ldg":
+		if len(ops) != 2 {
+			return fmt.Errorf("ldg needs register and global name")
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		f.LoadGlobal(rd, rd, ops[1], 8)
+	case mnem == "stg":
+		if len(ops) != 3 {
+			return fmt.Errorf("stg needs register, scratch, global name")
+		}
+		rs, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		tmp, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		f.StoreGlobal(rs, tmp, ops[2], 8)
+	case mnem == "switch":
+		// switch idx, tmp1, tmp2, [L1 L2 ...], default
+		if len(ops) < 5 {
+			return fmt.Errorf("switch needs idx, tmp1, tmp2, [cases], default")
+		}
+		idx, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		t1, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		t2, err := parseReg(ops[2])
+		if err != nil {
+			return err
+		}
+		caseField := strings.Join(ops[3:len(ops)-1], " ")
+		caseField = strings.Trim(caseField, "[] ")
+		var cases []Label
+		for _, c := range strings.Fields(caseField) {
+			cases = append(cases, p.label(c))
+		}
+		if len(cases) == 0 {
+			return fmt.Errorf("switch with no cases")
+		}
+		f.Switch(idx, t1, t2, cases, p.label(ops[len(ops)-1]), SwitchOpts{})
+	default:
+		if cond, ok := condBranches[mnem]; ok {
+			if len(ops) != 2 {
+				return fmt.Errorf("%s needs register and label", mnem)
+			}
+			rs, err := parseReg(ops[0])
+			if err != nil {
+				return err
+			}
+			f.BranchCondTo(cond, rs, p.label(ops[1]))
+			return nil
+		}
+		if op, ok := aluOps[mnem]; ok {
+			rd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			rs1, err := reg(1)
+			if err != nil {
+				return err
+			}
+			rs2, err := reg(2)
+			if err != nil {
+				return err
+			}
+			f.Op3(op, rd, rs1, rs2)
+			return nil
+		}
+		if op, ok := aluOps[strings.TrimSuffix(mnem, "i")]; ok && strings.HasSuffix(mnem, "i") {
+			rd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			rs1, err := reg(1)
+			if err != nil {
+				return err
+			}
+			v, err := imm(2)
+			if err != nil {
+				return err
+			}
+			f.OpI(op, rd, rs1, v)
+			return nil
+		}
+		return fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/emu"
+)
+
+const demoSource = `
+; a loop summing 1..10, then a jump-table dispatch
+.arch %ARCH%
+.meta lang c
+.global scratch 16
+.func helper
+    addi r0, r1, 5
+    ret
+.func main frame=32
+    li r3, 0
+    li r4, 10
+loop:
+    add r3, r3, r4
+    subi r4, r4, 1
+    bne r4, loop
+    st r3, 8
+    mov r1, r3
+    call helper
+    ld r3, 8
+    add r3, r3, r0
+    li r8, 1
+    switch r8, r9, r10, [c0 c1 c2], dflt
+c0:
+    addi r3, r3, 10
+    b join
+c1:
+    addi r3, r3, 20
+    b join
+c2:
+    addi r3, r3, 30
+    b join
+dflt:
+    addi r3, r3, 999
+join:
+    print r3
+    li r0, 0
+    halt
+.entry main
+`
+
+func assembleDemo(t *testing.T, archName string) *bin.Binary {
+	t.Helper()
+	src := strings.ReplaceAll(demoSource, "%ARCH%", archName)
+	img, dbg, err := AssembleText(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dbg.FuncStart) != 2 {
+		t.Fatalf("expected 2 functions, got %d", len(dbg.FuncStart))
+	}
+	return img
+}
+
+func TestAssembleTextRunsOnAllArches(t *testing.T) {
+	// sum(1..10)=55, helper adds 5 -> 115, case 1 adds 20 -> 135.
+	for _, name := range []string{"x64", "ppc", "a64"} {
+		img := assembleDemo(t, name)
+		m, err := emu.Load(img, emu.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if string(res.Output) != "135\n" {
+			t.Errorf("%s: output = %q, want 135", name, res.Output)
+		}
+	}
+}
+
+func TestAssembleTextDirectives(t *testing.T) {
+	src := `
+.arch x64
+.pie
+.meta lang c++
+.meta exceptions 1
+.fnptr fp thrower 0
+.func thrower
+    throw
+    ret
+.func main frame=32
+.try
+    call thrower
+.endtry catch
+    li r3, 1
+    b done
+catch:
+    li r3, 42
+done:
+    print r3
+    halt
+.entry main
+`
+	img, _, err := AssembleText(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.PIE || !img.UsesExceptions() {
+		t.Error("directives not honoured")
+	}
+	m, err := emu.Load(img, emu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Output) != "42\n" {
+		t.Errorf("output = %q, want 42 (catch taken)", res.Output)
+	}
+}
+
+func TestAssembleTextErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"no arch", "li r1, 5"},
+		{"bad arch", ".arch mips"},
+		{"instr outside func", ".arch x64\nli r1, 5"},
+		{"bad register", ".arch x64\n.func f\nli r99, 5"},
+		{"bad mnemonic", ".arch x64\n.func f\nfrobnicate r1"},
+		{"late pie", ".arch x64\n.func f\nret\n.pie"},
+		{"bad directive", ".arch x64\n.bogus"},
+		{"missing entry", ".arch x64\n.func f\nret\n.entry nope"},
+		{"endtry without label", ".arch x64\n.func f\n.try\n.endtry"},
+	}
+	for _, tc := range cases {
+		if _, _, err := AssembleText(tc.src); err == nil {
+			t.Errorf("%s: assembled without error", tc.name)
+		}
+	}
+}
+
+func TestAssembleTextCommentsAndLabels(t *testing.T) {
+	src := `
+.arch a64            ; trailing comment
+.func main           ; another
+    li r3, 7         ; load
+lbl:                 ; label comment
+    subi r3, r3, 1
+    bne r3, lbl
+    print r3
+    halt
+.entry main
+`
+	img, _, err := AssembleText(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := emu.Load(img, emu.Options{})
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Output) != "0\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+}

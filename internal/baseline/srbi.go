@@ -1,0 +1,39 @@
+package baseline
+
+import (
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/core"
+	"icfgpatch/internal/instrument"
+)
+
+// SRBIOptions configure the SRBI baseline.
+type SRBIOptions struct {
+	Request  instrument.Request
+	Verify   bool
+	InstrGap uint64
+}
+
+// SRBI rewrites the binary the way sensitivity-resistant binary
+// instrumentation (Dyninst-10.2) does: direct control flow only,
+// trampolines at every basic block with no superblock extension or
+// retired-section scratch, call emulation instead of RA translation
+// (X64 only, with the CallIndMem bug), no gap-based tail-call rescue,
+// and exact-or-fail jump table bounds. The coverage and trap-count gaps
+// between SRBI and the dir mode are the paper's Table 3 story.
+func SRBI(b *bin.Binary, opts SRBIOptions) (*core.Result, error) {
+	return core.Rewrite(b, core.Options{
+		Mode:     core.ModeDir,
+		Request:  opts.Request,
+		Verify:   opts.Verify,
+		InstrGap: opts.InstrGap,
+		NoRAMap:  true, // call emulation predates RA translation
+		Variant: core.Variant{
+			TrampolineEveryBlock:  true,
+			NoSuperblocks:         true,
+			NoScratchSections:     true,
+			CallEmulation:         true,
+			NoTailCallHeuristic:   true,
+			StrictJumpTableBounds: true,
+		},
+	})
+}

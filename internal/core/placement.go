@@ -1,0 +1,198 @@
+package core
+
+import (
+	"sort"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/cfg"
+)
+
+// cflSet computes the control-flow-landing blocks of one function for
+// the given mode (Section 4.2). A block is CFL when an incoming control
+// flow edge is NOT rewritten:
+//
+//   - the function entry (indirect calls in dir/jt modes; calls from
+//     unanalysable functions in every mode — entries therefore always
+//     receive trampolines, which also keeps function-entry
+//     instrumentation semantics);
+//   - exception catch pads (the unwinder transfers to original
+//     addresses in every mode; RA translation does not change where
+//     landing pads are);
+//   - jump-table target blocks in dir mode (jt and func-ptr clone the
+//     tables, removing these CFL blocks — the paper's incremental
+//     reduction).
+//
+// Call fall-through blocks are never CFL here because runtime RA
+// translation replaces call emulation (Section 6): relocated calls push
+// relocated return addresses, so returns stay in relocated code.
+func cflSet(b *bin.Binary, f *cfg.Func, mode Mode) map[uint64]bool {
+	cfl := map[uint64]bool{f.Entry: true}
+	if b.UsesExceptions() {
+		for _, pad := range f.CatchPads {
+			cfl[pad] = true
+		}
+	}
+	if mode == ModeDir {
+		for _, ij := range f.IndirectJumps {
+			if ij.Table == nil {
+				continue
+			}
+			for _, t := range ij.Table.Targets {
+				cfl[t] = true
+			}
+		}
+	}
+	return cfl
+}
+
+// superblock is one trampoline installation site: a CFL block extended
+// over the scratch blocks that follow it (Section 4.1, "Trampoline
+// Superblock"). Space is the number of original code bytes the
+// trampoline may overwrite.
+type superblock struct {
+	Block *cfg.Block
+	Start uint64
+	Space int
+}
+
+// superblocks computes the trampoline superblocks of one function: every
+// non-CFL block is a scratch block ("the key observation"), so each CFL
+// block extends to the next CFL block start, bounded by in-function data
+// (embedded jump tables, which relocated code may still read) and the
+// function end.
+func superblocks(f *cfg.Func, cfl map[uint64]bool) []superblock {
+	var cflStarts []uint64
+	for a := range cfl {
+		cflStarts = append(cflStarts, a)
+	}
+	sort.Slice(cflStarts, func(i, j int) bool { return cflStarts[i] < cflStarts[j] })
+
+	limitAfter := func(start uint64) uint64 {
+		limit := f.End
+		i := sort.Search(len(cflStarts), func(i int) bool { return cflStarts[i] > start })
+		if i < len(cflStarts) && cflStarts[i] < limit {
+			limit = cflStarts[i]
+		}
+		for _, dr := range f.DataRanges {
+			if dr[0] >= start && dr[0] < limit {
+				limit = dr[0]
+			}
+		}
+		return limit
+	}
+
+	var out []superblock
+	for _, start := range cflStarts {
+		blk, ok := f.BlockAt(start)
+		if !ok {
+			// A CFL address with no block (e.g. a catch pad in dead
+			// code); fall back to the containing block boundary.
+			if cb, okc := f.BlockContaining(start); okc {
+				blk = cb
+			} else {
+				continue
+			}
+		}
+		out = append(out, superblock{
+			Block: blk,
+			Start: start,
+			Space: int(limitAfter(start) - start),
+		})
+	}
+	return out
+}
+
+// scratchPool allocates scratch space for multi-hop trampolines from
+// the three sources of Section 7: alignment padding bytes, unused
+// superblock space, and retired dynamic-linking sections.
+type scratchPool struct {
+	ranges []scratchRange
+	align  uint64
+}
+
+type scratchRange struct{ start, end uint64 }
+
+func newScratchPool(align uint64) *scratchPool {
+	return &scratchPool{align: align}
+}
+
+// add contributes a free range.
+func (p *scratchPool) add(start, end uint64) {
+	start = alignUp(start, p.align)
+	if end > start {
+		p.ranges = append(p.ranges, scratchRange{start, end})
+	}
+}
+
+// alloc finds n bytes whose start lies within [near-maxBack, near+maxFwd]
+// and returns the address, removing the space from the pool.
+func (p *scratchPool) alloc(n int, near uint64, maxBack, maxFwd int64) (uint64, bool) {
+	for i := range p.ranges {
+		r := &p.ranges[i]
+		if r.end-r.start < uint64(n) {
+			continue
+		}
+		cand := r.start
+		diff := int64(cand - near)
+		if diff < -maxBack || diff > maxFwd {
+			continue
+		}
+		r.start = alignUp(cand+uint64(n), p.align)
+		if r.start > r.end {
+			r.start = r.end
+		}
+		return cand, true
+	}
+	return 0, false
+}
+
+// total returns the bytes currently available.
+func (p *scratchPool) total() uint64 {
+	var n uint64
+	for _, r := range p.ranges {
+		n += r.end - r.start
+	}
+	return n
+}
+
+func alignUp(v, a uint64) uint64 {
+	if a <= 1 {
+		return v
+	}
+	return (v + a - 1) / a * a
+}
+
+// paddingRanges finds inter-function alignment padding in the text
+// section: bytes covered by no function symbol that decode as nops.
+func paddingRanges(b *bin.Binary) [][2]uint64 {
+	text := b.Text()
+	if text == nil {
+		return nil
+	}
+	syms := b.FuncSymbols()
+	var out [][2]uint64
+	pos := text.Addr
+	flush := func(start, end uint64) {
+		if end <= start {
+			return
+		}
+		data := text.Data[start-text.Addr : end-text.Addr]
+		for _, ins := range arch.DecodeAll(b.Arch, data, start) {
+			if ins.Kind != arch.Nop {
+				return // not padding; leave it alone
+			}
+		}
+		out = append(out, [2]uint64{start, end})
+	}
+	for _, s := range syms {
+		if s.Addr > pos {
+			flush(pos, s.Addr)
+		}
+		if s.Addr+s.Size > pos {
+			pos = s.Addr + s.Size
+		}
+	}
+	flush(pos, text.End())
+	return out
+}

@@ -1,0 +1,741 @@
+package core
+
+import (
+	"fmt"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/cfg"
+	"icfgpatch/internal/instrument"
+)
+
+// targetKind says how a relocated instruction's control-flow or data
+// target is resolved during layout.
+type targetKind uint8
+
+const (
+	tkNone     targetKind = iota
+	tkAbs                 // fixed absolute address (original data, counter cells)
+	tkMapped              // original code address, re-resolved through relocMap
+	tkClone               // cloned jump table (index into clones)
+	tkFuncBase            // relocated start of a clone's owner function
+)
+
+// patchForm says where the resolved target lands in the instruction.
+type patchForm uint8
+
+const (
+	pfPCRel   patchForm = iota // SetTarget (branches, lea, adrp, loadpc)
+	pfImmAbs                   // Imm = target (movimm)
+	pfImmLo12                  // Imm = target & 0xFFF (add after adrp)
+	pfImmHi16                  // Imm = 16-bit chunk selected by Shift (movz/movk)
+)
+
+// expandKind marks items that no longer fit their original encoding's
+// range after relocation and must grow (branch islands, adrp pairs,
+// veneer-style far calls through the TAR/ip0 register).
+type expandKind uint8
+
+const (
+	expNone expandKind = iota
+	expCondIsland
+	expLeaPair
+	expFarBranch
+	expFarCall
+	// expEmulCall / expEmulCallInd replace a call with the call
+	// emulation sequence (original return address materialised and
+	// pushed / moved to LR, then a plain branch) — the SRBI/Multiverse
+	// stack-unwinding strategy the paper's RA translation displaces.
+	expEmulCall
+	expEmulCallInd
+	// expEmulCallFar is the fixed-width emulated call whose target is
+	// out of direct branch range (LR materialisation plus a veneer).
+	expEmulCallFar
+)
+
+// raKind marks items contributing return-address map entries.
+type raKind uint8
+
+const (
+	raNone raKind = iota
+	// raCallRet maps the relocated return address (after the call) to
+	// the original return address.
+	raCallRet
+	// raSelf maps the relocated instruction address itself (throw sites
+	// and syscalls, which stand for calls into the language runtime).
+	raSelf
+)
+
+// relocItem is one instruction (or inserted snippet instruction) in the
+// relocated code stream.
+type relocItem struct {
+	ins      arch.Instr
+	origAddr uint64 // 0 for inserted instructions
+	origLen  int
+	mapAddr  uint64 // original address this item stands for in relocMap
+	tk       targetKind
+	pf       patchForm
+	target   uint64 // tkAbs address / tkMapped original address / tkClone index
+	ra       raKind
+	expand   expandKind
+	newAddr  uint64
+	newLen   int
+}
+
+// relocUnit is one relocated function.
+type relocUnit struct {
+	fn    *cfg.Func
+	items []*relocItem
+}
+
+// cloneInfo is one jump table selected for cloning.
+type cloneInfo struct {
+	tbl      *cfg.ResolvedTable
+	owner    *cfg.Func
+	newEntry int // entry size in the clone (sub-word entries widen to 4)
+	addr     uint64
+}
+
+// relocation drives code relocation for the whole binary.
+type relocation struct {
+	b       *bin.Binary
+	mode    Mode
+	req     instrument.Request
+	variant Variant
+	units   []*relocUnit
+
+	clones       []*cloneInfo
+	baseSite     map[uint64]int // instr addr -> clone index (table base)
+	funcSite     map[uint64]int // instr addr -> clone index (func start base)
+	widenLoad    map[uint64]int
+	codePtrImm   map[uint64]uint64 // instr addr -> original pointer value (func-ptr mode)
+	instrumented map[string]bool
+
+	instrBase    uint64
+	instrEnd     uint64
+	unitStart    map[string]uint64 // function name -> relocated unit start
+	relocMap     map[uint64]uint64
+	raPairs      []bin.AddrPair
+	counterCells map[uint64]uint64
+	nextCell     uint64
+}
+
+// newRelocation prepares items for every instrumented function.
+func newRelocation(b *bin.Binary, g *cfg.Graph, opts Options, counterBase uint64) *relocation {
+	mode, req := opts.Mode, opts.Request
+	r := &relocation{
+		b:            b,
+		mode:         mode,
+		req:          req,
+		variant:      opts.Variant,
+		baseSite:     map[uint64]int{},
+		funcSite:     map[uint64]int{},
+		widenLoad:    map[uint64]int{},
+		codePtrImm:   map[uint64]uint64{},
+		instrumented: map[string]bool{},
+		counterCells: map[uint64]uint64{},
+		nextCell:     counterBase,
+	}
+	for _, f := range g.Funcs {
+		if f.Instrumentable() && req.Wants(f.Name) && len(f.Blocks) > 0 {
+			r.instrumented[f.Name] = true
+		}
+	}
+	// Collect jump table clones (jt and func-ptr modes).
+	if mode >= ModeJT {
+		for _, f := range g.Funcs {
+			if !r.instrumented[f.Name] {
+				continue
+			}
+			for i := range f.IndirectJumps {
+				tbl := f.IndirectJumps[i].Table
+				if tbl == nil {
+					continue
+				}
+				ci := &cloneInfo{tbl: tbl, owner: f, newEntry: tbl.EntrySize}
+				if tbl.EntrySize < 4 {
+					ci.newEntry = 4 // widen compressed entries (Section 5.1)
+				}
+				idx := len(r.clones)
+				r.clones = append(r.clones, ci)
+				for _, a := range tbl.BaseInstrs {
+					r.baseSite[a] = idx
+				}
+				for _, a := range tbl.FuncStartInstrs {
+					r.funcSite[a] = idx
+				}
+				r.widenLoad[tbl.LoadAddr] = idx
+			}
+		}
+	}
+	for _, f := range g.Funcs {
+		if r.instrumented[f.Name] {
+			r.units = append(r.units, r.buildUnit(g, f))
+		}
+	}
+	return r
+}
+
+// cloneBytes returns the total size of the clone section.
+func (r *relocation) cloneBytes() uint64 {
+	var n uint64
+	for _, c := range r.clones {
+		n = alignUp(n, uint64(c.newEntry)) + uint64(c.newEntry*c.tbl.Count)
+	}
+	return n
+}
+
+// placeClones assigns clone addresses inside the clone section.
+func (r *relocation) placeClones(base uint64) {
+	addr := base
+	for _, c := range r.clones {
+		addr = alignUp(addr, uint64(c.newEntry))
+		c.addr = addr
+		addr += uint64(c.newEntry * c.tbl.Count)
+	}
+}
+
+// buildUnit converts one function's blocks into relocation items,
+// inserting payload snippets.
+func (r *relocation) buildUnit(g *cfg.Graph, f *cfg.Func) *relocUnit {
+	u := &relocUnit{fn: f}
+	add := func(it *relocItem) { u.items = append(u.items, it) }
+	blocks := f.Blocks
+	if r.variant.ReverseBlocks {
+		blocks = make([]*cfg.Block, len(f.Blocks))
+		for i, blk := range f.Blocks {
+			blocks[len(blocks)-1-i] = blk
+		}
+	}
+	for bi, blk := range blocks {
+		if r.req.Where == instrument.BlockEntry ||
+			(r.req.Where == instrument.FuncEntry && blk.Start == f.Entry) {
+			r.addSnippet(u, blk.Start)
+		}
+		for _, ins := range blk.Instrs {
+			if r.req.WantsAddr(ins.Addr) {
+				r.addSnippet(u, ins.Addr)
+			}
+			it := &relocItem{ins: ins, origAddr: ins.Addr, origLen: ins.EncLen, mapAddr: ins.Addr}
+			it.ins.Short = false // relocated branches use the long form
+			r.classify(g, f, it)
+			add(it)
+		}
+		// Reordered blocks whose successor was reached by falling
+		// through need an explicit branch to it.
+		if last := blk.Last(); last.FallsThrough() && blk.End < f.End {
+			needBranch := r.variant.ReverseBlocks && (bi+1 >= len(blocks) || blocks[bi+1].Start != blk.End)
+			if needBranch {
+				it := &relocItem{ins: arch.Instr{Kind: arch.Branch}, tk: tkMapped, pf: pfPCRel, target: blk.End}
+				add(it)
+			}
+		}
+	}
+	return u
+}
+
+// addSnippet appends the payload instructions for the point at origAddr.
+func (r *relocation) addSnippet(u *relocUnit, origAddr uint64) {
+	if r.req.Payload != instrument.PayloadCounter {
+		if r.req.Payload == instrument.PayloadEmpty {
+			// Empty instrumentation still owns the mapping for the
+			// point (the relocated block starts here); no instructions.
+			return
+		}
+		return
+	}
+	cell := r.nextCell
+	r.nextCell += 8
+	r.counterCells[origAddr] = cell
+	seq := instrument.CounterSnippet(r.b.Arch, r.b.PIE, cell)
+	for k, ins := range seq {
+		it := &relocItem{ins: ins}
+		if k == 0 {
+			it.mapAddr = origAddr
+		}
+		if ins.Kind == arch.Lea || ins.Kind == arch.LeaHi {
+			it.tk, it.pf, it.target = tkAbs, pfPCRel, cell
+			it.ins.Imm = 0
+		}
+		u.items = append(u.items, it)
+	}
+}
+
+// classify decides how the item's operand is re-resolved.
+func (r *relocation) classify(g *cfg.Graph, f *cfg.Func, it *relocItem) {
+	ins := it.ins
+	a := ins.Addr
+	if ci, ok := r.baseSite[a]; ok {
+		it.tk, it.target = tkClone, uint64(ci)
+		switch ins.Kind {
+		case arch.Lea, arch.LeaHi:
+			it.pf = pfPCRel
+		case arch.MovImm:
+			it.pf = pfImmAbs
+		case arch.ALUImm, arch.AddImm16:
+			it.pf = pfImmLo12
+		case arch.MovImm16, arch.MovK16:
+			it.pf = pfImmHi16
+		}
+		return
+	}
+	if ci, ok := r.funcSite[a]; ok {
+		// The compressed-table base must be the relocated unit start:
+		// under block reordering the entry block may not come first.
+		it.tk, it.pf, it.target = tkFuncBase, pfPCRel, uint64(ci)
+		return
+	}
+	if ci, ok := r.widenLoad[a]; ok && r.clones[ci].tbl.EntrySize < 4 {
+		it.ins.Size, it.ins.Scale = 4, 4
+	}
+	switch ins.Kind {
+	case arch.Branch, arch.BranchCond, arch.Call:
+		t, _ := ins.Target()
+		if r.mapsTo(g, t) {
+			it.tk, it.pf, it.target = tkMapped, pfPCRel, t
+		} else {
+			it.tk, it.pf, it.target = tkAbs, pfPCRel, t
+		}
+		if ins.Kind == arch.Call {
+			it.ra = raCallRet
+			if r.variant.CallEmulation && r.b.Arch == arch.X64 {
+				it.expand = expEmulCall
+				it.ra = raNone
+			}
+		}
+	case arch.CallInd:
+		if r.variant.CallEmulation && r.b.Arch == arch.X64 {
+			it.expand = expEmulCallInd
+		} else {
+			it.ra = raCallRet
+		}
+	case arch.CallIndMem:
+		// Indirect calls through memory still push relocated return
+		// addresses that unwinding must translate. (SRBI's call
+		// emulation misses these — the Dyninst-10.2 bug — so under
+		// CallEmulation they intentionally stay unmapped.)
+		if !r.variant.CallEmulation {
+			it.ra = raCallRet
+		}
+	case arch.Lea, arch.LeaHi, arch.LoadPC:
+		t, _ := ins.Target()
+		it.tk, it.pf, it.target = tkAbs, pfPCRel, t
+	case arch.MovImm:
+		if v, ok := r.codePtrImm[a]; ok && r.mode == ModeFuncPtr {
+			it.tk, it.pf, it.target = tkMapped, pfImmAbs, v
+		}
+	case arch.MovImm16, arch.MovK16:
+		if v, ok := r.codePtrImm[a]; ok && r.mode == ModeFuncPtr {
+			it.tk, it.pf, it.target = tkMapped, pfImmHi16, v
+		}
+	case arch.Throw, arch.Syscall:
+		it.ra = raSelf
+	}
+}
+
+// mapsTo reports whether an original code address belongs to a function
+// being relocated (so control flow to it must be retargeted).
+func (r *relocation) mapsTo(g *cfg.Graph, addr uint64) bool {
+	f, ok := g.FuncContaining(addr)
+	return ok && r.instrumented[f.Name]
+}
+
+// itemLen returns the item's encoded length under its expansion state.
+func (r *relocation) itemLen(it *relocItem) int {
+	a := r.b.Arch
+	base := arch.EncLen(a, it.ins)
+	switch it.expand {
+	case expNone:
+		return base
+	case expCondIsland:
+		return base + arch.EncLen(a, arch.Instr{Kind: arch.Branch})
+	case expLeaPair:
+		return arch.EncLen(a, arch.Instr{Kind: arch.LeaHi}) + arch.EncLen(a, arch.Instr{Kind: arch.ALUImm})
+	case expFarBranch:
+		return 3 * 4 // adris/adrp + add + indirect branch (fixed-width only)
+	case expFarCall:
+		return 3 * 4
+	case expEmulCall:
+		if a == arch.X64 {
+			return 8 + r.emulRALen() + 8 + 8 + 8 + 5
+		}
+		return 3 * 4
+	case expEmulCallInd:
+		if a == arch.X64 {
+			return 8 + r.emulRALen() + 8 + 8 + 8 + 2
+		}
+		return 3 * 4
+	case expEmulCallFar:
+		return 5 * 4
+	default:
+		return base
+	}
+}
+
+// resolveTarget returns the item's concrete target address under the
+// current relocMap.
+func (r *relocation) resolveTarget(it *relocItem) uint64 {
+	switch it.tk {
+	case tkAbs:
+		return it.target
+	case tkMapped:
+		if na, ok := r.relocMap[it.target]; ok {
+			return na
+		}
+		return it.target // not relocated: keep the original address
+	case tkClone:
+		return r.clones[it.target].addr
+	case tkFuncBase:
+		return r.unitStart[r.clones[it.target].owner.Name]
+	default:
+		return 0
+	}
+}
+
+// layout iterates address assignment and range checking to a fixpoint,
+// growing items into islands/pairs/veneers as needed.
+func (r *relocation) layout(instrBase uint64) error {
+	r.instrBase = instrBase
+	a := r.b.Arch
+	for iter := 0; iter < 24; iter++ {
+		addr := instrBase
+		r.relocMap = map[uint64]uint64{}
+		r.unitStart = map[string]uint64{}
+		for _, u := range r.units {
+			addr = alignUp(addr, instrAlign)
+			r.unitStart[u.fn.Name] = addr
+			for _, it := range u.items {
+				it.newAddr = addr
+				it.newLen = r.itemLen(it)
+				if it.mapAddr != 0 {
+					if _, dup := r.relocMap[it.mapAddr]; !dup {
+						r.relocMap[it.mapAddr] = addr
+					}
+				}
+				addr += uint64(it.newLen)
+			}
+		}
+		r.instrEnd = addr
+
+		changed := false
+		for _, u := range r.units {
+			for _, it := range u.items {
+				if it.expand == expEmulCall && a.FixedWidth() {
+					t := r.resolveTarget(it)
+					if abs64(int64(t-it.newAddr)) > arch.DirectBranchRange(a) {
+						it.expand = expEmulCallFar
+						changed = true
+					}
+					continue
+				}
+				if it.tk == tkNone || it.pf != pfPCRel || it.expand != expNone {
+					continue
+				}
+				t := r.resolveTarget(it)
+				disp := int64(t - it.newAddr)
+				switch it.ins.Kind {
+				case arch.BranchCond:
+					if abs64(disp) > arch.CondBranchRange(a) {
+						it.expand = expCondIsland
+						changed = true
+					}
+				case arch.Branch:
+					if abs64(disp) > arch.DirectBranchRange(a) {
+						if !a.FixedWidth() {
+							return fmt.Errorf("core: branch at %#x cannot reach %#x", it.newAddr, t)
+						}
+						it.expand = expFarBranch
+						changed = true
+					}
+				case arch.Call:
+					if abs64(disp) > arch.CallRange(a) {
+						if !a.FixedWidth() {
+							return fmt.Errorf("core: call at %#x cannot reach %#x", it.newAddr, t)
+						}
+						it.expand = expFarCall
+						changed = true
+					}
+				case arch.Lea:
+					if abs64(disp) > arch.LeaRange(a) {
+						if !a.FixedWidth() {
+							return fmt.Errorf("core: lea at %#x cannot reach %#x", it.newAddr, t)
+						}
+						it.expand = expLeaPair
+						changed = true
+					}
+				case arch.LoadPC:
+					limit := int64(1<<31 - 1)
+					if a.FixedWidth() {
+						limit = 1<<18 - 1
+					}
+					if abs64(disp) > limit {
+						return fmt.Errorf("core: pc-relative load at %#x cannot reach %#x", it.newAddr, t)
+					}
+				}
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+	return fmt.Errorf("core: relocation layout did not converge")
+}
+
+// emit produces the .instr bytes, the return-address map, and the clone
+// section contents.
+func (r *relocation) emit() ([]byte, []byte, error) {
+	a := r.b.Arch
+	enc := arch.ForArch(a)
+	out := make([]byte, r.instrEnd-r.instrBase)
+	fillIllegal(a, out) // unreachable alignment padding must not execute silently
+	for _, u := range r.units {
+		for _, it := range u.items {
+			seq, err := r.expandItem(it)
+			if err != nil {
+				return nil, nil, err
+			}
+			off := it.newAddr - r.instrBase
+			total := 0
+			for _, ins := range seq {
+				bs, err := enc.Encode(ins)
+				if err != nil {
+					return nil, nil, fmt.Errorf("core: encoding relocated %s (orig %#x): %w", ins, it.origAddr, err)
+				}
+				copy(out[off+uint64(total):], bs)
+				total += len(bs)
+			}
+			if total != it.newLen {
+				return nil, nil, fmt.Errorf("core: item at %#x emitted %d bytes, laid out %d", it.newAddr, total, it.newLen)
+			}
+			switch it.ra {
+			case raCallRet:
+				r.raPairs = append(r.raPairs, bin.AddrPair{
+					From: it.newAddr + uint64(it.newLen),
+					To:   it.origAddr + uint64(it.origLen),
+				})
+			case raSelf:
+				r.raPairs = append(r.raPairs, bin.AddrPair{From: it.newAddr, To: it.origAddr})
+			}
+		}
+	}
+
+	// Clone contents: solve tar(x) = relocated target for each entry.
+	var cloneData []byte
+	if len(r.clones) > 0 {
+		var base, end uint64
+		base = r.clones[0].addr
+		last := r.clones[len(r.clones)-1]
+		end = last.addr + uint64(last.newEntry*last.tbl.Count)
+		cloneData = make([]byte, end-base)
+		for _, c := range r.clones {
+			for k, origTarget := range c.tbl.Targets {
+				nt, ok := r.relocMap[origTarget]
+				if !ok {
+					return nil, nil, fmt.Errorf("core: clone target %#x has no relocation", origTarget)
+				}
+				var x uint64
+				switch c.tbl.Kind {
+				case cfg.TarAbs:
+					x = nt
+				case cfg.TarTableRel:
+					x = nt - c.addr
+				case cfg.TarFuncRel4:
+					nf, ok := r.unitStart[c.owner.Name]
+					if !ok {
+						return nil, nil, fmt.Errorf("core: clone owner %s has no relocated unit", c.owner.Name)
+					}
+					x = (nt - nf) / 4
+				}
+				off := c.addr - base + uint64(k*c.newEntry)
+				for i := 0; i < c.newEntry; i++ {
+					cloneData[off+uint64(i)] = byte(x >> (8 * i))
+				}
+			}
+		}
+	}
+	return out, cloneData, nil
+}
+
+// expandItem renders the item's final instruction sequence with resolved
+// displacements.
+func (r *relocation) expandItem(it *relocItem) ([]arch.Instr, error) {
+	ins := it.ins
+	ins.Addr = it.newAddr
+	t := r.resolveTarget(it)
+	switch it.expand {
+	case expNone:
+		switch {
+		case it.tk == tkNone:
+		case it.pf == pfPCRel:
+			ins.SetTarget(t)
+		case it.pf == pfImmAbs:
+			ins.Imm = int64(t)
+		case it.pf == pfImmLo12:
+			ins.Imm = int64(t & 0xFFF)
+		case it.pf == pfImmHi16:
+			ins.Imm = int64((t >> (16 * ins.Shift)) & 0xFFFF)
+		}
+		return []arch.Instr{ins}, nil
+	case expCondIsland:
+		// bcond.neg over a full-range branch.
+		condLen := arch.EncLen(r.b.Arch, ins)
+		branch := arch.Instr{Kind: arch.Branch, Addr: it.newAddr + uint64(condLen)}
+		branch.SetTarget(t)
+		neg := ins
+		neg.Cond = ins.Cond.Negate()
+		neg.SetTarget(it.newAddr + uint64(it.newLen))
+		return []arch.Instr{neg, branch}, nil
+	case expLeaPair:
+		hi := arch.Instr{Kind: arch.LeaHi, Rd: ins.Rd, Addr: it.newAddr}
+		hi.SetTarget(t)
+		lo := arch.Instr{Kind: arch.AddImm16, Rd: ins.Rd, Rs1: ins.Rd, Imm: int64(t & 0xFFF), Addr: it.newAddr + 4}
+		return []arch.Instr{hi, lo}, nil
+	case expFarBranch, expFarCall:
+		return r.veneer(it, t)
+	case expEmulCall, expEmulCallInd, expEmulCallFar:
+		return r.emulatedCall(it, t)
+	}
+	return nil, fmt.Errorf("core: unknown expansion %d", it.expand)
+}
+
+// emulRALen is the length of the instruction materialising the original
+// return address in an emulated call: a PC-relative lea in PIE (the
+// value must rebase with the image), an absolute movimm otherwise.
+func (r *relocation) emulRALen() int {
+	if r.b.PIE {
+		return 6
+	}
+	return 10
+}
+
+// emulatedCall renders the call emulation sequence: the ORIGINAL return
+// address is pushed (X64) or moved into LR (fixed-width), then control
+// branches to the target. The callee's eventual return therefore lands
+// at the original fall-through in .text, where a trampoline must wait.
+func (r *relocation) emulatedCall(it *relocItem, t uint64) ([]arch.Instr, error) {
+	origRA := it.origAddr + uint64(it.origLen)
+	a := r.b.Arch
+	if a == arch.X64 {
+		scratch := arch.R8
+		if it.ins.Kind == arch.CallInd && it.ins.Rs1 == arch.R8 {
+			scratch = arch.R9
+		}
+		mat := arch.Instr{Kind: arch.MovImm, Rd: scratch, Imm: int64(origRA)}
+		if r.b.PIE {
+			// The pushed value must follow the load base: form it
+			// PC-relatively (the displacement to the ORIGINAL return
+			// address is a link-time constant).
+			mat = arch.Instr{Kind: arch.Lea, Rd: scratch}
+		}
+		seq := []arch.Instr{
+			{Kind: arch.Store, Rs2: scratch, Rs1: arch.SP, Size: 8, Imm: -16},
+			mat,
+			{Kind: arch.ALUImm, Op: arch.Sub, Rd: arch.SP, Rs1: arch.SP, Imm: 8},
+			{Kind: arch.Store, Rs2: scratch, Rs1: arch.SP, Size: 8, Imm: 0},
+			{Kind: arch.Load, Rd: scratch, Rs1: arch.SP, Size: 8, Imm: -8},
+		}
+		if it.ins.Kind == arch.CallInd {
+			seq = append(seq, arch.Instr{Kind: arch.JumpInd, Rs1: it.ins.Rs1})
+		} else {
+			br := arch.Instr{Kind: arch.Branch}
+			seq = append(seq, br)
+		}
+		addr := it.newAddr
+		for i := range seq {
+			seq[i].Addr = addr
+			addr += uint64(arch.EncLen(a, seq[i]))
+		}
+		if r.b.PIE {
+			seq[1].SetTarget(origRA)
+		}
+		if it.ins.Kind != arch.CallInd {
+			seq[len(seq)-1].SetTarget(t)
+		}
+		return seq, nil
+	}
+	// Fixed-width: materialise the original RA into LR, then branch.
+	seq := []arch.Instr{
+		{Kind: arch.MovImm16, Rd: arch.LR, Imm: int64(origRA & 0xFFFF)},
+		{Kind: arch.MovK16, Rd: arch.LR, Imm: int64((origRA >> 16) & 0xFFFF), Shift: 1},
+	}
+	if r.b.PIE {
+		hi := arch.Instr{Kind: arch.LeaHi, Rd: arch.LR, Addr: it.newAddr}
+		hi.SetTarget(origRA)
+		seq = []arch.Instr{
+			hi,
+			{Kind: arch.AddImm16, Rd: arch.LR, Rs1: arch.LR, Imm: int64(origRA & 0xFFF)},
+		}
+	}
+	if it.expand == expEmulCallFar {
+		tail, err := r.veneer(&relocItem{newAddr: it.newAddr + 8, expand: expFarBranch}, t)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, tail...)
+	} else if it.ins.Kind == arch.CallInd {
+		seq = append(seq, arch.Instr{Kind: arch.JumpInd, Rs1: it.ins.Rs1})
+	} else {
+		br := arch.Instr{Kind: arch.Branch, Addr: it.newAddr + 8}
+		br.SetTarget(t)
+		seq = append(seq, br)
+	}
+	addr := it.newAddr
+	for i := range seq {
+		seq[i].Addr = addr
+		addr += 4
+	}
+	return seq, nil
+}
+
+// veneer forms a far transfer through the TAR register: TOC-relative
+// address formation on PPC (addis/addi), page-relative on A64 (the
+// ip0-style veneer), then an indirect branch or call.
+func (r *relocation) veneer(it *relocItem, t uint64) ([]arch.Instr, error) {
+	a := r.b.Arch
+	var seq []arch.Instr
+	if a == arch.PPC {
+		off := int64(t - r.b.TOCValue)
+		lo := int64(int16(off))
+		hi := (off - lo) >> 16
+		if hi < -(1<<15) || hi >= 1<<15 {
+			return nil, fmt.Errorf("core: veneer target %#x beyond ±2GB of TOC", t)
+		}
+		seq = []arch.Instr{
+			{Kind: arch.AddIS, Rd: arch.TAR, Rs1: arch.TOCReg, Imm: hi},
+			{Kind: arch.AddImm16, Rd: arch.TAR, Rs1: arch.TAR, Imm: lo},
+		}
+	} else {
+		hi := arch.Instr{Kind: arch.LeaHi, Rd: arch.TAR, Addr: it.newAddr}
+		hi.SetTarget(t)
+		seq = []arch.Instr{
+			hi,
+			{Kind: arch.AddImm16, Rd: arch.TAR, Rs1: arch.TAR, Imm: int64(t & 0xFFF)},
+		}
+	}
+	kind := arch.JumpInd
+	if it.expand == expFarCall {
+		kind = arch.CallInd
+	}
+	seq = append(seq, arch.Instr{Kind: kind, Rs1: arch.TAR})
+	addr := it.newAddr
+	for i := range seq {
+		seq[i].Addr = addr
+		addr += 4
+	}
+	return seq, nil
+}
+
+// fillIllegal fills a buffer with undecodable bytes.
+func fillIllegal(a arch.Arch, buf []byte) {
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	_ = a
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

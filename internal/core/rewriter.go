@@ -1,0 +1,467 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"icfgpatch/internal/analysis"
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/cfg"
+	"icfgpatch/internal/dataflow"
+	"icfgpatch/internal/instrument"
+	"icfgpatch/internal/rtlib"
+)
+
+// Rewrite performs incremental CFG patching on the binary and returns
+// the rewritten image. The input binary is not modified.
+func Rewrite(b *bin.Binary, opts Options) (*Result, error) {
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("core: input binary invalid: %w", err)
+	}
+	resolver := analysis.NewJumpTables(b)
+	resolver.Strict = opts.Variant.StrictJumpTableBounds
+	var g *cfg.Graph
+	var err error
+	if len(b.FuncSymbols()) == 0 {
+		// Stripped binary: recover function entries first, as Dyninst's
+		// parser does (the paper's libcuda.so is stripped).
+		g, err = cfg.BuildStripped(b, resolver)
+	} else {
+		g, err = cfg.Build(b, resolver)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: CFG construction: %w", err)
+	}
+	if opts.Variant.NoTailCallHeuristic {
+		for _, f := range g.Funcs {
+			if f.Err != nil {
+				continue
+			}
+			for _, ij := range f.IndirectJumps {
+				if ij.TailCall {
+					f.Err = fmt.Errorf("core: unresolved indirect jump at %#x (tail call heuristic disabled)", ij.Addr)
+					break
+				}
+			}
+		}
+	}
+	if opts.Variant.FailOnAnyError {
+		for _, f := range g.Funcs {
+			if f.Err != nil {
+				return nil, fmt.Errorf("core: all-or-nothing rewriting failed: %w", f.Err)
+			}
+		}
+	}
+
+	// Function pointer analysis gates func-ptr mode (Section 5.2): it is
+	// only safe when every pointer is identified precisely.
+	var ptrSites []analysis.PtrSite
+	if opts.Mode == ModeFuncPtr {
+		sites, err := analysis.FuncPointers(b, g)
+		if err != nil {
+			if errors.Is(err, analysis.ErrImprecise) {
+				return nil, fmt.Errorf("%w: %v", ErrImpreciseFuncPtrs, err)
+			}
+			return nil, fmt.Errorf("core: function pointer analysis: %w", err)
+		}
+		ptrSites = sites
+	}
+
+	// Arbitrary instrumentation points restrict relocation to the
+	// functions that contain them (partial instrumentation).
+	if opts.Request.Where == instrument.AtAddrs && opts.Request.Funcs == nil {
+		var names []string
+		seen := map[string]bool{}
+		for _, addr := range opts.Request.Addrs {
+			if f, ok := g.FuncContaining(addr); ok && !seen[f.Name] {
+				seen[f.Name] = true
+				names = append(names, f.Name)
+			}
+		}
+		opts.Request.Funcs = names
+	}
+
+	nb := b.Clone()
+	stats := Stats{
+		Trampolines:    map[arch.TrampolineClass]int{},
+		OrigLoadedSize: b.LoadedSize(),
+		TotalFuncs:     len(g.Funcs),
+	}
+
+	// Plan the new layout: counters, moved dynamic sections, cloned
+	// tables, then .instr.
+	cursor := alignUp(b.MaxLoadedAddr(), sectionGap) + sectionGap
+	counterBase := cursor
+
+	r := newRelocation(b, g, opts, counterBase)
+	for _, site := range ptrSites {
+		for _, ia := range site.Instrs {
+			r.codePtrImm[ia] = site.Value
+		}
+	}
+	// Re-run unit construction so code-immediate pointer sites classify
+	// with the pointer map in place.
+	if len(r.codePtrImm) > 0 {
+		r.units = nil
+		for _, f := range g.Funcs {
+			if r.instrumented[f.Name] {
+				r.units = append(r.units, r.buildUnit(g, f))
+			}
+		}
+	}
+
+	for _, f := range g.Funcs {
+		if r.instrumented[f.Name] {
+			stats.InstrumentedFuncs++
+		} else if f.Err != nil {
+			stats.SkippedFuncs = append(stats.SkippedFuncs, f.Name)
+		}
+	}
+
+	if opts.Variant.ReverseFuncs {
+		for i, j := 0, len(r.units)-1; i < j; i, j = i+1, j-1 {
+			r.units[i], r.units[j] = r.units[j], r.units[i]
+		}
+	}
+	cursor = alignUp(r.nextCell, sectionGap) + sectionGap
+
+	// Move dynamic-linking sections, retiring the originals as scratch
+	// space (Section 3).
+	pool := newScratchPool(b.Arch.InstrAlign())
+	for _, name := range []string{bin.SecDynSym, bin.SecDynStr, bin.SecRelaDyn} {
+		old := nb.Section(name)
+		if old == nil {
+			continue
+		}
+		moved := &bin.Section{
+			Name:  name,
+			Addr:  cursor,
+			Data:  append([]byte(nil), old.Data...),
+			Flags: old.Flags,
+			Align: old.Align,
+		}
+		old.Name = bin.OldPrefix + name
+		// The retired range becomes trampoline scratch space, so it must
+		// be executable from now on.
+		old.Flags |= bin.FlagExec
+		if _, err := nb.AddSection(moved); err != nil {
+			return nil, err
+		}
+		cursor = alignUp(moved.End(), sectionGap) + sectionGap
+		if old.Size() > 0 && !opts.Variant.NoScratchSections {
+			pool.add(old.Addr, old.End())
+		}
+	}
+
+	cloneBase := cursor
+	r.placeClones(cloneBase)
+	cursor = alignUp(cloneBase+r.cloneBytes(), sectionGap) + sectionGap
+	stats.ClonedTables = len(r.clones)
+
+	instrBase := alignUp(cursor+opts.InstrGap, sectionGap)
+	if err := r.layout(instrBase); err != nil {
+		return nil, err
+	}
+	instrData, cloneData, err := r.emit()
+	if err != nil {
+		return nil, err
+	}
+
+	// Patch the original text: verification fill, then trampolines.
+	text := nb.Text()
+	if opts.Verify {
+		for _, f := range g.Funcs {
+			if !r.instrumented[f.Name] {
+				continue
+			}
+			fillTextIllegal(b.Arch, text, f)
+		}
+	}
+	for _, pr := range paddingRanges(b) {
+		pool.add(pr[0], pr[1])
+	}
+
+	var trapPairs []bin.AddrPair
+	type hopJob struct {
+		sb      superblock
+		to      uint64
+		scratch arch.Reg
+	}
+	var deferred []hopJob
+	for _, f := range g.Funcs {
+		if !r.instrumented[f.Name] || opts.Variant.NoTrampolines {
+			continue
+		}
+		cfl := cflSet(b, f, opts.Mode)
+		if opts.Variant.CallEmulation && b.Arch == arch.X64 {
+			// Emulated calls return to ORIGINAL fall-through blocks.
+			for _, blk := range f.Blocks {
+				if blk.Last().IsCall() && blk.Last().Kind != arch.CallIndMem {
+					cfl[blk.End] = true
+				}
+			}
+		}
+		if opts.Variant.TrampolineEveryBlock {
+			for _, blk := range f.Blocks {
+				cfl[blk.Start] = true
+			}
+		}
+		stats.CFLBlocks += len(cfl)
+		stats.ScratchBlocks += len(f.Blocks) - len(cfl)
+		lv := dataflow.ComputeLiveness(b.Arch, f)
+		sbs := superblocks(f, cfl)
+		if opts.Variant.NoSuperblocks {
+			for i := range sbs {
+				if blk, ok := f.BlockAt(sbs[i].Start); ok {
+					if n := blk.Len() - int(sbs[i].Start-blk.Start); n < sbs[i].Space {
+						sbs[i].Space = n
+					}
+				}
+			}
+		}
+		for _, sb := range sbs {
+			to, ok := r.relocMap[sb.Start]
+			if !ok {
+				return nil, fmt.Errorf("core: CFL block %#x in %s has no relocated address", sb.Start, f.Name)
+			}
+			scratch := lv.DeadAt(sb.Block.Start)
+			tr, ok := directOrLong(b, sb, to, scratch)
+			if !ok {
+				deferred = append(deferred, hopJob{sb: sb, to: to, scratch: scratch})
+				continue
+			}
+			if err := installTrampoline(nb, text, tr, pool, sb, &stats); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Second pass: multi-hop through accumulated scratch space, then
+	// trap as the last resort.
+	for _, job := range deferred {
+		tr, hop, ok := multiHop(b, job.sb, job.to, job.scratch, pool)
+		if ok {
+			tr.Class = arch.TrampMulti
+			if err := installTrampoline(nb, text, tr, pool, job.sb, &stats); err != nil {
+				return nil, err
+			}
+			if err := writeTrampoline(nb, hop); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		trap := arch.NewTrapTrampoline(b.Arch, job.sb.Start, job.to)
+		if err := installTrampoline(nb, text, trap, pool, job.sb, &stats); err != nil {
+			return nil, err
+		}
+		trapPairs = append(trapPairs, bin.AddrPair{From: trap.From, To: trap.To})
+	}
+	var trapSites []uint64
+	for _, tp := range trapPairs {
+		trapSites = append(trapSites, tp.From)
+	}
+
+	// Function pointer rewriting (data slots and relocations).
+	for _, site := range ptrSites {
+		newVal, ok := r.relocMap[site.Value]
+		if !ok {
+			continue // target not relocated; pointer stays valid
+		}
+		switch site.Kind {
+		case analysis.PtrReloc:
+			for i := range nb.Relocs {
+				if nb.Relocs[i].Off == site.Slot && nb.Relocs[i].Kind == bin.RelocRelative {
+					nb.Relocs[i].Addend = int64(newVal)
+				}
+			}
+			if err := writeU64(nb, site.Slot, newVal); err != nil {
+				return nil, err
+			}
+			stats.RewrittenPtrs++
+		case analysis.PtrDataCell:
+			if err := writeU64(nb, site.Slot, newVal); err != nil {
+				return nil, err
+			}
+			stats.RewrittenPtrs++
+		case analysis.PtrCodeImm:
+			stats.RewrittenPtrs++ // patched during relocation
+		}
+	}
+
+	// New sections.
+	if r.nextCell > counterBase {
+		if _, err := nb.AddSection(&bin.Section{
+			Name: ".icfg.counters", Addr: counterBase,
+			Data:  make([]byte, r.nextCell-counterBase),
+			Flags: bin.FlagAlloc | bin.FlagWrite, Align: 8,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if len(cloneData) > 0 {
+		if _, err := nb.AddSection(&bin.Section{
+			Name: bin.SecJTClone, Addr: cloneBase, Data: cloneData,
+			Flags: bin.FlagAlloc, Align: 8,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := nb.AddSection(&bin.Section{
+		Name: bin.SecInstr, Addr: instrBase, Data: instrData,
+		Flags: bin.FlagAlloc | bin.FlagExec, Align: instrAlign,
+	}); err != nil {
+		return nil, err
+	}
+	after := alignUp(instrBase+uint64(len(instrData)), sectionGap) + sectionGap
+	if _, err := nb.AddSection(&bin.Section{
+		Name: bin.SecTrampMap, Addr: after, Data: bin.EncodeAddrMap(trapPairs),
+		Flags: bin.FlagAlloc, Align: 8,
+	}); err != nil {
+		return nil, err
+	}
+	after = alignUp(after+uint64(len(trapPairs)*16+8), sectionGap) + sectionGap
+
+	// Return-address map for binaries whose language runtime unwinds
+	// the stack (Section 6).
+	if (b.UsesExceptions() || b.GoRuntime()) && !opts.NoRAMap {
+		if _, err := nb.AddSection(&bin.Section{
+			Name: bin.SecRAMap, Addr: after, Data: bin.EncodeAddrMap(r.raPairs),
+			Flags: bin.FlagAlloc, Align: 8,
+		}); err != nil {
+			return nil, err
+		}
+		stats.RAMapEntries = len(r.raPairs)
+		if b.UsesExceptions() {
+			nb.Meta[rtlib.MetaWrapUnwind] = "1"
+		}
+		if b.GoRuntime() {
+			// Section 6.2: the Go path instruments runtime.findfunc and
+			// runtime.pcvalue; they must exist.
+			if _, ok := b.SymbolByName("runtime.findfunc"); !ok {
+				return nil, fmt.Errorf("core: go binary lacks runtime.findfunc symbol")
+			}
+			if _, ok := b.SymbolByName("runtime.pcvalue"); !ok {
+				return nil, fmt.Errorf("core: go binary lacks runtime.pcvalue symbol")
+			}
+			nb.Meta[rtlib.MetaGoPatch] = "1"
+		}
+	}
+
+	stats.NewLoadedSize = nb.LoadedSize()
+	if err := nb.Validate(); err != nil {
+		return nil, fmt.Errorf("core: rewritten binary invalid: %w", err)
+	}
+	res := &Result{Binary: nb, Stats: stats, RelocMap: r.relocMap, TrapSites: trapSites}
+	if opts.Request.Payload == instrument.PayloadCounter {
+		res.CounterCells = r.counterCells
+	}
+	return res, nil
+}
+
+// directOrLong tries the in-place trampoline forms: a single direct
+// branch, then the long sequence, within the superblock's space.
+func directOrLong(b *bin.Binary, sb superblock, to uint64, scratch arch.Reg) (arch.Trampoline, bool) {
+	a := b.Arch
+	if a == arch.X64 {
+		if sb.Space >= arch.LongTrampolineLen(a) {
+			if tr, ok := arch.NewLongTrampoline(a, sb.Start, to, scratch, 0); ok {
+				return tr, true
+			}
+		}
+		return arch.Trampoline{}, false
+	}
+	if sb.Space >= arch.ShortTrampolineLen(a) {
+		if tr, ok := arch.NewShortTrampoline(a, sb.Start, to); ok {
+			return tr, true
+		}
+	}
+	if tr, ok := arch.NewLongTrampoline(a, sb.Start, to, scratch, b.TOCValue); ok && sb.Space >= tr.Len {
+		return tr, true
+	}
+	return arch.Trampoline{}, false
+}
+
+// multiHop places a short trampoline in the block and a long one in
+// scratch space within the short form's range (Section 7's
+// multi-trampoline design).
+func multiHop(b *bin.Binary, sb superblock, to uint64, scratch arch.Reg, pool *scratchPool) (arch.Trampoline, arch.Trampoline, bool) {
+	a := b.Arch
+	if sb.Space < arch.ShortTrampolineLen(a) {
+		return arch.Trampoline{}, arch.Trampoline{}, false
+	}
+	hopLen := arch.LongTrampolineLen(a)
+	if a == arch.PPC && scratch == arch.NoReg {
+		hopLen = arch.LongSpillTrampolineLen(a)
+	}
+	if a == arch.A64 && scratch == arch.NoReg {
+		return arch.Trampoline{}, arch.Trampoline{}, false // paper: fall back to trap
+	}
+	rng := arch.ShortBranchRange(a)
+	hopAddr, ok := pool.alloc(hopLen, sb.Start, rng, rng)
+	if !ok {
+		return arch.Trampoline{}, arch.Trampoline{}, false
+	}
+	short, ok := arch.NewShortTrampoline(a, sb.Start, hopAddr)
+	if !ok {
+		return arch.Trampoline{}, arch.Trampoline{}, false
+	}
+	long, ok := arch.NewLongTrampoline(a, hopAddr, to, scratch, b.TOCValue)
+	if !ok || long.Len > hopLen {
+		return arch.Trampoline{}, arch.Trampoline{}, false
+	}
+	return short, long, true
+}
+
+// installTrampoline writes the trampoline into the text section and
+// donates the superblock's remaining space to the scratch pool.
+func installTrampoline(nb *bin.Binary, text *bin.Section, tr arch.Trampoline, pool *scratchPool, sb superblock, stats *Stats) error {
+	if err := writeTrampoline(nb, tr); err != nil {
+		return err
+	}
+	stats.Trampolines[tr.Class]++
+	leftover := sb.Start + uint64(tr.Len)
+	end := sb.Start + uint64(sb.Space)
+	if end > leftover {
+		pool.add(leftover, end)
+	}
+	_ = text
+	return nil
+}
+
+// writeTrampoline encodes and stores a trampoline's bytes.
+func writeTrampoline(nb *bin.Binary, tr arch.Trampoline) error {
+	bs, err := tr.Encode(nb.Arch)
+	if err != nil {
+		return err
+	}
+	return nb.WriteAt(tr.From, bs)
+}
+
+// fillTextIllegal overwrites an instrumented function's code bytes with
+// illegal instructions, sparing embedded data ranges — the paper's
+// strong verification: any control flow escaping the trampolines faults
+// immediately.
+func fillTextIllegal(a arch.Arch, text *bin.Section, f *cfg.Func) {
+	inData := func(addr uint64) bool {
+		for _, dr := range f.DataRanges {
+			if addr >= dr[0] && addr < dr[1] {
+				return true
+			}
+		}
+		return false
+	}
+	for addr := f.Entry; addr < f.End; addr++ {
+		if !inData(addr) && text.Contains(addr) {
+			text.Data[addr-text.Addr] = 0xFF
+		}
+	}
+}
+
+// writeU64 stores a 64-bit value at a mapped address.
+func writeU64(nb *bin.Binary, addr, v uint64) error {
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = byte(v >> (8 * i))
+	}
+	return nb.WriteAt(addr, buf[:])
+}

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/emu"
+	"icfgpatch/internal/instrument"
+	"icfgpatch/internal/rtlib"
+	"icfgpatch/internal/workload"
+)
+
+// TestDifferentialRandomPrograms is the heavyweight differential test:
+// seeded random programs across every architecture, PIE setting and
+// rewriting mode must behave byte-identically to their originals under
+// the strong verification fill. This is the paper's correctness test
+// run across a program family instead of one suite.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential stress skipped in -short mode")
+	}
+	seeds := []int64{11, 23, 37, 51, 73, 88, 104, 131}
+	for _, a := range arch.All() {
+		for _, pie := range []bool{false, true} {
+			for _, seed := range seeds {
+				name := fmt.Sprintf("%s/pie=%v/seed=%d", a, pie, seed)
+				t.Run(name, func(t *testing.T) {
+					prof := workload.Profile{
+						Name: name, Seed: seed, Lang: "c++",
+						Funcs: 24, SwitchFrac: 0.4, SpillFrac: 0.2,
+						TinyFrac: 0.15, TailCallFrac: 0.1, DispatcherFrac: 0.1,
+						Exceptions: true, StackCalls: true, Iters: 12,
+					}
+					p, err := workload.Generate(a, pie, prof)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := runOriginal(t, p.Binary, nil)
+					for _, mode := range []Mode{ModeDir, ModeJT, ModeFuncPtr} {
+						got, res := rewriteAndRun(t, p.Binary, Options{
+							Mode:    mode,
+							Request: instrument.Request{Where: instrument.BlockEntry, Payload: instrument.PayloadEmpty},
+							Verify:  true,
+						})
+						if string(got.Output) != string(want.Output) {
+							t.Errorf("%s: output diverged", mode)
+						}
+						if res.Stats.Coverage() == 0 {
+							t.Errorf("%s: nothing instrumented", mode)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDifferentialCounterIntegrityRandom extends the differential test
+// with counters: for random programs, every block counter must match
+// the ground-truth profile.
+func TestDifferentialCounterIntegrityRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	for _, a := range arch.All() {
+		t.Run(a.String(), func(t *testing.T) {
+			p, err := workload.Generate(a, true, workload.Profile{
+				Name: "ctr", Seed: 99, Lang: "c",
+				Funcs: 20, SwitchFrac: 0.5, SpillFrac: 0.3,
+				TinyFrac: 0.2, Iters: 10, StackCalls: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Rewrite(p.Binary, Options{
+				Mode:    ModeJT,
+				Request: instrument.Request{Where: instrument.BlockEntry, Payload: instrument.PayloadCounter},
+				Verify:  true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var points []uint64
+			for pt := range res.CounterCells {
+				points = append(points, pt)
+			}
+			want := runOriginal(t, p.Binary, points)
+			lib, err := rtlib.Preload(res.Binary)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := emu.Load(res.Binary, emu.Options{Runtime: lib})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			mism := 0
+			for pt, cell := range res.CounterCells {
+				cnt, err := m.MemRead(cell, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cnt != want.Profile[pt] {
+					mism++
+					if mism < 5 {
+						t.Errorf("block %#x: counter %d, truth %d", pt, cnt, want.Profile[pt])
+					}
+				}
+			}
+			if mism > 0 {
+				t.Errorf("%d counters mismatched of %d", mism, len(points))
+			}
+		})
+	}
+}
+
+// TestLoadBaseIndependence runs a rewritten PIE image at several load
+// bases: position independence of trampolines, cloned tables, counter
+// snippets and the RA map must hold at any base.
+func TestLoadBaseIndependence(t *testing.T) {
+	for _, a := range arch.All() {
+		t.Run(a.String(), func(t *testing.T) {
+			p, err := workload.Generate(a, true, workload.Profile{
+				Name: "base", Seed: 7, Lang: "c++",
+				Funcs: 16, SwitchFrac: 0.4, Exceptions: true, Iters: 8,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Rewrite(p.Binary, Options{
+				Mode:    ModeFuncPtr,
+				Request: instrument.Request{Where: instrument.BlockEntry, Payload: instrument.PayloadCounter},
+				Verify:  true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lib, err := rtlib.Preload(res.Binary)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var first []byte
+			for i, base := range []uint64{emu.DefaultPIEBase, 0x7000_0000, 0x12_3456_7000, 0x60_0000_0000} {
+				m0, err := emu.Load(p.Binary, emu.Options{LoadBase: base})
+				if err != nil {
+					t.Fatal(err)
+				}
+				orig, err := m0.Run()
+				if err != nil {
+					t.Fatalf("original at base %#x: %v", base, err)
+				}
+				m, err := emu.Load(res.Binary, emu.Options{Runtime: lib, LoadBase: base})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := m.Run()
+				if err != nil {
+					t.Fatalf("rewritten at base %#x: %v", base, err)
+				}
+				if string(got.Output) != string(orig.Output) {
+					t.Errorf("base %#x: output diverged", base)
+				}
+				if i == 0 {
+					first = got.Output
+				} else if string(got.Output) != string(first) {
+					t.Errorf("base %#x: output differs across bases", base)
+				}
+			}
+		})
+	}
+}
+
+// TestRewriteIdempotentInput verifies the input binary is untouched by
+// rewriting (the API contract).
+func TestRewriteIdempotentInput(t *testing.T) {
+	img, _, err := richProgram(arch.X64, true).Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := img.Marshal()
+	if _, err := Rewrite(img, Options{
+		Mode:    ModeFuncPtr,
+		Request: instrument.Request{Where: instrument.BlockEntry, Payload: instrument.PayloadCounter},
+		Verify:  true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if string(img.Marshal()) != string(before) {
+		t.Error("Rewrite mutated its input binary")
+	}
+}
+
+// TestRewriteDeterministic verifies identical inputs produce identical
+// outputs.
+func TestRewriteDeterministic(t *testing.T) {
+	img, _, err := richProgram(arch.A64, false).Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		Mode:    ModeJT,
+		Request: instrument.Request{Where: instrument.BlockEntry, Payload: instrument.PayloadCounter},
+		Verify:  true,
+	}
+	r1, err := Rewrite(img, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Rewrite(img, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r1.Binary.Marshal()) != string(r2.Binary.Marshal()) {
+		t.Error("rewriting is not deterministic")
+	}
+}
+
+// TestReorderVariantsDifferential checks the BOLT-comparison reordering
+// transformations against random programs.
+func TestReorderVariantsDifferential(t *testing.T) {
+	for _, v := range []Variant{{ReverseFuncs: true}, {ReverseBlocks: true}, {ReverseFuncs: true, ReverseBlocks: true}} {
+		for _, a := range arch.All() {
+			p, err := workload.Generate(a, false, workload.Profile{
+				Name: "reorder", Seed: 5, Lang: "c",
+				Funcs: 14, SwitchFrac: 0.5, Iters: 6,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := runOriginal(t, p.Binary, nil)
+			got, _ := rewriteAndRun(t, p.Binary, Options{
+				Mode:    ModeJT,
+				Request: instrument.Request{Where: instrument.FuncEntry, Payload: instrument.PayloadEmpty},
+				Verify:  true,
+				Variant: v,
+			})
+			if string(got.Output) != string(want.Output) {
+				t.Errorf("%s variant %+v: output diverged", a, v)
+			}
+		}
+	}
+}
+
+// TestRewriteStrippedBinary rewrites a binary whose symbol table was
+// stripped: function discovery recovers the entries and the rewrite
+// behaves identically.
+func TestRewriteStrippedBinary(t *testing.T) {
+	for _, a := range arch.All() {
+		img, _, err := richProgram(a, false).Link()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runOriginal(t, img, nil)
+		stripped := img.Clone()
+		stripped.Symbols = nil
+		got, res := rewriteAndRun(t, stripped, Options{
+			Mode:    ModeJT,
+			Request: instrument.Request{Where: instrument.BlockEntry, Payload: instrument.PayloadEmpty},
+			Verify:  true,
+		})
+		if string(got.Output) != string(want.Output) {
+			t.Errorf("%s: stripped rewrite output diverged", a)
+		}
+		if res.Stats.TotalFuncs < 5 {
+			t.Errorf("%s: only %d functions discovered", a, res.Stats.TotalFuncs)
+		}
+	}
+}
+
+// TestRewrittenBinarySurvivesSerialization writes the rewritten image to
+// the serialised format and reloads it: every section the runtime
+// library and emulator depend on (.tramp_map, .ra_map, counters,
+// metadata) must survive the round trip.
+func TestRewrittenBinarySurvivesSerialization(t *testing.T) {
+	p, err := workload.Generate(arch.PPC, true, workload.Profile{
+		Name: "serde", Seed: 3, Lang: "c++",
+		Funcs: 18, SwitchFrac: 0.4, Exceptions: true, Iters: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runOriginal(t, p.Binary, nil)
+	res, err := Rewrite(p.Binary, Options{
+		Mode:     ModeJT,
+		Request:  instrument.Request{Where: instrument.BlockEntry, Payload: instrument.PayloadCounter},
+		Verify:   true,
+		InstrGap: 40 << 20, // force trap/long trampolines into the image
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/rw.icfg"
+	if err := res.Binary.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := bin.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := rtlib.Preload(reloaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := emu.Load(reloaded, emu.Options{Runtime: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Run()
+	if err != nil {
+		t.Fatalf("reloaded run: %v", err)
+	}
+	if string(got.Output) != string(want.Output) {
+		t.Error("reloaded rewritten binary diverged")
+	}
+}
+
+// TestHotCodeICache asserts the Section 8.1 claim: although rewritten
+// binaries are much larger, jt/func-ptr modes do not blow up the
+// instruction cache, because dispatch stays inside the relocated code;
+// dir mode's text↔instr ping-pong touches more lines.
+func TestHotCodeICache(t *testing.T) {
+	p, err := workload.Generate(arch.X64, false, workload.Profile{
+		Name: "icache", Seed: 17, Lang: "c",
+		Funcs: 20, SwitchFrac: 0.8, DispatcherFrac: 0.3, Iters: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss := map[Mode]uint64{}
+	for _, mode := range []Mode{ModeDir, ModeJT} {
+		res, err := Rewrite(p.Binary, Options{
+			Mode:    mode,
+			Request: instrument.Request{Where: instrument.BlockEntry, Payload: instrument.PayloadEmpty},
+			Verify:  true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib, err := rtlib.Preload(res.Binary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := emu.Load(res.Binary, emu.Options{Runtime: lib})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		miss[mode] = out.ICMiss
+	}
+	if miss[ModeJT] > miss[ModeDir] {
+		t.Errorf("jt icache misses (%d) exceed dir's (%d): cloning should shrink hot code", miss[ModeJT], miss[ModeDir])
+	}
+}

@@ -1,0 +1,162 @@
+package dataflow
+
+import (
+	"sort"
+
+	"icfgpatch/internal/cfg"
+)
+
+// Dominators computes the immediate dominator of every reachable block
+// in the function using the classic iterative algorithm (Cooper, Harvey,
+// Kennedy). The paper's Section 4.2 notes that dominator-based
+// trampoline placement ("blocks that dominate blocks in B_inst", or
+// post-dominators of CFL blocks) could reduce trampoline counts further;
+// this analysis is the substrate such a refinement would build on, and
+// the integrity checker (package core) uses it to reason about paths.
+type Dominators struct {
+	fn    *cfg.Func
+	order []uint64          // reverse postorder of block starts
+	index map[uint64]int    // block start -> rpo index
+	idom  map[uint64]uint64 // block start -> immediate dominator start
+}
+
+// ComputeDominators analyses one function from its entry.
+func ComputeDominators(f *cfg.Func) *Dominators {
+	d := &Dominators{fn: f, index: map[uint64]int{}, idom: map[uint64]uint64{}}
+
+	// Reverse postorder over the intra-procedural CFG.
+	visited := map[uint64]bool{}
+	var post []uint64
+	var dfs func(uint64)
+	dfs = func(start uint64) {
+		if visited[start] {
+			return
+		}
+		visited[start] = true
+		blk, ok := f.BlockAt(start)
+		if !ok {
+			return
+		}
+		for _, e := range blk.Succs {
+			dfs(e.To)
+		}
+		post = append(post, start)
+	}
+	dfs(f.Entry)
+	for i := len(post) - 1; i >= 0; i-- {
+		d.index[post[i]] = len(d.order)
+		d.order = append(d.order, post[i])
+	}
+	if len(d.order) == 0 {
+		return d
+	}
+
+	d.idom[f.Entry] = f.Entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range d.order {
+			if b == f.Entry {
+				continue
+			}
+			blk, _ := f.BlockAt(b)
+			var newIdom uint64
+			have := false
+			for _, p := range blk.Preds {
+				if _, processed := d.idom[p]; !processed {
+					continue
+				}
+				if !have {
+					newIdom = p
+					have = true
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if !have {
+				continue // unreachable predecessor-wise
+			}
+			if d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+// intersect walks two dominator chains to their common ancestor.
+func (d *Dominators) intersect(a, b uint64) uint64 {
+	for a != b {
+		ai, bi := d.index[a], d.index[b]
+		for ai > bi {
+			a = d.idom[a]
+			ai = d.index[a]
+		}
+		for bi > ai {
+			b = d.idom[b]
+			bi = d.index[b]
+		}
+	}
+	return a
+}
+
+// IDom returns the immediate dominator of the block starting at b; the
+// entry returns itself. The second result is false for unreachable
+// blocks.
+func (d *Dominators) IDom(b uint64) (uint64, bool) {
+	v, ok := d.idom[b]
+	return v, ok
+}
+
+// Dominates reports whether block a dominates block b (every path from
+// the entry to b passes through a). A block dominates itself.
+func (d *Dominators) Dominates(a, b uint64) bool {
+	cur, ok := d.idom[b]
+	if !ok {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	for {
+		if cur == a {
+			return true
+		}
+		next, ok := d.idom[cur]
+		if !ok || next == cur {
+			return false
+		}
+		cur = next
+	}
+}
+
+// Reachable returns the set of block starts reachable from b.
+func (d *Dominators) Reachable(b uint64) map[uint64]bool {
+	out := map[uint64]bool{}
+	var walk func(uint64)
+	walk = func(s uint64) {
+		if out[s] {
+			return
+		}
+		out[s] = true
+		blk, ok := d.fn.BlockAt(s)
+		if !ok {
+			return
+		}
+		for _, e := range blk.Succs {
+			walk(e.To)
+		}
+	}
+	walk(b)
+	return out
+}
+
+// ReachableBlocks returns the sorted reachable block starts from the
+// function entry.
+func (d *Dominators) ReachableBlocks() []uint64 {
+	out := make([]uint64, len(d.order))
+	copy(out, d.order)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

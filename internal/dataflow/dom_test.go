@@ -1,0 +1,131 @@
+package dataflow
+
+import (
+	"testing"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/asm"
+	"icfgpatch/internal/cfg"
+)
+
+// diamond builds entry -> {then, else} -> join -> exit and returns the
+// function plus the label addresses via debug info.
+func diamond(t *testing.T) (*cfg.Func, map[string]uint64) {
+	t.Helper()
+	b := asm.New(arch.X64, false)
+	f := b.Func("main")
+	els := f.NewLabel()
+	join := f.NewLabel()
+	f.Li(arch.R3, 5)
+	f.BranchCondTo(arch.EQ, arch.R3, els)
+	f.OpI(arch.Add, arch.R3, arch.R3, 1) // then
+	f.BranchTo(join)
+	f.Bind(els)
+	f.OpI(arch.Sub, arch.R3, arch.R3, 1) // else
+	f.Bind(join)
+	f.Print(arch.R3)
+	f.Halt()
+	b.SetEntry("main")
+	img, _, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := g.FuncByName("main")
+	if len(fn.Blocks) < 4 {
+		t.Fatalf("diamond has %d blocks", len(fn.Blocks))
+	}
+	marks := map[string]uint64{"entry": fn.Entry}
+	// Identify blocks structurally: entry's two successors, their join.
+	entry, _ := fn.BlockAt(fn.Entry)
+	var thenB, elseB uint64
+	for _, e := range entry.Succs {
+		if e.Kind == cfg.EdgeCond {
+			elseB = e.To
+		} else {
+			thenB = e.To
+		}
+	}
+	marks["then"] = thenB
+	marks["else"] = elseB
+	tb, _ := fn.BlockAt(thenB)
+	marks["join"] = tb.Succs[0].To
+	return fn, marks
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	fn, m := diamond(t)
+	d := ComputeDominators(fn)
+	if !d.Dominates(m["entry"], m["then"]) || !d.Dominates(m["entry"], m["else"]) || !d.Dominates(m["entry"], m["join"]) {
+		t.Error("entry must dominate everything")
+	}
+	if d.Dominates(m["then"], m["join"]) || d.Dominates(m["else"], m["join"]) {
+		t.Error("neither branch arm dominates the join")
+	}
+	if id, ok := d.IDom(m["join"]); !ok || id != m["entry"] {
+		t.Errorf("idom(join) = %#x, want entry %#x", id, m["entry"])
+	}
+	if !d.Dominates(m["join"], m["join"]) {
+		t.Error("a block dominates itself")
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	b := asm.New(arch.A64, false)
+	f := b.Func("main")
+	f.Li(arch.R4, 3)
+	top := f.Here()
+	f.OpI(arch.Sub, arch.R4, arch.R4, 1)
+	f.BranchCondTo(arch.NE, arch.R4, top)
+	f.Halt()
+	b.SetEntry("main")
+	img, _, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := cfg.Build(img, nil)
+	fn, _ := g.FuncByName("main")
+	d := ComputeDominators(fn)
+	for _, blk := range fn.Blocks {
+		if !d.Dominates(fn.Entry, blk.Start) {
+			t.Errorf("entry does not dominate %#x", blk.Start)
+		}
+	}
+	reach := d.Reachable(fn.Entry)
+	if len(reach) != len(fn.Blocks) {
+		t.Errorf("%d reachable of %d blocks", len(reach), len(fn.Blocks))
+	}
+}
+
+func TestDominatorsUnreachableBlock(t *testing.T) {
+	// Code after an unconditional branch that nothing targets is
+	// unreachable; dominators must not claim it.
+	b := asm.New(arch.X64, false)
+	f := b.Func("main")
+	done := f.NewLabel()
+	f.BranchTo(done)
+	f.OpI(arch.Add, arch.R3, arch.R3, 1) // dead
+	f.Bind(done)
+	f.Halt()
+	b.SetEntry("main")
+	img, _, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := cfg.Build(img, nil)
+	fn, _ := g.FuncByName("main")
+	d := ComputeDominators(fn)
+	dead := false
+	for _, blk := range fn.Blocks {
+		if _, ok := d.IDom(blk.Start); !ok {
+			dead = true
+		}
+	}
+	_ = dead // dead code may not even be traversed into a block
+	if got := d.ReachableBlocks(); len(got) == 0 {
+		t.Error("no reachable blocks")
+	}
+}

@@ -1,0 +1,135 @@
+// Package dataflow provides the register liveness analysis used to find
+// scratch registers for long trampolines (Section 7) and the backward
+// slicing / symbolic evaluation machinery that jump-table analysis
+// (Section 5.1) is built on.
+package dataflow
+
+import (
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/cfg"
+)
+
+// abiLiveAtExit is the conservative register set live when control
+// leaves a function: the return value, the stack pointer, the link
+// register, and the TOC base.
+func abiLiveAtExit() arch.RegSet {
+	var s arch.RegSet
+	return s.Add(arch.R0).Add(arch.SP).Add(arch.LR).Add(arch.TOCReg)
+}
+
+// abiCallUses is the set a call site is assumed to read: argument
+// registers plus stack and TOC.
+func abiCallUses() arch.RegSet {
+	var s arch.RegSet
+	return s.Add(arch.R1).Add(arch.R2).Add(arch.R3).Add(arch.R4).Add(arch.R5).Add(arch.SP)
+}
+
+// Liveness computes per-block live-in register sets with a standard
+// backward fixpoint. The analysis is deliberately conservative at
+// unresolved indirect jumps (everything is live — the unknown target
+// could read any register), which is what pushes the rewriter toward
+// spill trampolines or traps exactly where binary analysis ran out of
+// precision.
+type Liveness struct {
+	liveIn  map[uint64]arch.RegSet
+	liveOut map[uint64]arch.RegSet
+	fn      *cfg.Func
+	arch    arch.Arch
+}
+
+// ComputeLiveness analyses one function.
+func ComputeLiveness(a arch.Arch, f *cfg.Func) *Liveness {
+	lv := &Liveness{
+		liveIn:  map[uint64]arch.RegSet{},
+		liveOut: map[uint64]arch.RegSet{},
+		fn:      f,
+		arch:    a,
+	}
+	changed := true
+	for rounds := 0; changed && rounds < 64; rounds++ {
+		changed = false
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			blk := f.Blocks[i]
+			out := lv.exitSet(blk)
+			for _, e := range blk.Succs {
+				out = out.Union(lv.liveIn[e.To])
+			}
+			in := lv.transfer(blk, out)
+			if in != lv.liveIn[blk.Start] || out != lv.liveOut[blk.Start] {
+				lv.liveIn[blk.Start] = in
+				lv.liveOut[blk.Start] = out
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// exitSet returns the registers live because of how the block leaves
+// the function (none for blocks with only intra-procedural successors).
+func (lv *Liveness) exitSet(blk *cfg.Block) arch.RegSet {
+	last := blk.Last()
+	switch last.Kind {
+	case arch.Ret, arch.Halt:
+		return abiLiveAtExit()
+	case arch.Throw:
+		var s arch.RegSet
+		return s.Add(arch.R1).Add(arch.SP)
+	case arch.Branch:
+		// Direct tail call out of the function.
+		if t, _ := last.Target(); !lv.fn.Contains(t) {
+			return abiLiveAtExit().Union(abiCallUses())
+		}
+	case arch.JumpInd:
+		if len(blk.Succs) == 0 {
+			// Unresolved indirect jump or indirect tail call: assume
+			// everything is live.
+			return arch.AllGP().Add(arch.LR).Add(arch.TOCReg).Add(arch.SP)
+		}
+	}
+	return 0
+}
+
+// transfer applies the block's instructions backward.
+func (lv *Liveness) transfer(blk *cfg.Block, out arch.RegSet) arch.RegSet {
+	live := out
+	for i := len(blk.Instrs) - 1; i >= 0; i-- {
+		ins := blk.Instrs[i]
+		live = live.Minus(ins.Defs(lv.arch)).Union(ins.Uses(lv.arch))
+		if ins.IsCall() {
+			live = live.Union(abiCallUses())
+		}
+	}
+	return live
+}
+
+// LiveIn returns the registers live at the block's entry — the set a
+// trampoline installed at the block must preserve.
+func (lv *Liveness) LiveIn(blockStart uint64) arch.RegSet {
+	s, ok := lv.liveIn[blockStart]
+	if !ok {
+		// Unknown block: assume everything is live.
+		return arch.AllGP().Add(arch.LR).Add(arch.TOCReg).Add(arch.SP)
+	}
+	return s
+}
+
+// DeadAt returns a general-purpose scratch register dead at the block's
+// entry, or NoReg when liveness finds none (PPC then spills; A64 falls
+// back to a trap, Section 7).
+func (lv *Liveness) DeadAt(blockStart uint64) arch.Reg {
+	live := lv.LiveIn(blockStart)
+	// Prefer high caller-saved registers, skipping conventional argument
+	// registers to keep the choice away from hot values.
+	for r := arch.R14; r >= arch.R6; r-- {
+		if !live.Has(r) {
+			return r
+		}
+	}
+	for r := arch.R5; r >= arch.R3; r-- {
+		if !live.Has(r) {
+			return r
+		}
+	}
+	return arch.NoReg
+}

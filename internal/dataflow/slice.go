@@ -1,0 +1,281 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/cfg"
+)
+
+// ExprKind classifies symbolic expressions produced by backward slicing.
+type ExprKind uint8
+
+// Expression kinds.
+const (
+	// EConst is a known constant (folded PC-relative address formation,
+	// immediates, the TOC value).
+	EConst ExprKind = iota
+	// ETableLoad is a scaled indexed load from a constant base — the
+	// jump-table read.
+	ETableLoad
+	// EAdd is the sum of two sub-expressions.
+	EAdd
+	// EShl is a left shift by a constant.
+	EShl
+	// EUnknown is anything the slice cannot track: values loaded from
+	// writable memory, call results, merged control flow, spilled and
+	// reloaded values. Unknowns are where Section 5.1's analysis
+	// failures come from.
+	EUnknown
+)
+
+// Expr is a symbolic expression over the value held in a register.
+type Expr struct {
+	Kind ExprKind
+	// Const is the value for EConst and the shift amount for EShl.
+	Const uint64
+	// A and B are sub-expressions (EAdd uses both, EShl uses A).
+	A *Expr
+	B *Expr
+	// ETableLoad fields.
+	Base     *Expr // base address expression (must be EConst to resolve)
+	IdxReg   arch.Reg
+	Size     uint8
+	Scale    uint8
+	Signed   bool
+	LoadAddr uint64
+	// FromStack marks unknowns that came from a stack reload, the
+	// "values spilled to and reloaded from memory" failure cause.
+	FromStack bool
+}
+
+// String renders the expression for diagnostics.
+func (e *Expr) String() string {
+	switch e.Kind {
+	case EConst:
+		return fmt.Sprintf("%#x", e.Const)
+	case ETableLoad:
+		return fmt.Sprintf("load%d[%s + %s*%d]", e.Size, e.Base, e.IdxReg, e.Scale)
+	case EAdd:
+		return fmt.Sprintf("(%s + %s)", e.A, e.B)
+	case EShl:
+		return fmt.Sprintf("(%s << %d)", e.A, e.Const)
+	case EUnknown:
+		if e.FromStack {
+			return "unknown(stack)"
+		}
+		return "unknown"
+	default:
+		return "expr?"
+	}
+}
+
+func constExpr(v uint64) *Expr { return &Expr{Kind: EConst, Const: v} }
+
+func unknown(stack bool) *Expr { return &Expr{Kind: EUnknown, FromStack: stack} }
+
+// addExprs folds constants.
+func addExprs(a, b *Expr) *Expr {
+	if a.Kind == EConst && b.Kind == EConst {
+		return constExpr(a.Const + b.Const)
+	}
+	return &Expr{Kind: EAdd, A: a, B: b}
+}
+
+// Slicer performs backward slices within one function.
+type Slicer struct {
+	fn  *cfg.Func
+	a   arch.Arch
+	toc uint64 // runtime TOC value (PPC) for folding TOC-relative math
+}
+
+// NewSlicer builds a slicer; tocValue is the PPC TOC register value
+// (ignored on other architectures).
+func NewSlicer(a arch.Arch, f *cfg.Func, tocValue uint64) *Slicer {
+	return &Slicer{fn: f, a: a, toc: tocValue}
+}
+
+// cursor walks instructions backward across single-predecessor chains.
+type cursor struct {
+	blk *cfg.Block
+	idx int // next instruction index to inspect (moving down to 0)
+}
+
+// prev steps the cursor one instruction back, crossing into a unique
+// predecessor block when the current block is exhausted. It reports
+// false at function entry or control-flow merges.
+func (s *Slicer) prev(c *cursor) bool {
+	if c.idx > 0 {
+		c.idx--
+		return true
+	}
+	if len(c.blk.Preds) != 1 {
+		return false
+	}
+	pred, ok := s.fn.BlockAt(c.blk.Preds[0])
+	if !ok || len(pred.Instrs) == 0 {
+		return false
+	}
+	c.blk = pred
+	c.idx = len(pred.Instrs) - 1
+	return true
+}
+
+// SliceValue computes a symbolic expression for the value of reg as
+// observed by the instruction at fromAddr (exclusive — the definition is
+// searched strictly before it). The slice spans at most maxSteps
+// instructions across single-predecessor chains.
+func (s *Slicer) SliceValue(fromAddr uint64, reg arch.Reg, maxSteps int) *Expr {
+	blk, ok := s.fn.BlockContaining(fromAddr)
+	if !ok {
+		return unknown(false)
+	}
+	idx := -1
+	for i, ins := range blk.Instrs {
+		if ins.Addr == fromAddr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return unknown(false)
+	}
+	return s.slice(cursor{blk: blk, idx: idx}, reg, maxSteps)
+}
+
+func (s *Slicer) slice(c cursor, reg arch.Reg, budget int) *Expr {
+	for budget > 0 {
+		budget--
+		if !s.prev(&c) {
+			// Reached the function entry (or a merge) without a
+			// definition: the TOC register is an ABI constant, anything
+			// else is unknown.
+			if s.a == arch.PPC && reg == arch.TOCReg {
+				return constExpr(s.toc)
+			}
+			return unknown(false)
+		}
+		ins := c.blk.Instrs[c.idx]
+		if !ins.Defs(s.a).Has(reg) {
+			continue
+		}
+		switch ins.Kind {
+		case arch.MovImm:
+			return constExpr(uint64(ins.Imm))
+		case arch.MovImm16:
+			return constExpr(uint64(ins.Imm) << (16 * ins.Shift))
+		case arch.MovK16:
+			base := s.slice(c, reg, budget)
+			if base.Kind != EConst {
+				return unknown(false)
+			}
+			mask := uint64(0xFFFF) << (16 * ins.Shift)
+			return constExpr(base.Const&^mask | uint64(ins.Imm)<<(16*ins.Shift))
+		case arch.MovReg:
+			return s.slice(c, ins.Rs1, budget)
+		case arch.Lea:
+			return constExpr(ins.Addr + uint64(ins.Imm))
+		case arch.LeaHi:
+			return constExpr((ins.Addr &^ 0xFFF) + uint64(ins.Imm))
+		case arch.AddIS:
+			return addExprs(s.slice(c, ins.Rs1, budget), constExpr(uint64(ins.Imm<<16)))
+		case arch.AddImm16:
+			return addExprs(s.slice(c, ins.Rs1, budget), constExpr(uint64(ins.Imm)))
+		case arch.ALUImm:
+			base := s.slice(c, ins.Rs1, budget)
+			switch ins.Op {
+			case arch.Add:
+				return addExprs(base, constExpr(uint64(ins.Imm)))
+			case arch.Sub:
+				return addExprs(base, constExpr(uint64(-ins.Imm)))
+			case arch.Shl:
+				if base.Kind == EConst {
+					return constExpr(base.Const << uint(ins.Imm))
+				}
+				return &Expr{Kind: EShl, A: base, Const: uint64(ins.Imm)}
+			default:
+				return unknown(false)
+			}
+		case arch.ALU:
+			if ins.Op == arch.Add {
+				return addExprs(s.slice(c, ins.Rs1, budget), s.slice(c, ins.Rs2, budget))
+			}
+			return unknown(false)
+		case arch.LoadIdx:
+			return &Expr{
+				Kind:     ETableLoad,
+				Base:     s.slice(c, ins.Rs1, budget),
+				IdxReg:   ins.Rs2,
+				Size:     ins.Size,
+				Scale:    ins.Scale,
+				Signed:   ins.Signed,
+				LoadAddr: ins.Addr,
+			}
+		case arch.Load:
+			// Loads from writable memory are opaque to a sound static
+			// analysis — including stack reloads of spilled values.
+			return unknown(ins.Rs1 == arch.SP)
+		case arch.LoadPC:
+			return unknown(false)
+		default:
+			return unknown(false)
+		}
+	}
+	return unknown(false)
+}
+
+// FindBoundsCheck scans backward from the table-read instruction for the
+// canonical bounds-check idiom on idxReg:
+//
+//	sub t, idx, N
+//	b.ge t, default
+//
+// It returns N when found. When the index was spilled and reloaded, the
+// register at the table read differs from the compared one and the scan
+// fails — the paper's Failure 2 trigger, answered by Assumption-2 bound
+// extension rather than under-approximation.
+func (s *Slicer) FindBoundsCheck(loadAddr uint64, idxReg arch.Reg, maxSteps int) (int, bool) {
+	blk, ok := s.fn.BlockContaining(loadAddr)
+	if !ok {
+		return 0, false
+	}
+	idx := -1
+	for i, ins := range blk.Instrs {
+		if ins.Addr == loadAddr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0, false
+	}
+	c := cursor{blk: blk, idx: idx}
+	var cmpReg arch.Reg = arch.NoReg
+	for step := 0; step < maxSteps; step++ {
+		if !s.prev(&c) {
+			return 0, false
+		}
+		ins := c.blk.Instrs[c.idx]
+		if cmpReg == arch.NoReg {
+			// Phase 1: find the guarding conditional branch.
+			if ins.Kind == arch.BranchCond && ins.Cond == arch.GE {
+				cmpReg = ins.Rs1
+			} else if ins.Defs(s.a).Has(idxReg) {
+				// The index is redefined before any guard: give up.
+				return 0, false
+			}
+			continue
+		}
+		// Phase 2: find the compare feeding the guard.
+		if ins.Kind == arch.ALUImm && ins.Op == arch.Sub && ins.Rd == cmpReg {
+			if ins.Rs1 != idxReg {
+				return 0, false // guard tests a different register (spill)
+			}
+			return int(ins.Imm), true
+		}
+		if ins.Defs(s.a).Has(cmpReg) || ins.Defs(s.a).Has(idxReg) {
+			return 0, false
+		}
+	}
+	return 0, false
+}

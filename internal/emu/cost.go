@@ -1,0 +1,118 @@
+package emu
+
+import "icfgpatch/internal/arch"
+
+// Costs is the cycle cost model. Overheads in the paper's tables come
+// from exactly these sources on real hardware: extra trampoline
+// branches, instruction cache pollution from text↔instr ping-pong, call
+// emulation work, trap-signal delivery, and per-frame unwind work.
+type Costs struct {
+	// Base is charged for every instruction.
+	Base uint64
+	// Mem is the additional cost of loads and stores.
+	Mem uint64
+	// Mul and Div are the additional costs of those ALU operations.
+	Mul uint64
+	Div uint64
+	// TakenBranch is charged when control flow actually transfers.
+	TakenBranch uint64
+	// CallRet is the additional cost of calls and returns.
+	CallRet uint64
+	// Trap is the cost of delivering a trap signal to the runtime
+	// library's handler and resuming — the reason trap trampolines are a
+	// last resort (Section 2.2).
+	Trap uint64
+	// UnwindFrame is the cost of one call-frame unwind step (DWARF
+	// recipe lookup plus register-state update); the paper's argument
+	// that one RA translation per frame is negligible rests on this
+	// being large.
+	UnwindFrame uint64
+	// UnwindFrameFast is the per-frame cost of the frdwarf-style
+	// compiled unwinder (about 10x cheaper than DWARF interpretation).
+	UnwindFrameFast uint64
+	// RATranslate is the cost of one return-address translation lookup.
+	RATranslate uint64
+	// ThrowSetup is the fixed cost of raising an exception.
+	ThrowSetup uint64
+	// Syscall is the cost of an emulator service call.
+	Syscall uint64
+	// ICacheMiss is charged per instruction-cache line miss.
+	ICacheMiss uint64
+}
+
+// DefaultCosts returns the cost model used by all experiments.
+func DefaultCosts() Costs {
+	return Costs{
+		Base:        1,
+		Mem:         2,
+		Mul:         2,
+		Div:         19,
+		TakenBranch: 1,
+		CallRet:     2,
+		// Trap-signal delivery round trip (kernel entry, handler lookup,
+		// context restore) is microseconds — thousands of cycles.
+		Trap:            3000,
+		UnwindFrame:     150,
+		UnwindFrameFast: 15,
+		RATranslate:     4,
+		ThrowSetup:      60,
+		Syscall:         12,
+		ICacheMiss:      20,
+	}
+}
+
+// instrCost returns the non-branch portion of an instruction's cost.
+func (c *Costs) instrCost(i arch.Instr) uint64 {
+	cost := c.Base
+	switch i.Kind {
+	case arch.Load, arch.Store, arch.LoadIdx, arch.LoadPC, arch.CallIndMem:
+		cost += c.Mem
+	case arch.ALU, arch.ALUImm:
+		switch i.Op {
+		case arch.Mul:
+			cost += c.Mul
+		case arch.Div:
+			cost += c.Div
+		}
+	case arch.Syscall:
+		cost += c.Syscall
+	}
+	return cost
+}
+
+// ICache models a small set-associative instruction cache. The rewritten
+// binary's ping-pong between .text trampolines and .instr code touches
+// twice the lines, which is the icache pollution Section 3 describes.
+type ICache struct {
+	sets [icacheSets][icacheWays]uint64
+	// Misses counts line misses since creation.
+	Misses uint64
+	// Accesses counts line lookups.
+	Accesses uint64
+}
+
+const (
+	icacheLineBits = 6  // 64-byte lines
+	icacheSets     = 64 // 64 sets × 8 ways × 64B = 32KB
+	icacheWays     = 8
+)
+
+// Access looks up the line containing addr, returning true on hit and
+// updating LRU order (move-to-front within the set).
+func (c *ICache) Access(addr uint64) bool {
+	c.Accesses++
+	line := addr >> icacheLineBits
+	set := &c.sets[line%icacheSets]
+	tag := line/icacheSets + 1 // +1 so tag 0 means "empty"
+	for w := 0; w < icacheWays; w++ {
+		if set[w] == tag {
+			copy(set[1:w+1], set[:w])
+			set[0] = tag
+			return true
+		}
+	}
+	c.Misses++
+	copy(set[1:], set[:icacheWays-1])
+	set[0] = tag
+	return false
+}

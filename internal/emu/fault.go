@@ -1,0 +1,71 @@
+package emu
+
+import "fmt"
+
+// FaultKind classifies execution faults.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	// FaultIllegal is an illegal or undecodable instruction — what the
+	// verification mode's overwritten .text bytes produce when control
+	// flow escapes the trampolines.
+	FaultIllegal FaultKind = iota
+	// FaultFetch is instruction fetch from non-executable memory.
+	FaultFetch
+	// FaultTrap is a trap instruction with no registered handler target.
+	FaultTrap
+	// FaultUnwind is a stack unwinding failure: no unwind information
+	// covers a (possibly untranslated) return address.
+	FaultUnwind
+	// FaultUncaught is an exception that unwound past the outermost
+	// frame without finding a landing pad.
+	FaultUncaught
+	// FaultGoRuntime is the Go runtime aborting because a traceback PC
+	// resolved to no function (runtime.findfunc failure).
+	FaultGoRuntime
+	// FaultDiv is division by zero.
+	FaultDiv
+	// FaultRet is a return past the entry frame (to address 0).
+	FaultRet
+	// FaultBudget means the instruction budget was exhausted — a hang
+	// detector, counted as a failed run.
+	FaultBudget
+)
+
+var faultNames = [...]string{
+	FaultIllegal: "illegal instruction", FaultFetch: "fetch from non-executable memory",
+	FaultTrap: "unhandled trap", FaultUnwind: "stack unwinding failed",
+	FaultUncaught: "uncaught exception", FaultGoRuntime: "go runtime traceback failed",
+	FaultDiv: "division by zero", FaultRet: "return past entry frame",
+	FaultBudget: "instruction budget exhausted",
+}
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	if int(k) < len(faultNames) {
+		return faultNames[k]
+	}
+	return fmt.Sprintf("fault(%d)", uint8(k))
+}
+
+// Fault is an execution fault, fatal to the emulated program.
+type Fault struct {
+	Kind FaultKind
+	PC   uint64
+	Msg  string
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	if f.Msg != "" {
+		return fmt.Sprintf("emu: %s at pc %#x: %s", f.Kind, f.PC, f.Msg)
+	}
+	return fmt.Sprintf("emu: %s at pc %#x", f.Kind, f.PC)
+}
+
+// IsFault reports whether err is a Fault of the given kind.
+func IsFault(err error, kind FaultKind) bool {
+	f, ok := err.(*Fault)
+	return ok && f.Kind == kind
+}

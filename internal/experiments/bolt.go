@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/baseline"
+	"icfgpatch/internal/core"
+	"icfgpatch/internal/instrument"
+	"icfgpatch/internal/workload"
+)
+
+// BOLTResult is the Section 8.3 comparison: two code reordering
+// experiments across the SPEC-like suite on x86-64.
+type BOLTResult struct {
+	Total int
+	// Function reordering.
+	FuncBOLTPass int
+	FuncBOLTErr  string
+	FuncOursPass int
+	// Block reordering.
+	BlockBOLTPass     int
+	BlockOursPass     int
+	BlockBOLTSizeMax  float64
+	BlockBOLTSizeMean float64
+}
+
+// BOLTComparison runs both reordering experiments. The benchmarks are
+// built the default way (no -Wl,-q), which is what makes BOLT refuse
+// function reordering outright.
+func BOLTComparison() (*BOLTResult, error) {
+	suite, err := workload.SPECSuite(arch.X64, true)
+	if err != nil {
+		return nil, err
+	}
+	res := &BOLTResult{Total: len(suite)}
+	req := instrument.Request{Where: instrument.FuncEntry, Payload: instrument.PayloadEmpty}
+
+	var sizes []float64
+	for _, p := range suite {
+		orig, err := run(p.Binary, runOpts{})
+		if err != nil {
+			return nil, err
+		}
+
+		// (1) Reverse all functions.
+		if _, err := baseline.BOLTReorderFunctions(p.Binary); err != nil {
+			res.FuncBOLTErr = err.Error()
+		} else {
+			res.FuncBOLTPass++
+		}
+		ours, err := core.Rewrite(p.Binary, core.Options{
+			Mode: core.ModeJT, Request: req, Verify: true,
+			Variant: core.Variant{ReverseFuncs: true},
+		})
+		if err == nil {
+			if got, err := run(ours.Binary, runOpts{}); err == nil && sameOutput(got, orig) {
+				res.FuncOursPass++
+			}
+		}
+
+		// (2) Reverse blocks within functions.
+		if bres, err := baseline.BOLTReorderBlocks(p.Binary); err == nil {
+			if got, err := run(bres.Binary, runOpts{}); err == nil && sameOutput(got, orig) {
+				res.BlockBOLTPass++
+				sizes = append(sizes, bres.Stats.SizeIncrease())
+			}
+		}
+		oursB, err := core.Rewrite(p.Binary, core.Options{
+			Mode: core.ModeJT, Request: req, Verify: true,
+			Variant: core.Variant{ReverseBlocks: true},
+		})
+		if err == nil {
+			if got, err := run(oursB.Binary, runOpts{}); err == nil && sameOutput(got, orig) {
+				res.BlockOursPass++
+			}
+		}
+	}
+	res.BlockBOLTSizeMax, res.BlockBOLTSizeMean = aggregate(sizes)
+	return res, nil
+}
+
+// Render formats the BOLT comparison.
+func (r *BOLTResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "BOLT comparison (x86-64, %d benchmarks)\n", r.Total)
+	fmt.Fprintf(&b, "  reverse functions: BOLT %d/%d (%s); ours %d/%d\n",
+		r.FuncBOLTPass, r.Total, r.FuncBOLTErr, r.FuncOursPass, r.Total)
+	fmt.Fprintf(&b, "  reverse blocks:    BOLT %d/%d (size +%s mean, +%s max); ours %d/%d\n",
+		r.BlockBOLTPass, r.Total, pct(r.BlockBOLTSizeMean), pct(r.BlockBOLTSizeMax), r.BlockOursPass, r.Total)
+	return b.String()
+}

@@ -1,0 +1,94 @@
+// Package experiments reproduces the paper's evaluation: Table 1
+// (approach comparison), Table 2 (trampoline designs), Figure 1 (binary
+// layout), Figure 2 (failure modes), Table 3 (SPEC CPU 2017 block-level
+// empty instrumentation), the Firefox libxul.so and Docker experiments
+// (Section 8.2), the BOLT comparison (Section 8.3), and the Diogenes
+// case study (Section 9). Absolute numbers come from the deterministic
+// emulator's cycle model; the paper's qualitative shape — who wins, by
+// roughly what factor, where things fail — is asserted by the package
+// tests and recorded against the paper's numbers in EXPERIMENTS.md.
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/emu"
+	"icfgpatch/internal/rtlib"
+)
+
+// runOpts carries per-run execution parameters.
+type runOpts struct {
+	arg      uint64
+	loadBase uint64
+	maxInstr uint64
+}
+
+// run executes a binary with the runtime library preloaded, returning
+// the result and any fault.
+func run(img *bin.Binary, o runOpts) (emu.Result, error) {
+	lib, err := rtlib.Preload(img)
+	if err != nil {
+		return emu.Result{}, err
+	}
+	m, err := emu.Load(img, emu.Options{
+		Runtime:  lib,
+		Arg:      o.arg,
+		LoadBase: o.loadBase,
+		MaxInstrs: func() uint64 {
+			if o.maxInstr != 0 {
+				return o.maxInstr
+			}
+			return 80_000_000
+		}(),
+	})
+	if err != nil {
+		return emu.Result{}, err
+	}
+	return m.Run()
+}
+
+// overhead computes the relative cycle overhead of got against base.
+func overhead(got, base uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(got)/float64(base) - 1
+}
+
+// sameOutput compares program outputs byte for byte.
+func sameOutput(a, b emu.Result) bool { return bytes.Equal(a.Output, b.Output) }
+
+// aggregate computes max and mean of a float slice.
+func aggregate(vals []float64) (max, mean float64) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	max = vals[0]
+	var sum float64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	return max, sum / float64(len(vals))
+}
+
+// minOf returns the minimum of a float slice (1 for empty).
+func minOf(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 1
+	}
+	m := vals[0]
+	for _, v := range vals {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// pct renders a ratio as a percentage string.
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/asm"
+	"icfgpatch/internal/baseline"
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/core"
+	"icfgpatch/internal/emu"
+	"icfgpatch/internal/workload"
+)
+
+// Table1Render formats the paper's Table 1.
+func Table1Render() string {
+	var b strings.Builder
+	b.WriteString("Table 1 — comparison of binary rewriting approaches\n")
+	fmt.Fprintf(&b, "%-12s | %-9s | %-9s | %-19s | %s\n",
+		"Approach", "Rewrites", "Reloc", "Unmodified flow", "Stack unwinding")
+	for _, r := range baseline.Table1() {
+		fmt.Fprintf(&b, "%-12s | %-9s | %-9s | %-19s | %s\n",
+			r.Approach, r.Rewrites, r.Relocation, r.Unmodified, r.Unwinding)
+	}
+	return b.String()
+}
+
+// Table2Render formats the paper's Table 2 (trampoline designs).
+func Table2Render() string {
+	var b strings.Builder
+	b.WriteString("Table 2 — trampoline instruction sequences\n")
+	fmt.Fprintf(&b, "%-5s | %-55s | %-6s | %s\n", "Arch", "Instructions", "Range", "Len")
+	for _, r := range arch.Table2() {
+		fmt.Fprintf(&b, "%-5s | %-55s | %-6s | %s\n", r.Arch, r.Sequence, r.Range, r.Len)
+	}
+	return b.String()
+}
+
+// Figure1Render prints the section arrangement of a real rewritten
+// binary, the layout of Figure 1.
+func Figure1Render() (string, error) {
+	p, err := workload.Generate(arch.X64, true, workload.Profile{
+		Name: "figure1", Seed: 1, Lang: "c++", Funcs: 12,
+		SwitchFrac: 0.4, Exceptions: true, Iters: 4,
+	})
+	if err != nil {
+		return "", err
+	}
+	rw, err := core.Rewrite(p.Binary, core.Options{Mode: core.ModeJT, Request: blockEmpty(), Verify: true})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 1 — rewritten binary layout (jt mode, x64 PIE)\n")
+	for _, s := range rw.Binary.Sections {
+		tag := ""
+		switch s.Name {
+		case bin.SecText:
+			tag = "trampolines over original code"
+		case bin.SecInstr:
+			tag = "relocated code + instrumentation"
+		case bin.SecRAMap:
+			tag = "return address map (Section 6)"
+		case bin.SecTrampMap:
+			tag = "trap trampoline map (runtime library)"
+		case bin.SecJTClone:
+			tag = "cloned jump tables (Section 5.1)"
+		case bin.SecEhFrame:
+			tag = "unmodified unwind tables"
+		}
+		if strings.HasPrefix(s.Name, bin.OldPrefix) {
+			tag = "retired; reused as trampoline scratch space"
+		}
+		fmt.Fprintf(&b, "  %-16s %#10x..%#10x (%6d bytes)  %s\n", s.Name, s.Addr, s.End(), s.Size(), tag)
+	}
+	return b.String(), nil
+}
+
+// Figure2Result demonstrates the three failure modes of Figure 2.
+type Figure2Result struct {
+	// Analysis failure: graceful skip, lower coverage, correct output.
+	AnalysisCoverage float64
+	AnalysisCorrect  bool
+	// Over-approximation: extra table entries cloned, correct output.
+	OverApproxExtraEntries int
+	OverApproxCorrect      bool
+	// Under-approximation (forced): wrong rewriting, caught by the
+	// verification fill as an illegal-instruction fault.
+	UnderApproxDetected bool
+	UnderApproxFault    string
+}
+
+// Figure2 runs the failure mode analysis end to end.
+func Figure2() (*Figure2Result, error) {
+	res := &Figure2Result{}
+
+	// (1) Analysis reporting failure -> lower coverage, other functions
+	// unaffected.
+	p, err := workload.Generate(arch.X64, false, workload.Profile{
+		Name: "fig2-analysis", Seed: 21, Lang: "c", Funcs: 20,
+		SwitchFrac: 0.5, OpaqueFrac: 0.5, Iters: 8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	orig, err := run(p.Binary, runOpts{})
+	if err != nil {
+		return nil, err
+	}
+	rw, err := core.Rewrite(p.Binary, core.Options{Mode: core.ModeJT, Request: blockEmpty(), Verify: true})
+	if err != nil {
+		return nil, err
+	}
+	res.AnalysisCoverage = rw.Stats.Coverage()
+	if got, err := run(rw.Binary, runOpts{}); err == nil && sameOutput(got, orig) {
+		res.AnalysisCorrect = true
+	}
+
+	// (2) Over-approximation: spilled bounds force Assumption-2
+	// extension; the cloned tables carry extra entries, the program
+	// still behaves (cloning tolerates over-approximation).
+	p2, err := workload.Generate(arch.X64, false, workload.Profile{
+		Name: "fig2-over", Seed: 22, Lang: "c", Funcs: 16,
+		SwitchFrac: 0.6, SpillFrac: 1.0, Iters: 8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	orig2, err := run(p2.Binary, runOpts{})
+	if err != nil {
+		return nil, err
+	}
+	rw2, err := core.Rewrite(p2.Binary, core.Options{Mode: core.ModeJT, Request: blockEmpty(), Verify: true})
+	if err != nil {
+		return nil, err
+	}
+	truthEntries := 0
+	for _, tbl := range p2.Debug.Tables {
+		truthEntries += tbl.N
+	}
+	cloneSec := rw2.Binary.Section(bin.SecJTClone)
+	if cloneSec != nil {
+		res.OverApproxExtraEntries = int(cloneSec.Size())/4 - truthEntries
+	}
+	if got, err := run(rw2.Binary, runOpts{}); err == nil && sameOutput(got, orig2) {
+		res.OverApproxCorrect = true
+	}
+
+	// (3) Under-approximation, forced: an unresolvable intra-procedural
+	// indirect jump in a gap-free function is (wrongly) classified as a
+	// tail call; its real targets stay in overwritten original code and
+	// the verification fill catches the escape.
+	img, err := underApproxBinary()
+	if err != nil {
+		return nil, err
+	}
+	rw3, err := core.Rewrite(img, core.Options{Mode: core.ModeJT, Request: blockEmpty(), Verify: true})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := run(rw3.Binary, runOpts{}); err != nil {
+		res.UnderApproxDetected = emu.IsFault(err, emu.FaultIllegal)
+		res.UnderApproxFault = err.Error()
+	}
+	return res, nil
+}
+
+// underApproxBinary builds the trap for the tail-call heuristic: an
+// opaque-base switch whose case blocks are all reachable from the
+// default path too, so the unexplored-gap check passes and the indirect
+// jump is misclassified as a tail call.
+func underApproxBinary() (*bin.Binary, error) {
+	b := asm.New(arch.X64, false)
+	f := b.Func("main")
+	f.SetFrame(16)
+	f.Li(arch.R8, 1)
+	c0 := f.NewLabel()
+	def := f.NewLabel()
+	f.Switch(arch.R8, arch.R9, arch.R10, []asm.Label{c0, c0}, def, asm.SwitchOpts{OpaqueBase: true})
+	f.Bind(def)
+	f.Bind(c0)
+	f.Print(arch.R8)
+	f.Halt()
+	b.SetEntry("main")
+	img, _, err := b.Link()
+	return img, err
+}
+
+// Render formats the failure mode demonstration.
+func (r *Figure2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 2 — failure mode analysis\n")
+	fmt.Fprintf(&b, "  analysis failure    -> coverage %s, other functions correct: %v\n",
+		pct(r.AnalysisCoverage), r.AnalysisCorrect)
+	fmt.Fprintf(&b, "  over-approximation  -> %d extra cloned entries, still correct: %v\n",
+		r.OverApproxExtraEntries, r.OverApproxCorrect)
+	fmt.Fprintf(&b, "  under-approximation -> wrong rewriting detected by verification: %v (%s)\n",
+		r.UnderApproxDetected, r.UnderApproxFault)
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package unwind
+
+import (
+	"fmt"
+	"sort"
+
+	"icfgpatch/internal/arch"
+)
+
+// Compiled is the frdwarf-style unwinder the paper's Section 2.3 points
+// at: the DWARF recipes of a Table are "compiled" ahead of time into
+// flat step records, so a frame step is a binary search plus one load —
+// roughly an order of magnitude cheaper than interpreting unwind
+// recipes. Because the compiled records are still keyed by ORIGINAL
+// addresses, runtime return-address translation plugs in unchanged,
+// whereas the update-the-DWARF strategy has nothing left to update.
+type Compiled struct {
+	starts []uint64
+	steps  []compiledStep
+}
+
+// compiledStep is the "machine code" a recipe compiles to: where the
+// return address lives and how far the stack pointer moves.
+type compiledStep struct {
+	start, end uint64
+	frameSize  uint64
+	raInLR     bool
+	pads       []LandingPad
+}
+
+// Compile translates every FDE of the table.
+func Compile(t *Table) *Compiled {
+	c := &Compiled{}
+	for _, f := range t.FDEs() {
+		c.starts = append(c.starts, f.Start)
+		c.steps = append(c.steps, compiledStep{
+			start: f.Start, end: f.End, frameSize: f.FrameSize, raInLR: f.RAInLR, pads: f.Pads,
+		})
+	}
+	return c
+}
+
+// find locates the compiled step covering pc.
+func (c *Compiled) find(pc uint64) (*compiledStep, bool) {
+	i := sort.Search(len(c.starts), func(i int) bool { return c.starts[i] > pc })
+	if i > 0 && pc < c.steps[i-1].end {
+		return &c.steps[i-1], true
+	}
+	return nil, false
+}
+
+// Covers reports whether pc has compiled unwind information.
+func (c *Compiled) Covers(pc uint64) bool {
+	_, ok := c.find(pc)
+	return ok
+}
+
+// PadFor returns the landing pad covering pc, if any; nested regions
+// resolve to the innermost one, as in the interpreted table.
+func (c *Compiled) PadFor(pc uint64) (LandingPad, bool) {
+	s, ok := c.find(pc)
+	if !ok {
+		return LandingPad{}, false
+	}
+	best := LandingPad{}
+	found := false
+	for _, p := range s.pads {
+		if pc >= p.TryStart && pc < p.TryEnd {
+			better := p.TryStart > best.TryStart ||
+				(p.TryStart == best.TryStart && p.TryEnd < best.TryEnd)
+			if !found || better {
+				best = p
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// Step performs one compiled frame step, mirroring Table-based Step
+// (including the translation hook applied to the recovered return
+// address).
+func (c *Compiled) Step(a arch.Arch, mem Memory, translate Translator, pc, sp, lr uint64) (Frame, error) {
+	s, ok := c.find(pc)
+	if !ok {
+		return Frame{}, fmt.Errorf("unwind: no compiled step covers pc %#x", pc)
+	}
+	var raw, nsp uint64
+	switch {
+	case a == arch.X64:
+		v, err := mem.ReadU64(sp + s.frameSize)
+		if err != nil {
+			return Frame{}, err
+		}
+		raw = v
+		nsp = sp + s.frameSize + 8
+	case s.raInLR:
+		raw = lr
+		nsp = sp + s.frameSize
+	default:
+		v, err := mem.ReadU64(sp + s.frameSize - 8)
+		if err != nil {
+			return Frame{}, err
+		}
+		raw = v
+		nsp = sp + s.frameSize
+	}
+	return Frame{PC: translate(raw), SP: nsp, RawPC: raw}, nil
+}
+
+// Walk is the compiled counterpart of Table-based Walk.
+func (c *Compiled) Walk(a arch.Arch, mem Memory, translate Translator, pc, sp, lr uint64, maxFrames int) ([]Frame, error) {
+	var frames []Frame
+	cur := Frame{PC: translate(pc), SP: sp, RawPC: pc}
+	for len(frames) < maxFrames {
+		frames = append(frames, cur)
+		if !c.Covers(cur.PC) {
+			if len(frames) == 1 {
+				return frames, fmt.Errorf("unwind: initial pc %#x not covered", cur.PC)
+			}
+			return frames[:len(frames)-1], nil
+		}
+		next, err := c.Step(a, mem, translate, cur.PC, cur.SP, lr)
+		if err != nil {
+			return frames, err
+		}
+		lr = 0
+		if next.RawPC == 0 {
+			return frames, nil
+		}
+		cur = next
+	}
+	return frames, fmt.Errorf("unwind: more than %d frames (runaway unwind?)", maxFrames)
+}

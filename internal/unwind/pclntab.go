@@ -1,0 +1,85 @@
+package unwind
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// PCFunc is one entry of the Go-style pclntab: a function's original code
+// range and its index. The Go runtime's traceback resolves every return
+// address on the stack through this table (runtime.findfunc) and derives
+// per-PC values from it (runtime.pcvalue); a PC that resolves to no entry
+// makes the runtime abort, which is what happens to rewritten Go binaries
+// without return-address translation.
+type PCFunc struct {
+	Start uint64
+	End   uint64
+	ID    uint32
+}
+
+// PCTable is the searchable pclntab.
+type PCTable struct {
+	funcs []PCFunc // sorted by Start
+}
+
+// NewPCTable builds a table sorted by start address.
+func NewPCTable(funcs []PCFunc) *PCTable {
+	s := append([]PCFunc(nil), funcs...)
+	sort.Slice(s, func(i, j int) bool { return s[i].Start < s[j].Start })
+	return &PCTable{funcs: s}
+}
+
+// FindFunc is the runtime.findfunc equivalent: it resolves pc to a
+// function entry.
+func (t *PCTable) FindFunc(pc uint64) (PCFunc, bool) {
+	i := sort.Search(len(t.funcs), func(i int) bool { return t.funcs[i].Start > pc })
+	if i > 0 && pc < t.funcs[i-1].End {
+		return t.funcs[i-1], true
+	}
+	return PCFunc{}, false
+}
+
+// PCValue is the runtime.pcvalue equivalent: it derives a deterministic
+// per-PC value (here, the PC's offset within its function folded with the
+// function ID), failing for unresolvable PCs exactly like findfunc.
+func (t *PCTable) PCValue(pc uint64) (uint64, bool) {
+	f, ok := t.FindFunc(pc)
+	if !ok {
+		return 0, false
+	}
+	return uint64(f.ID)<<32 | (pc - f.Start), true
+}
+
+// Len returns the number of functions.
+func (t *PCTable) Len() int { return len(t.funcs) }
+
+// Encode serialises the table to .gopclntab payload bytes.
+func (t *PCTable) Encode() []byte {
+	out := make([]byte, 8+20*len(t.funcs))
+	binary.LittleEndian.PutUint64(out, uint64(len(t.funcs)))
+	for k, f := range t.funcs {
+		binary.LittleEndian.PutUint64(out[8+20*k:], f.Start)
+		binary.LittleEndian.PutUint64(out[16+20*k:], f.End)
+		binary.LittleEndian.PutUint32(out[24+20*k:], f.ID)
+	}
+	return out
+}
+
+// DecodePCTable parses .gopclntab payload bytes.
+func DecodePCTable(data []byte) (*PCTable, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("unwind: pclntab too short (%d bytes)", len(data))
+	}
+	n := binary.LittleEndian.Uint64(data)
+	if uint64(len(data)) < 8+20*n {
+		return nil, fmt.Errorf("unwind: pclntab declares %d entries but has %d bytes", n, len(data))
+	}
+	funcs := make([]PCFunc, n)
+	for k := range funcs {
+		funcs[k].Start = binary.LittleEndian.Uint64(data[8+20*k:])
+		funcs[k].End = binary.LittleEndian.Uint64(data[16+20*k:])
+		funcs[k].ID = binary.LittleEndian.Uint32(data[24+20*k:])
+	}
+	return NewPCTable(funcs), nil
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"icfgpatch/internal/arch"
+)
+
+// Libxul generates the Firefox libxul.so-like workload: a large mixed
+// C++/Rust code base with exceptions, many tiny functions, library
+// destructors, and a few analysis-resistant switches (coverage 99.93% in
+// the paper). The real library has a 120MiB text section with ~241K
+// functions; this is a 1:150 scale model with the same traits. Two
+// "browser benchmark" command IDs (1 = latency benchmark, 2 =
+// JetStream2) select different workloads through the command dispatch.
+func Libxul(a arch.Arch) (*Program, error) {
+	return Generate(a, true, Profile{
+		Name:           "libxul.so",
+		Seed:           8080,
+		Lang:           "c++/rust",
+		Funcs:          420,
+		SwitchFrac:     0.30,
+		SpillFrac:      0.12,
+		OpaqueFrac:     0.015, // a few unanalysable functions -> ~99.x% coverage
+		TinyFrac:       0.22,
+		DispatcherFrac: 0.08,
+		TailCallFrac:   0.04,
+		Exceptions:     true,
+		StackCalls:     true,
+		Iters:          40,
+		DtorFuncs:      6,
+		Commands:       2,
+	})
+}
+
+// LatencyBenchmarkRuns and JetStreamRuns are the command IDs and repeat
+// counts of the two browser benchmarks (the paper ran them 120 and 40
+// times; the shapes need far fewer deterministic runs here).
+const (
+	CmdLatencyBenchmark = 1
+	CmdJetStream        = 2
+)
+
+// Docker generates the Docker-like Go binary: a Go runtime that walks
+// the stack (garbage collection model), goexit+1 pointer arithmetic, a
+// function-table cell that defeats precise pointer analysis (func-ptr
+// mode must refuse), no jump tables (dir ≡ jt), and 13 command IDs.
+func Docker(a arch.Arch) (*Program, error) {
+	return Generate(a, true, Profile{
+		Name:       "docker",
+		Seed:       1903,
+		Lang:       "go",
+		Funcs:      260,
+		TinyFrac:   0.15,
+		GoRuntime:  true,
+		GoVtab:     true,
+		StackCalls: true,
+		Iters:      30,
+		Commands:   13,
+	})
+}
+
+// DockerCommands is the number of docker commands the correctness test
+// exercises (pull, run, exec, ... — 13 in the paper).
+const DockerCommands = 13
+
+// Libcuda generates the libcuda.so-like GPU driver library for the
+// Diogenes case study: ~12644 functions in the real driver scaled 1:10,
+// mostly tiny internal thunks, with symbol versioning metadata (which
+// makes IR lowering fail) and a deep call chain under the public entry
+// points. The main function is the Diogenes identification test: a hot
+// loop through the public synchronization APIs, each funnelling into the
+// hidden internal sync function.
+func Libcuda(a arch.Arch) (*Program, error) {
+	return Generate(a, true, Profile{
+		Name:           "libcuda.so",
+		Seed:           7000,
+		Lang:           "c++",
+		Funcs:          1200,
+		SwitchFrac:     0.04,
+		SpillFrac:      0.3,
+		TinyFrac:       0.25,
+		DispatcherFrac: 0.50,
+		Roots:          48,
+		Iters:          60,
+		ExtraMeta:      map[string]string{"symbol-versioning": "1"},
+	})
+}
+
+// DiogenesTargets returns the function subset Diogenes instruments: the
+// paper instruments 700 of 12644 driver functions (the public sync APIs
+// and everything on their call graphs). Scaled here, the hottest
+// dispatch-heavy functions come first — the ones whose tiny case blocks
+// force mainstream rewriting into trap trampolines.
+func DiogenesTargets(p *Program, n int) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, tbl := range p.Debug.Tables {
+		if len(out) >= n {
+			return out
+		}
+		if !seen[tbl.Func] && len(tbl.Func) >= 2 && tbl.Func[:2] == "fn" {
+			seen[tbl.Func] = true
+			out = append(out, tbl.Func)
+		}
+	}
+	for _, sym := range p.Binary.FuncSymbols() {
+		if len(out) >= n {
+			break
+		}
+		if !seen[sym.Name] && len(sym.Name) >= 2 && sym.Name[:2] == "fn" {
+			seen[sym.Name] = true
+			out = append(out, sym.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,427 @@
+// Package workload generates the synthetic binaries the experiments run:
+// a 19-program SPEC CPU 2017-like suite, a Firefox libxul.so-like huge
+// mixed C++/Rust library, a Docker-like Go binary, and a libcuda.so-like
+// driver library for the Diogenes case study. Every generator is seeded
+// and deterministic; the traits that drive the paper's results (jump
+// table density and hardness, exception use, tiny functions, language
+// runtime behaviour) are explicit profile knobs.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/asm"
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/emu"
+)
+
+// Profile describes one generated program.
+type Profile struct {
+	Name string
+	Seed int64
+	// Lang is the .note.lang source language tag.
+	Lang string
+	// Funcs is the number of generated worker functions.
+	Funcs int
+	// SwitchFrac is the fraction of functions containing a jump-table
+	// switch.
+	SwitchFrac float64
+	// SpillFrac is the fraction of switches with a spilled index (bound
+	// recovery fails; Assumption-2 extension needed).
+	SpillFrac float64
+	// OpaqueFrac is the fraction of switches with an opaque table base
+	// (analysis failure; the function becomes uninstrumentable).
+	OpaqueFrac float64
+	// TinyFrac is the fraction of tiny (few-byte) functions, the main
+	// source of trap trampolines.
+	TinyFrac float64
+	// TailCallFrac is the fraction of functions ending in an indirect
+	// tail call.
+	TailCallFrac float64
+	// DispatcherFrac is the fraction of functions that are leaf
+	// dispatchers: a jump-table switch whose cases return directly.
+	// Their case blocks are single return instructions — too small for
+	// anything but a trap trampoline on X64 when they are CFL blocks,
+	// which is what separates dir from jt on trap counts (Firefox and
+	// Diogenes, Sections 8.2 and 9).
+	DispatcherFrac float64
+	// Exceptions adds try/catch around some calls and throwing callees.
+	Exceptions bool
+	// StackCalls adds indirect calls through stack slots.
+	StackCalls bool
+	// GoRuntime marks a Go-like binary: runtime stubs, pclntab,
+	// traceback syscalls in hot code, goexit+1 pointer arithmetic, a
+	// mid-instruction function-table cell, and no jump tables (the Go
+	// compiler emits none, Section 8.2).
+	GoRuntime bool
+	// Iters is the main loop trip count (controls run length).
+	Iters int
+	// SharedLib marks the output as a library with exported symbols.
+	SharedLib bool
+	// DtorFuncs adds tiny destructor-style functions run once at exit —
+	// the libxul.so situation where dir mode's trap trampolines land in
+	// library destructors (Section 8.2).
+	DtorFuncs int
+	// GoVtab adds a Go-style function table cell holding a
+	// mid-instruction code address, which function-pointer analysis
+	// must refuse (func-ptr mode fails on Docker, Section 8.2).
+	GoVtab bool
+	// Commands > 0 makes main dispatch on the startup argument so that
+	// distinct command IDs produce distinct workloads and outputs (the
+	// 13 Docker commands; the two browser benchmarks).
+	Commands int
+	// Roots overrides how many workers the main loop calls directly
+	// (default 4); drivers with wide public APIs (libcuda) use more.
+	Roots int
+	// ExtraMeta is merged into the note metadata.
+	ExtraMeta map[string]string
+}
+
+// Program is a generated benchmark.
+type Program struct {
+	Profile Profile
+	Binary  *bin.Binary
+	Debug   *asm.DebugInfo
+}
+
+// Generate builds the program for one architecture/PIE configuration.
+func Generate(a arch.Arch, pie bool, p Profile) (*Program, error) {
+	g := &generator{
+		rng: rand.New(rand.NewSource(p.Seed ^ int64(a)<<8)),
+		b:   asm.New(a, pie),
+		p:   p,
+		a:   a,
+	}
+	if err := g.build(); err != nil {
+		return nil, fmt.Errorf("workload: generating %s for %s: %w", p.Name, a, err)
+	}
+	img, dbg, err := g.b.Link()
+	if err != nil {
+		return nil, fmt.Errorf("workload: linking %s for %s: %w", p.Name, a, err)
+	}
+	return &Program{Profile: p, Binary: img, Debug: dbg}, nil
+}
+
+type generator struct {
+	rng *rand.Rand
+	b   *asm.Builder
+	p   Profile
+	a   arch.Arch
+	// funcNames[i] is worker i; workers only call higher-index workers,
+	// so the call graph is a DAG plus one explicitly recursive worker.
+	funcNames []string
+	ptrCells  []string
+}
+
+// accSlot is the frame slot generated functions use to protect their
+// accumulator across calls.
+const accSlot = 8
+
+func (g *generator) build() error {
+	p := g.p
+	g.b.SetMeta("lang", p.Lang)
+	if p.Exceptions {
+		g.b.SetMeta("exceptions", "1")
+	}
+	if p.GoRuntime {
+		g.b.SetMeta("go-runtime", "1")
+	}
+	for k, v := range p.ExtraMeta {
+		g.b.SetMeta(k, v)
+	}
+
+	if p.GoRuntime {
+		// The runtime functions Section 6.2 instruments.
+		ff := g.b.Func("runtime.findfunc")
+		ff.OpI(arch.Add, arch.R0, arch.R1, 0)
+		ff.Return()
+		pv := g.b.Func("runtime.pcvalue")
+		pv.OpI(arch.Add, arch.R0, arch.R1, 0)
+		pv.Return()
+		// runtime.goexit with the Listing 1 entry nop and the +nop
+		// pointer cell the loader relocates.
+		gx := g.b.Func("runtime.goexit")
+		gx.Nop()
+		gx.OpI(arch.Add, arch.R0, arch.R1, 7)
+		gx.Return()
+		nopLen := int64(1)
+		if g.a.FixedWidth() {
+			nopLen = 4
+		}
+		g.b.FuncPtrGlobal("go.goexitfn", "runtime.goexit", nopLen)
+		g.ptrCells = append(g.ptrCells, "go.goexitfn")
+	}
+
+	// Worker functions, generated leaf-to-root so calls only target
+	// already-named higher-index workers.
+	for i := 0; i < p.Funcs; i++ {
+		g.funcNames = append(g.funcNames, fmt.Sprintf("fn%03d", i))
+	}
+	// Function pointer cells, targeting the leaf-ward half of the DAG so
+	// pointer calls from root-ward workers cannot form call cycles.
+	nPtr := max(1, p.Funcs/4)
+	for k := 0; k < nPtr; k++ {
+		lo := p.Funcs / 2
+		target := g.funcNames[lo+g.rng.Intn(max(1, p.Funcs-lo))]
+		cell := fmt.Sprintf("fp%02d", k)
+		g.b.FuncPtrGlobal(cell, target, 0)
+		g.ptrCells = append(g.ptrCells, cell)
+	}
+
+	for i := p.Funcs - 1; i >= 0; i-- {
+		g.worker(i)
+	}
+
+	if p.GoVtab && p.Funcs > 1 {
+		// A code pointer into the middle of an instruction: fn001's
+		// body starts with a multi-byte instruction on every ISA, so
+		// entry+2 is never a boundary.
+		g.b.FuncPtrGlobal("go.vtab0", g.funcNames[1], 2)
+	}
+	for d := 0; d < p.DtorFuncs; d++ {
+		dt := g.b.Func(fmt.Sprintf("dtor%02d", d))
+		g.dispatcher(dt, 3+d%3)
+	}
+
+	if p.Exceptions {
+		th := g.b.Func("thrower")
+		skip := th.NewLabel()
+		th.OpI(arch.Sub, arch.R6, arch.R1, 1)
+		th.BranchCondTo(arch.NE, arch.R6, skip)
+		th.Throw()
+		th.Bind(skip)
+		th.OpI(arch.Add, arch.R0, arch.R1, 11)
+		th.Return()
+	}
+
+	g.main()
+	g.b.SetEntry("main")
+	if p.SharedLib {
+		g.b.SetSharedLib()
+		for _, n := range g.funcNames {
+			if g.rng.Float64() < 0.1 {
+				g.b.Export(n)
+			}
+		}
+	}
+	return nil
+}
+
+// worker emits one generated function. Index 0 is the root the main loop
+// calls; higher indexes are deeper in the call DAG.
+func (g *generator) worker(i int) {
+	p := g.p
+	f := g.b.Func(g.funcNames[i])
+	r := g.rng
+
+	tiny := r.Float64() < p.TinyFrac
+	if tiny {
+		f.OpI(arch.Add, arch.R0, arch.R1, int64(1+r.Intn(7)))
+		f.Return()
+		return
+	}
+	if !p.GoRuntime && r.Float64() < p.DispatcherFrac {
+		g.dispatcher(f, 3+r.Intn(4))
+		return
+	}
+	if p.TailCallFrac > 0 && i < p.Funcs/2 && r.Float64() < p.TailCallFrac && len(g.ptrCells) > 0 {
+		// A leaf tail-call thunk: no frame and no saved link register, so
+		// the tail-callee returns directly to this function's caller.
+		cell := g.ptrCells[r.Intn(len(g.ptrCells))]
+		f.OpI(arch.Add, arch.R1, arch.R1, int64(i))
+		f.LoadGlobal(arch.R9, arch.R9, cell, 8)
+		f.TailJumpReg(arch.R9)
+		return
+	}
+
+	canCall := i+1 < p.Funcs
+	f.SetFrame(48)
+
+	// Accumulator r3 from the argument.
+	f.OpI(arch.Add, arch.R3, arch.R1, int64(i))
+
+	// An arithmetic loop: the compute the benchmark spends most of its
+	// time in (SPEC programs are compute-dominated; call overheads are
+	// diluted accordingly).
+	trips := 4 + r.Intn(9)
+	f.Li(arch.R4, int64(trips))
+	top := f.Here()
+	f.Op3(arch.Add, arch.R3, arch.R3, arch.R4)
+	f.OpI(arch.Shl, arch.R5, arch.R3, 1)
+	f.Op3(arch.Xor, arch.R3, arch.R3, arch.R5)
+	f.OpI(arch.Mul, arch.R5, arch.R5, 3)
+	f.OpI(arch.Shr, arch.R6, arch.R3, 2)
+	f.Op3(arch.Add, arch.R3, arch.R3, arch.R6)
+	f.Op3(arch.And, arch.R5, arch.R5, arch.R3)
+	f.Op3(arch.Xor, arch.R3, arch.R3, arch.R5)
+	f.OpI(arch.Sub, arch.R4, arch.R4, 1)
+	f.BranchCondTo(arch.NE, arch.R4, top)
+
+	// Optionally a jump-table switch on r3 % n (never in Go binaries).
+	if !p.GoRuntime && r.Float64() < p.SwitchFrac {
+		n := 3 + r.Intn(5)
+		opts := asm.SwitchOpts{}
+		roll := r.Float64()
+		if roll < p.OpaqueFrac {
+			opts.OpaqueBase = true
+		} else if roll < p.OpaqueFrac+p.SpillFrac {
+			opts.SpillIndex = true
+		}
+		f.Li(arch.R7, int64(n))
+		f.Op3(arch.Div, arch.R8, arch.R3, arch.R7)
+		f.Op3(arch.Mul, arch.R8, arch.R8, arch.R7)
+		f.Op3(arch.Sub, arch.R8, arch.R3, arch.R8)
+		cases := make([]asm.Label, n)
+		for k := range cases {
+			cases[k] = f.NewLabel()
+		}
+		def := f.NewLabel()
+		join := f.NewLabel()
+		f.Switch(arch.R8, arch.R9, arch.R10, cases, def, opts)
+		for k, c := range cases {
+			f.Bind(c)
+			f.OpI(arch.Add, arch.R3, arch.R3, int64(10+k*3))
+			f.BranchTo(join)
+		}
+		f.Bind(def)
+		f.OpI(arch.Add, arch.R3, arch.R3, 999)
+		f.Bind(join)
+	}
+
+	// Calls into the DAG, protecting the accumulator. Pointer calls are
+	// only emitted root-ward of the cells' leaf-ward targets, keeping
+	// the call graph acyclic.
+	if canCall {
+		nCalls := 1 + r.Intn(2)
+		mayPtr := i < p.Funcs/2 && len(g.ptrCells) > 0
+		for c := 0; c < nCalls && i+1 < p.Funcs; c++ {
+			// Jump at least half the remaining distance leaf-ward so the
+			// call tree depth is logarithmic and total work stays
+			// bounded regardless of seed.
+			span := p.Funcs - i - 1
+			base := i + 1 + span/2
+			callee := g.funcNames[base+r.Intn(max(1, p.Funcs-base))]
+			f.StoreLocal(arch.R3, accSlot)
+			f.Mov(arch.R1, arch.R3)
+			switch {
+			case p.StackCalls && mayPtr && r.Float64() < 0.18:
+				cell := g.ptrCells[r.Intn(len(g.ptrCells))]
+				f.LoadGlobal(arch.R9, arch.R9, cell, 8)
+				f.CallStackSlot(arch.R9, 24)
+			case mayPtr && r.Float64() < 0.35:
+				cell := g.ptrCells[r.Intn(len(g.ptrCells))]
+				f.CallPtr(arch.R9, cell)
+			default:
+				f.CallF(callee)
+			}
+			f.LoadLocal(arch.R3, accSlot)
+			f.Op3(arch.Add, arch.R3, arch.R3, arch.R0)
+		}
+	}
+
+	if p.Exceptions && canCall && (i == 0 || r.Float64() < 0.3) {
+		catch := f.NewLabel()
+		done := f.NewLabel()
+		f.StoreLocal(arch.R3, accSlot)
+		f.OpI(arch.And, arch.R1, arch.R3, 3)
+		f.BeginTry()
+		f.CallF("thrower")
+		f.EndTry(catch)
+		f.LoadLocal(arch.R3, accSlot)
+		f.Op3(arch.Add, arch.R3, arch.R3, arch.R0)
+		f.BranchTo(done)
+		f.Bind(catch)
+		f.LoadLocal(arch.R3, accSlot)
+		f.OpI(arch.Add, arch.R3, arch.R3, 5)
+		f.Bind(done)
+	}
+
+	if p.GoRuntime && r.Float64() < 0.2 {
+		// GC-style traceback from deep in the call stack.
+		f.StoreLocal(arch.R3, accSlot)
+		f.I(arch.Instr{Kind: arch.Syscall, Imm: emu.SysTraceback})
+		f.LoadLocal(arch.R3, accSlot)
+	}
+
+	f.Mov(arch.R0, arch.R3)
+	f.Return()
+}
+
+// dispatcher emits a leaf function that jump-table-dispatches on its
+// argument into return-only case blocks.
+func (g *generator) dispatcher(f *asm.FuncBuilder, n int) {
+	f.Li(arch.R7, int64(n))
+	f.Op3(arch.Div, arch.R8, arch.R1, arch.R7)
+	f.Op3(arch.Mul, arch.R8, arch.R8, arch.R7)
+	f.Op3(arch.Sub, arch.R8, arch.R1, arch.R8)
+	f.OpI(arch.Add, arch.R0, arch.R1, 1)
+	cases := make([]asm.Label, n)
+	for k := range cases {
+		cases[k] = f.NewLabel()
+	}
+	def := f.NewLabel()
+	f.Switch(arch.R8, arch.R9, arch.R10, cases, def, asm.SwitchOpts{})
+	for _, c := range cases {
+		f.Bind(c)
+		f.Return() // one-instruction case block
+	}
+	f.Bind(def)
+	f.OpI(arch.Add, arch.R0, arch.R0, 2)
+	f.Return()
+}
+
+// main emits the driver loop: iterate, call root workers with varying
+// arguments, fold results into a checksum, print it.
+func (g *generator) main() {
+	p := g.p
+	m := g.b.Func("main")
+	m.SetFrame(64)
+	m.StoreLocal(arch.R1, 24)     // startup argument (command ID)
+	m.Li(arch.R3, 0)              // checksum
+	m.Li(arch.R4, int64(p.Iters)) // countdown
+	top := m.Here()
+
+	roots := 1 + min(3, p.Funcs-1)
+	if p.Roots > 0 {
+		roots = min(p.Roots, p.Funcs)
+	}
+	for rt := 0; rt < roots; rt++ {
+		m.StoreLocal(arch.R3, accSlot)
+		m.StoreLocal(arch.R4, 16)
+		m.Mov(arch.R1, arch.R4)
+		if p.Commands > 0 {
+			// Mix the command ID into the work so each command has its
+			// own observable behaviour.
+			m.LoadLocal(arch.R5, 24)
+			m.OpI(arch.Mul, arch.R5, arch.R5, 0x9E37)
+			m.Op3(arch.Xor, arch.R1, arch.R1, arch.R5)
+			m.OpI(arch.And, arch.R1, arch.R1, 0xFFF)
+		}
+		m.CallF(g.funcNames[rt])
+		m.LoadLocal(arch.R3, accSlot)
+		m.LoadLocal(arch.R4, 16)
+		m.Op3(arch.Add, arch.R3, arch.R3, arch.R0)
+		m.OpI(arch.Shl, arch.R5, arch.R3, 3)
+		m.Op3(arch.Xor, arch.R3, arch.R3, arch.R5)
+	}
+	if p.GoRuntime {
+		m.StoreLocal(arch.R3, accSlot)
+		m.I(arch.Instr{Kind: arch.Syscall, Imm: emu.SysTraceback})
+		m.LoadLocal(arch.R3, accSlot)
+		m.Op3(arch.Add, arch.R3, arch.R3, arch.R0)
+	}
+	m.OpI(arch.Sub, arch.R4, arch.R4, 1)
+	m.BranchCondTo(arch.NE, arch.R4, top)
+	for d := 0; d < p.DtorFuncs; d++ {
+		m.StoreLocal(arch.R3, accSlot)
+		m.Mov(arch.R1, arch.R3)
+		m.CallF(fmt.Sprintf("dtor%02d", d))
+		m.LoadLocal(arch.R3, accSlot)
+		m.Op3(arch.Add, arch.R3, arch.R3, arch.R0)
+	}
+	m.Print(arch.R3)
+	m.Li(arch.R0, 0)
+	m.Halt()
+}

@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"testing"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/emu"
+)
+
+func runProg(t *testing.T, img *bin.Binary, arg uint64) emu.Result {
+	t.Helper()
+	m, err := emu.Load(img, emu.Options{Arg: arg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestSPECSuiteGeneratesAndRuns(t *testing.T) {
+	for _, a := range arch.All() {
+		progs, err := SPECSuite(a, false)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if len(progs) != 19 {
+			t.Fatalf("%s: %d benchmarks, want 19 (627.cam4_s excluded)", a, len(progs))
+		}
+		excLangs := 0
+		for _, p := range progs {
+			res := runProg(t, p.Binary, 0)
+			if len(res.Output) == 0 {
+				t.Errorf("%s/%s: no output", a, p.Profile.Name)
+			}
+			if res.Instrs < 1000 {
+				t.Errorf("%s/%s: only %d instructions — too small to measure", a, p.Profile.Name, res.Instrs)
+			}
+			if p.Profile.Exceptions {
+				excLangs++
+				if res.Unwinds == 0 {
+					t.Errorf("%s/%s: exception benchmark never unwound", a, p.Profile.Name)
+				}
+			}
+		}
+		if excLangs != 2 {
+			t.Errorf("%s: %d exception benchmarks, want 2 (620.omnetpp, 623.xalancbmk)", a, excLangs)
+		}
+	}
+}
+
+func TestSPECDeterministic(t *testing.T) {
+	a, _ := SPECSuite(arch.X64, false)
+	b, _ := SPECSuite(arch.X64, false)
+	for i := range a {
+		if string(a[i].Binary.Marshal()) != string(b[i].Binary.Marshal()) {
+			t.Fatalf("%s: generation not deterministic", a[i].Profile.Name)
+		}
+	}
+}
+
+func TestSPECDifferentPerArch(t *testing.T) {
+	// PPC profiles include opaque switches (coverage story); X64 do not.
+	found := false
+	for _, p := range specProfiles() {
+		adj := archAdjust(arch.PPC, p)
+		if adj.OpaqueFrac > 0 {
+			found = true
+		}
+		if x := archAdjust(arch.X64, p); x.OpaqueFrac != 0 {
+			t.Errorf("%s: x64 profile has opaque switches", p.Name)
+		}
+	}
+	if !found {
+		t.Error("no ppc profile with opaque switches — coverage story impossible")
+	}
+}
+
+func TestLibxulTraits(t *testing.T) {
+	p, err := Libxul(arch.X64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Binary.UsesExceptions() {
+		t.Error("libxul must use exceptions")
+	}
+	if p.Binary.Lang() != "c++/rust" {
+		t.Errorf("lang = %q", p.Binary.Lang())
+	}
+	if len(p.Binary.FuncSymbols()) < 400 {
+		t.Errorf("only %d functions", len(p.Binary.FuncSymbols()))
+	}
+	if _, ok := p.Binary.SymbolByName("dtor00"); !ok {
+		t.Error("no destructors")
+	}
+	// The two browser benchmarks behave differently.
+	lat := runProg(t, p.Binary, CmdLatencyBenchmark)
+	js := runProg(t, p.Binary, CmdJetStream)
+	if string(lat.Output) == string(js.Output) {
+		t.Error("latency and jetstream workloads are indistinguishable")
+	}
+}
+
+func TestDockerTraits(t *testing.T) {
+	p, err := Docker(arch.X64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Binary.GoRuntime() {
+		t.Error("docker must carry a go runtime")
+	}
+	if p.Binary.Section(bin.SecGoPCLN) == nil {
+		t.Error("no pclntab")
+	}
+	for _, name := range []string{"runtime.findfunc", "runtime.pcvalue", "runtime.goexit"} {
+		if _, ok := p.Binary.SymbolByName(name); !ok {
+			t.Errorf("missing %s", name)
+		}
+	}
+	if _, ok := p.Binary.SymbolByName("go.vtab0"); !ok {
+		t.Error("missing function table cell")
+	}
+	// Commands produce distinct outputs; tracebacks happen.
+	seen := map[string]bool{}
+	for cmd := uint64(1); cmd <= DockerCommands; cmd++ {
+		res := runProg(t, p.Binary, cmd)
+		seen[string(res.Output)] = true
+		if res.Walks == 0 {
+			t.Errorf("command %d: no traceback walks (GC model missing)", cmd)
+		}
+	}
+	if len(seen) < DockerCommands {
+		t.Errorf("only %d distinct command outputs of %d", len(seen), DockerCommands)
+	}
+}
+
+func TestLibcudaTraits(t *testing.T) {
+	p, err := Libcuda(arch.X64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Binary.Meta["symbol-versioning"] != "1" {
+		t.Error("libcuda must carry symbol versioning metadata")
+	}
+	funcs := p.Binary.FuncSymbols()
+	if len(funcs) < 1000 {
+		t.Errorf("only %d functions, want ~1200 (1:10 scale of 12644)", len(funcs))
+	}
+	small := 0
+	for _, f := range funcs {
+		if f.Size < 96 {
+			small++
+		}
+	}
+	if small < len(funcs)/3 {
+		t.Errorf("only %d small functions of %d — thunk/dispatcher-heavy driver model missing", small, len(funcs))
+	}
+	targets := DiogenesTargets(p, 120)
+	if len(targets) != 120 {
+		t.Errorf("got %d targets", len(targets))
+	}
+	runProg(t, p.Binary, 0)
+}
+
+func TestGoBinariesHaveNoJumpTables(t *testing.T) {
+	p, err := Docker(arch.X64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Debug.Tables) != 0 {
+		t.Errorf("go binary has %d jump tables; the Go compiler emits none", len(p.Debug.Tables))
+	}
+}
+
+func TestSPECSuitePIEVariant(t *testing.T) {
+	// The PIE builds (used by the IR-lowering rows and the BOLT
+	// comparison) must run and carry runtime relocations.
+	progs, err := SPECSuite(arch.X64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withRelocs := 0
+	for _, p := range progs {
+		if !p.Binary.PIE {
+			t.Fatalf("%s: not PIE", p.Profile.Name)
+		}
+		if len(p.Binary.Relocs) > 0 {
+			withRelocs++
+		}
+		res := runProg(t, p.Binary, 0)
+		if len(res.Output) == 0 {
+			t.Errorf("%s: no output", p.Profile.Name)
+		}
+	}
+	if withRelocs < 15 {
+		t.Errorf("only %d/19 PIE benchmarks carry runtime relocations", withRelocs)
+	}
+}
+
+func TestProfileKnobsChangeBinaries(t *testing.T) {
+	base := Profile{Name: "k", Seed: 1, Lang: "c", Funcs: 12, Iters: 4}
+	with := base
+	with.SwitchFrac = 0.9
+	p1, err := Generate(arch.X64, false, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Generate(arch.X64, false, with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Debug.Tables) <= len(p1.Debug.Tables) {
+		t.Errorf("SwitchFrac knob inert: %d vs %d tables", len(p2.Debug.Tables), len(p1.Debug.Tables))
+	}
+}
