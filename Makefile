@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test short race vet fmt fmt-check bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@files=$$(gofmt -l .); \
+	if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+check: fmt-check vet race

@@ -93,7 +93,7 @@ func table3Setup(b *testing.B) map[arch.Arch]*table3Fixture {
 	table3Once.Do(func() {
 		table3 = map[arch.Arch]*table3Fixture{}
 		for _, a := range arch.All() {
-			suite, err := workload.SPECSuite(a, false)
+			suite, err := workload.SPECSuiteCached(a, false)
 			if err != nil {
 				panic(err)
 			}
@@ -155,29 +155,76 @@ func BenchmarkTable3SPEC(b *testing.B) {
 
 // BenchmarkTable3Rewrite measures the rewriter's own throughput (bytes
 // of text rewritten per second) — the cost of running the tool, not of
-// the rewritten binary.
+// the rewritten binary — and reports the per-pass metrics of the last
+// rewrite (stage shares in milliseconds, scratch bytes harvested).
 func BenchmarkTable3Rewrite(b *testing.B) {
 	for _, a := range arch.All() {
-		suite, err := workload.SPECSuite(a, false)
+		suite, err := workload.SPECSuiteCached(a, false)
 		if err != nil {
 			b.Fatal(err)
 		}
 		p := suite[1] // 602.gcc_s, the largest
 		b.Run(a.String(), func(b *testing.B) {
 			b.SetBytes(int64(p.Binary.Text().Size()))
+			var last *core.Result
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Rewrite(p.Binary, core.Options{Mode: core.ModeJT, Request: blockEmpty(), Verify: true}); err != nil {
+				res, err := core.Rewrite(p.Binary, core.Options{Mode: core.ModeJT, Request: blockEmpty(), Verify: true})
+				if err != nil {
 					b.Fatal(err)
 				}
+				last = res
 			}
+			mx := last.Metrics
+			for _, st := range mx.Stages {
+				b.ReportMetric(float64(st.Wall.Microseconds())/1000, st.Name+"_ms")
+			}
+			b.ReportMetric(float64(mx.ScratchBytesHarvested), "scratch_bytes")
+			b.ReportMetric(float64(mx.TrampolineTotal()), "trampolines")
 		})
+	}
+}
+
+// BenchmarkTable3Sweep compares the serial Table 3 runner against the
+// worker-pool pipeline over the full (benchmark, approach) grid of one
+// architecture. On a multi-core machine the parallel sub-benchmark's
+// wall clock drops with the worker count; the outputs are asserted
+// byte-identical either way.
+func BenchmarkTable3Sweep(b *testing.B) {
+	// Warm the workload cache so both sub-benchmarks measure the sweep,
+	// not suite generation.
+	if _, err := workload.SPECSuiteCached(arch.A64, false); err != nil {
+		b.Fatal(err)
+	}
+	var serialOut, parallelOut string
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := experiments.Table3ForArch(arch.A64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			serialOut = res.Render()
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		jobs := experiments.DefaultJobs()
+		b.ReportMetric(float64(jobs), "jobs")
+		for i := 0; i < b.N; i++ {
+			res, err := experiments.Table3ForArchParallel(arch.A64, jobs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			parallelOut = res.Render()
+		}
+	})
+	if serialOut != "" && parallelOut != "" && serialOut != parallelOut {
+		b.Fatal("parallel sweep output diverged from serial")
 	}
 }
 
 // BenchmarkFirefoxLibxul drives the Section 8.2 libxul.so workloads
 // through the jt and func-ptr rewrites.
 func BenchmarkFirefoxLibxul(b *testing.B) {
-	p, err := workload.Libxul(arch.X64)
+	p, err := workload.LibxulCached(arch.X64)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -207,7 +254,7 @@ func BenchmarkFirefoxLibxul(b *testing.B) {
 // BenchmarkDockerGo drives the Section 8.2 Docker experiment's "run"
 // command through the jt rewrite with Go runtime RA translation.
 func BenchmarkDockerGo(b *testing.B) {
-	p, err := workload.Docker(arch.X64)
+	p, err := workload.DockerCached(arch.X64)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -235,7 +282,7 @@ func BenchmarkDockerGo(b *testing.B) {
 // transformation with the incremental rewriter (the configuration that
 // works on all benchmarks) and runs the result.
 func BenchmarkBOLTComparison(b *testing.B) {
-	suite, err := workload.SPECSuite(arch.X64, true)
+	suite, err := workload.SPECSuiteCached(arch.X64, true)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -261,7 +308,7 @@ func BenchmarkDiogenesCaseStudy(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	p, err := workload.Libcuda(arch.X64)
+	p, err := workload.LibcudaCached(arch.X64)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,9 +1,16 @@
 // Command icfg-experiments reproduces the paper's evaluation tables and
 // figures on the synthetic workload suite and prints them.
 //
+// The Table 3 sweep runs its independent (benchmark, approach) cells on
+// a worker pool (-jobs); the aggregated tables are byte-identical to a
+// serial run. Every failed rewrite or verification is reported on
+// stderr and reflected in a non-zero exit status, in addition to being
+// printed in the tables.
+//
 // Usage:
 //
-//	icfg-experiments [-run all|table1|table2|table3|figure1|figure2|firefox|docker|bolt|diogenes] [-arch x64|ppc|a64|all]
+//	icfg-experiments [-run all|table1|table2|table3|figure1|figure2|firefox|docker|bolt|diogenes]
+//	                 [-arch x64|ppc|a64|all] [-jobs N] [-metrics]
 package main
 
 import (
@@ -19,12 +26,25 @@ import (
 func main() {
 	runSel := flag.String("run", "all", "experiment to run: all, table1, table2, table3, figure1, figure2, firefox, docker, bolt, diogenes, ablation, trampolines")
 	archSel := flag.String("arch", "all", "architecture for table3: x64, ppc, a64, all")
+	jobs := flag.Int("jobs", 0, "worker count for the table3 sweep (0 = one per CPU, 1 = serial)")
+	metrics := flag.Bool("metrics", false, "print aggregated per-pass rewrite metrics after table3")
 	flag.Parse()
 
 	want := func(name string) bool { return *runSel == "all" || *runSel == name }
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "icfg-experiments:", err)
 		os.Exit(1)
+	}
+	// Failed cells are reported per run (the graceful-failure contract):
+	// the sweep continues, stderr lists each failure, and the process
+	// exits non-zero so callers cannot mistake a failing sweep for a
+	// clean one.
+	failedRuns := 0
+	report := func(failures []string) {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "icfg-experiments: FAILED run:", f)
+		}
+		failedRuns += len(failures)
 	}
 
 	if want("table1") {
@@ -62,11 +82,15 @@ func main() {
 			fail(fmt.Errorf("unknown architecture %q", *archSel))
 		}
 		for _, a := range arches {
-			res, err := experiments.Table3ForArch(a)
+			res, err := experiments.Table3ForArchParallel(a, *jobs)
 			if err != nil {
 				fail(err)
 			}
 			fmt.Println(res.Render())
+			if *metrics {
+				fmt.Println(res.MetricsRender())
+			}
+			report(res.Failures())
 		}
 	}
 	if want("firefox") {
@@ -75,6 +99,7 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(res.Render())
+		report(res.Failures())
 	}
 	if want("docker") {
 		res, err := experiments.Docker()
@@ -82,6 +107,7 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(res.Render())
+		report(res.Failures())
 	}
 	if want("bolt") {
 		res, err := experiments.BOLTComparison()
@@ -96,6 +122,7 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(res.Render())
+		report(res.Failures())
 	}
 	if want("ablation") {
 		res, err := experiments.Ablation(arch.PPC)
@@ -112,5 +139,10 @@ func main() {
 			}
 			fmt.Println(res.Render())
 		}
+	}
+
+	if failedRuns > 0 {
+		fmt.Fprintf(os.Stderr, "icfg-experiments: %d failed run(s)\n", failedRuns)
+		os.Exit(1)
 	}
 }

@@ -5,10 +5,16 @@
 // Usage:
 //
 //	icfg-rewrite -mode jt [-where block|func] [-payload empty|counter]
-//	             [-funcs f1,f2] [-verify] [-gap bytes] -o out.icfg in.icfg
+//	             [-funcs f1,f2] [-verify] [-check] [-metrics]
+//	             [-gap bytes] -o out.icfg in.icfg
+//
+// With -check the original and rewritten binaries are both executed in
+// the reference emulator and their outputs compared; a fault or output
+// divergence is reported on stderr and the command exits non-zero.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -16,8 +22,14 @@ import (
 
 	"icfgpatch/internal/bin"
 	"icfgpatch/internal/core"
+	"icfgpatch/internal/emu"
 	"icfgpatch/internal/instrument"
+	"icfgpatch/internal/rtlib"
 )
+
+// checkMaxInstrs bounds each -check execution; the workload drivers all
+// terminate well under this.
+const checkMaxInstrs = 200_000_000
 
 func main() {
 	mode := flag.String("mode", "jt", "rewriting mode: dir, jt, func-ptr")
@@ -25,6 +37,8 @@ func main() {
 	payload := flag.String("payload", "empty", "payload: empty, counter")
 	funcs := flag.String("funcs", "", "comma-separated function subset (default: all)")
 	verify := flag.Bool("verify", false, "overwrite stale original code with illegal instructions")
+	check := flag.Bool("check", false, "run original and rewritten binaries in the emulator and compare outputs")
+	metrics := flag.Bool("metrics", false, "print per-pass rewrite metrics")
 	gap := flag.Uint64("gap", 0, "force a gap (bytes) before the relocated code section")
 	out := flag.String("o", "", "output path (required)")
 	flag.Parse()
@@ -92,6 +106,45 @@ func main() {
 	fmt.Printf("  ra map:       %d entries\n", s.RAMapEntries)
 	fmt.Printf("  size:         %d -> %d bytes (+%.2f%%)\n",
 		s.OrigLoadedSize, s.NewLoadedSize, 100*s.SizeIncrease())
+	if *metrics {
+		fmt.Println(res.Metrics.Render())
+	}
+
+	if *check {
+		if err := checkRun(img, res.Binary); err != nil {
+			fatal(fmt.Errorf("check: %w", err))
+		}
+		fmt.Println("  check:        outputs identical")
+	}
+}
+
+// checkRun executes orig and rewritten under the emulator and compares
+// their outputs byte for byte.
+func checkRun(orig, rewritten *bin.Binary) error {
+	want, err := execute(orig)
+	if err != nil {
+		return fmt.Errorf("original binary: %w", err)
+	}
+	got, err := execute(rewritten)
+	if err != nil {
+		return fmt.Errorf("rewritten binary: %w", err)
+	}
+	if !bytes.Equal(want.Output, got.Output) {
+		return fmt.Errorf("output diverged: original %d bytes, rewritten %d bytes", len(want.Output), len(got.Output))
+	}
+	return nil
+}
+
+func execute(img *bin.Binary) (emu.Result, error) {
+	lib, err := rtlib.Preload(img)
+	if err != nil {
+		return emu.Result{}, err
+	}
+	m, err := emu.Load(img, emu.Options{Runtime: lib, MaxInstrs: checkMaxInstrs})
+	if err != nil {
+		return emu.Result{}, err
+	}
+	return m.Run()
 }
 
 func fatal(err error) {

@@ -228,46 +228,63 @@ func (b *Builder) Link() (*bin.Binary, *DebugInfo, error) {
 	}
 	out.TOCValue = rodataBase + 0x8000
 
-	mustAdd := func(s *bin.Section) {
-		if _, err := out.AddSection(s); err != nil {
-			panic(err) // section layout is linker-controlled; overlap is a bug
+	for _, s := range []*bin.Section{
+		{Name: bin.SecText, Addr: b.textBase, Data: text, Flags: bin.FlagAlloc | bin.FlagExec, Align: 16},
+		{Name: bin.SecRodata, Addr: rodataBase, Data: rodata, Flags: bin.FlagAlloc, Align: 8},
+		{Name: bin.SecData, Addr: dataBase, Data: data, Flags: bin.FlagAlloc | bin.FlagWrite, Align: 8},
+	} {
+		if err := addSection(out, s); err != nil {
+			return nil, nil, err
 		}
 	}
-	mustAdd(&bin.Section{Name: bin.SecText, Addr: b.textBase, Data: text, Flags: bin.FlagAlloc | bin.FlagExec, Align: 16})
-	mustAdd(&bin.Section{Name: bin.SecRodata, Addr: rodataBase, Data: rodata, Flags: bin.FlagAlloc, Align: 8})
-	mustAdd(&bin.Section{Name: bin.SecData, Addr: dataBase, Data: data, Flags: bin.FlagAlloc | bin.FlagWrite, Align: 8})
 
 	cursor = align(dataEnd, 0x1000)
-	addBlob := func(name string, payload []byte, flags bin.SectionFlags) *bin.Section {
+	addBlob := func(name string, payload []byte, flags bin.SectionFlags) error {
 		s := &bin.Section{Name: name, Addr: cursor, Data: payload, Flags: flags, Align: 8}
-		mustAdd(s)
+		if err := addSection(out, s); err != nil {
+			return err
+		}
 		cursor = align(s.End(), 0x100)
-		return s
+		return nil
 	}
-	addBlob(bin.SecEhFrame, ehFrame, bin.FlagAlloc)
+	if err := addBlob(bin.SecEhFrame, ehFrame, bin.FlagAlloc); err != nil {
+		return nil, nil, err
+	}
 
 	// Dynamic-linking sections: encoded dynamic symbols, their string
 	// table, and the runtime relocations. Their byte size matters — the
 	// rewriter retires and reuses them as trampoline scratch space.
 	dynSyms := b.dynSymbols(symAddr)
 	dsBytes, strBytes := encodeDynSyms(dynSyms)
-	addBlob(bin.SecDynSym, dsBytes, bin.FlagAlloc)
-	addBlob(bin.SecDynStr, strBytes, bin.FlagAlloc)
-	addBlob(bin.SecRelaDyn, encodeRelocs(relocs), bin.FlagAlloc)
+	if err := addBlob(bin.SecDynSym, dsBytes, bin.FlagAlloc); err != nil {
+		return nil, nil, err
+	}
+	if err := addBlob(bin.SecDynStr, strBytes, bin.FlagAlloc); err != nil {
+		return nil, nil, err
+	}
+	if err := addBlob(bin.SecRelaDyn, encodeRelocs(relocs), bin.FlagAlloc); err != nil {
+		return nil, nil, err
+	}
 
 	if b.meta["go-runtime"] == "1" {
 		var pcs []unwind.PCFunc
 		for id, f := range b.funcs {
 			pcs = append(pcs, unwind.PCFunc{Start: f.start, End: f.end, ID: uint32(id)})
 		}
-		addBlob(bin.SecGoPCLN, unwind.NewPCTable(pcs).Encode(), bin.FlagAlloc)
+		if err := addBlob(bin.SecGoPCLN, unwind.NewPCTable(pcs).Encode(), bin.FlagAlloc); err != nil {
+			return nil, nil, err
+		}
 	}
-	addBlob(bin.SecNote, encodeMeta(b.meta), bin.FlagAlloc)
+	if err := addBlob(bin.SecNote, encodeMeta(b.meta), bin.FlagAlloc); err != nil {
+		return nil, nil, err
+	}
 	if !b.shared {
 		// Program interpreter request, as in ET_EXEC/ET_DYN ELF images.
 		// The loader validates it; BOLT's block-reordering bug corrupts
 		// it in some binaries (Section 8.3).
-		addBlob(bin.SecInterp, []byte(InterpPath), bin.FlagAlloc)
+		if err := addBlob(bin.SecInterp, []byte(InterpPath), bin.FlagAlloc); err != nil {
+			return nil, nil, err
+		}
 	}
 
 	for _, f := range b.funcs {
@@ -321,6 +338,17 @@ func (b *Builder) Link() (*bin.Binary, *DebugInfo, error) {
 		return nil, nil, fmt.Errorf("asm: linked binary invalid: %w", err)
 	}
 	return out, dbg, nil
+}
+
+// addSection places one linker-laid-out section into the output image.
+// Layout is cursor-driven and should never produce conflicts, but a
+// builder bug (or a hand-constructed layout) must surface as a Link
+// error, not a panic in library code.
+func addSection(out *bin.Binary, s *bin.Section) error {
+	if _, err := out.AddSection(s); err != nil {
+		return fmt.Errorf("asm: linker section layout for %s: %w", s.Name, err)
+	}
+	return nil
 }
 
 // slotAddr returns the address of the slot at index k (or the function

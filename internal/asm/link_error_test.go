@@ -1,0 +1,50 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/bin"
+)
+
+// TestAddSectionOverlapIsErrorNotPanic pins the linker's section-layout
+// error seam: a conflicting section must come back as an error from
+// addSection (and therefore from Link), never as a panic out of library
+// code. The cursor-driven layout cannot produce overlaps today, so the
+// seam is exercised directly.
+func TestAddSectionOverlapIsErrorNotPanic(t *testing.T) {
+	out := bin.New(arch.X64)
+	if err := addSection(out, &bin.Section{
+		Name: bin.SecText, Addr: 0x1000, Data: make([]byte, 0x80),
+		Flags: bin.FlagAlloc | bin.FlagExec, Align: 16,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Overlapping range.
+	err := addSection(out, &bin.Section{
+		Name: bin.SecRodata, Addr: 0x1040, Data: make([]byte, 0x80),
+		Flags: bin.FlagAlloc, Align: 8,
+	})
+	if err == nil {
+		t.Fatal("overlapping section accepted")
+	}
+	if !strings.Contains(err.Error(), "asm: linker section layout") {
+		t.Errorf("overlap error lacks linker context: %v", err)
+	}
+
+	// Duplicate name.
+	err = addSection(out, &bin.Section{
+		Name: bin.SecText, Addr: 0x10000, Data: make([]byte, 8),
+		Flags: bin.FlagAlloc | bin.FlagExec, Align: 16,
+	})
+	if err == nil {
+		t.Fatal("duplicate section accepted")
+	}
+
+	// The failed adds must not have corrupted the image.
+	if n := len(out.Sections); n != 1 {
+		t.Errorf("binary has %d sections after rejected adds, want 1", n)
+	}
+}

@@ -176,6 +176,9 @@ func (s Stats) TrapCount() int { return s.Trampolines[arch.TrampTrap] }
 type Result struct {
 	Binary *bin.Binary
 	Stats  Stats
+	// Metrics records per-pass stage timings and counters (the
+	// experiment pipeline aggregates them across cells).
+	Metrics Metrics
 	// CounterCells maps the original address of each instrumented point
 	// to its counter cell (PayloadCounter only).
 	CounterCells map[uint64]uint64

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"icfgpatch/internal/arch"
+)
+
+// Pipeline stage names, in execution order. Every Rewrite records all of
+// them (a stage that does not apply records a near-zero duration), so
+// metrics from different runs aggregate positionally.
+const (
+	StageCFG         = "cfg"
+	StageFuncPtr     = "funcptr-analysis"
+	StageLayout      = "layout"
+	StageEmit        = "emit"
+	StageTrampolines = "trampolines"
+	StagePointers    = "pointer-rewrite"
+	StageFinalize    = "finalize"
+)
+
+// StageMetric is the wall-clock cost of one rewrite pass.
+type StageMetric struct {
+	Name string
+	Wall time.Duration
+}
+
+// Metrics is the per-pass metrics layer: stage timings plus the counters
+// that explain where a rewrite's time and bytes went. Rewrite fills one
+// per call; experiment sweeps aggregate them across many cells with Add.
+// Timings are wall-clock and therefore non-deterministic; everything
+// else is a deterministic function of the input binary and options.
+type Metrics struct {
+	Stages []StageMetric
+	// CFLBlocks counts control-flow-landing blocks across instrumented
+	// functions; ScratchBlocks counts the non-CFL remainder.
+	CFLBlocks     int
+	ScratchBlocks int
+	// ScratchBytesHarvested is the total scratch space collected from
+	// retired sections, padding, and unused superblock bytes;
+	// ScratchBytesFree is what the trampoline passes left unused.
+	ScratchBytesHarvested uint64
+	ScratchBytesFree      uint64
+	// Trampolines counts installed trampolines by class.
+	Trampolines map[arch.TrampolineClass]int
+	// ClonedTables counts jump tables cloned into .rodata.icfg.
+	ClonedTables int
+	// AnalysisFailures counts functions whose CFG or jump-table analysis
+	// failed and were skipped (partial instrumentation).
+	AnalysisFailures int
+}
+
+// lap appends a stage timing measured since *last and advances *last.
+func (m *Metrics) lap(name string, last *time.Time) {
+	now := time.Now()
+	m.Stages = append(m.Stages, StageMetric{Name: name, Wall: now.Sub(*last)})
+	*last = now
+}
+
+// Add accumulates o into m so sweeps can aggregate per-cell metrics.
+// Stage timings merge by name; counters sum.
+func (m *Metrics) Add(o Metrics) {
+	for _, s := range o.Stages {
+		found := false
+		for i := range m.Stages {
+			if m.Stages[i].Name == s.Name {
+				m.Stages[i].Wall += s.Wall
+				found = true
+				break
+			}
+		}
+		if !found {
+			m.Stages = append(m.Stages, s)
+		}
+	}
+	m.CFLBlocks += o.CFLBlocks
+	m.ScratchBlocks += o.ScratchBlocks
+	m.ScratchBytesHarvested += o.ScratchBytesHarvested
+	m.ScratchBytesFree += o.ScratchBytesFree
+	if len(o.Trampolines) > 0 {
+		if m.Trampolines == nil {
+			m.Trampolines = map[arch.TrampolineClass]int{}
+		}
+		for c, n := range o.Trampolines {
+			m.Trampolines[c] += n
+		}
+	}
+	m.ClonedTables += o.ClonedTables
+	m.AnalysisFailures += o.AnalysisFailures
+}
+
+// TotalWall sums the stage timings.
+func (m Metrics) TotalWall() time.Duration {
+	var d time.Duration
+	for _, s := range m.Stages {
+		d += s.Wall
+	}
+	return d
+}
+
+// TrampolineTotal sums installed trampolines across classes.
+func (m Metrics) TrampolineTotal() int {
+	n := 0
+	for _, v := range m.Trampolines {
+		n += v
+	}
+	return n
+}
+
+// Render formats the metrics as a two-line human-readable summary.
+func (m Metrics) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stages:")
+	for _, s := range m.Stages {
+		fmt.Fprintf(&b, " %s=%s", s.Name, s.Wall.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, " total=%s\n", m.TotalWall().Round(time.Microsecond))
+	fmt.Fprintf(&b, "counters: cfl-blocks=%d scratch-blocks=%d scratch-bytes=%d (free %d) trampolines=%d tables-cloned=%d analysis-failures=%d",
+		m.CFLBlocks, m.ScratchBlocks, m.ScratchBytesHarvested, m.ScratchBytesFree,
+		m.TrampolineTotal(), m.ClonedTables, m.AnalysisFailures)
+	return b.String()
+}

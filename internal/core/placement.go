@@ -109,6 +109,9 @@ func superblocks(f *cfg.Func, cfl map[uint64]bool) []superblock {
 type scratchPool struct {
 	ranges []scratchRange
 	align  uint64
+	// harvested totals every byte ever contributed, for the metrics
+	// layer (total() reports what is still free).
+	harvested uint64
 }
 
 type scratchRange struct{ start, end uint64 }
@@ -122,6 +125,7 @@ func (p *scratchPool) add(start, end uint64) {
 	start = alignUp(start, p.align)
 	if end > start {
 		p.ranges = append(p.ranges, scratchRange{start, end})
+		p.harvested += end - start
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"icfgpatch/internal/analysis"
 	"icfgpatch/internal/arch"
@@ -14,8 +15,11 @@ import (
 )
 
 // Rewrite performs incremental CFG patching on the binary and returns
-// the rewritten image. The input binary is not modified.
+// the rewritten image. The input binary is not modified, so one binary
+// may be shared read-only by concurrent Rewrite calls.
 func Rewrite(b *bin.Binary, opts Options) (*Result, error) {
+	mx := Metrics{}
+	clock := time.Now()
 	if err := b.Validate(); err != nil {
 		return nil, fmt.Errorf("core: input binary invalid: %w", err)
 	}
@@ -53,6 +57,7 @@ func Rewrite(b *bin.Binary, opts Options) (*Result, error) {
 			}
 		}
 	}
+	mx.lap(StageCFG, &clock)
 
 	// Function pointer analysis gates func-ptr mode (Section 5.2): it is
 	// only safe when every pointer is identified precisely.
@@ -67,6 +72,7 @@ func Rewrite(b *bin.Binary, opts Options) (*Result, error) {
 		}
 		ptrSites = sites
 	}
+	mx.lap(StageFuncPtr, &clock)
 
 	// Arbitrary instrumentation points restrict relocation to the
 	// functions that contain them (partial instrumentation).
@@ -163,10 +169,12 @@ func Rewrite(b *bin.Binary, opts Options) (*Result, error) {
 	if err := r.layout(instrBase); err != nil {
 		return nil, err
 	}
+	mx.lap(StageLayout, &clock)
 	instrData, cloneData, err := r.emit()
 	if err != nil {
 		return nil, err
 	}
+	mx.lap(StageEmit, &clock)
 
 	// Patch the original text: verification fill, then trampolines.
 	text := nb.Text()
@@ -260,6 +268,7 @@ func Rewrite(b *bin.Binary, opts Options) (*Result, error) {
 	for _, tp := range trapPairs {
 		trapSites = append(trapSites, tp.From)
 	}
+	mx.lap(StageTrampolines, &clock)
 
 	// Function pointer rewriting (data slots and relocations).
 	for _, site := range ptrSites {
@@ -287,6 +296,7 @@ func Rewrite(b *bin.Binary, opts Options) (*Result, error) {
 			stats.RewrittenPtrs++ // patched during relocation
 		}
 	}
+	mx.lap(StagePointers, &clock)
 
 	// New sections.
 	if r.nextCell > counterBase {
@@ -351,7 +361,18 @@ func Rewrite(b *bin.Binary, opts Options) (*Result, error) {
 	if err := nb.Validate(); err != nil {
 		return nil, fmt.Errorf("core: rewritten binary invalid: %w", err)
 	}
-	res := &Result{Binary: nb, Stats: stats, RelocMap: r.relocMap, TrapSites: trapSites}
+	mx.lap(StageFinalize, &clock)
+	mx.CFLBlocks = stats.CFLBlocks
+	mx.ScratchBlocks = stats.ScratchBlocks
+	mx.ScratchBytesHarvested = pool.harvested
+	mx.ScratchBytesFree = pool.total()
+	mx.Trampolines = map[arch.TrampolineClass]int{}
+	for c, n := range stats.Trampolines {
+		mx.Trampolines[c] = n
+	}
+	mx.ClonedTables = stats.ClonedTables
+	mx.AnalysisFailures = len(stats.SkippedFuncs)
+	res := &Result{Binary: nb, Stats: stats, Metrics: mx, RelocMap: r.relocMap, TrapSites: trapSites}
 	if opts.Request.Payload == instrument.PayloadCounter {
 		res.CounterCells = r.counterCells
 	}

@@ -35,7 +35,7 @@ type AblationResult struct {
 // Ablation runs the study. Each row is the full jt-mode system with
 // exactly one technique removed.
 func Ablation(a arch.Arch) (*AblationResult, error) {
-	suite, err := workload.SPECSuite(a, false)
+	suite, err := workload.SPECSuiteCached(a, false)
 	if err != nil {
 		return nil, err
 	}

@@ -43,7 +43,7 @@ const firefoxRuns = 6
 // paper reports — modelled as a failure whenever dir places traps inside
 // dtor functions).
 func Firefox() (*FirefoxResult, error) {
-	p, err := workload.Libxul(arch.X64)
+	p, err := workload.LibxulCached(arch.X64)
 	if err != nil {
 		return nil, err
 	}
@@ -110,6 +110,17 @@ func Firefox() (*FirefoxResult, error) {
 	return res, nil
 }
 
+// Failures lists the modes that failed, for exit-status reporting.
+func (r *FirefoxResult) Failures() []string {
+	var out []string
+	for _, m := range r.Modes {
+		if m.Failed {
+			out = append(out, fmt.Sprintf("libxul/%s: %s", m.Mode, m.Reason))
+		}
+	}
+	return out
+}
+
 // trapsInDtors reports whether any trap trampoline landed inside a
 // destructor function.
 func trapsInDtors(p *workload.Program, rw *core.Result) bool {
@@ -159,7 +170,7 @@ type DockerResult struct {
 // tables), func-ptr refuses the function table, RA translation keeps the
 // Go runtime's stack walks alive, and all 13 commands behave.
 func Docker() (*DockerResult, error) {
-	p, err := workload.Docker(arch.X64)
+	p, err := workload.DockerCached(arch.X64)
 	if err != nil {
 		return nil, err
 	}
@@ -201,6 +212,16 @@ func Docker() (*DockerResult, error) {
 	}
 	res.MaxOverhead, res.MeanOverhead = aggregate(ovs)
 	return res, nil
+}
+
+// Failures lists the command runs that diverged or faulted, for
+// exit-status reporting. The func-ptr refusal is the paper's designed
+// outcome and therefore not a failure here.
+func (r *DockerResult) Failures() []string {
+	if r.CommandsOK == r.Commands {
+		return nil
+	}
+	return []string{fmt.Sprintf("docker: only %d/%d commands behaved under the jt rewrite", r.CommandsOK, r.Commands)}
 }
 
 // Render formats the Docker experiment.

@@ -30,7 +30,7 @@ type BOLTResult struct {
 // built the default way (no -Wl,-q), which is what makes BOLT refuse
 // function reordering outright.
 func BOLTComparison() (*BOLTResult, error) {
-	suite, err := workload.SPECSuite(arch.X64, true)
+	suite, err := workload.SPECSuiteCached(arch.X64, true)
 	if err != nil {
 		return nil, err
 	}

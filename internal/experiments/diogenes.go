@@ -37,7 +37,7 @@ type DiogenesResult struct {
 // driver functions are dominated by dispatch code whose one-instruction
 // case blocks can only hold traps under per-block trampoline placement.
 func Diogenes() (*DiogenesResult, error) {
-	p, err := workload.Libcuda(arch.X64)
+	p, err := workload.LibcudaCached(arch.X64)
 	if err != nil {
 		return nil, err
 	}
@@ -128,6 +128,14 @@ func hotTargets(p *workload.Program, n int) ([]string, error) {
 		out = append(out, name[h.addr])
 	}
 	return out, nil
+}
+
+// Failures lists failed runs for exit-status reporting.
+func (r *DiogenesResult) Failures() []string {
+	if r.MainstreamOK {
+		return nil
+	}
+	return []string{"diogenes: mainstream (SRBI) identification run failed"}
 }
 
 // Render formats the case study.

@@ -76,10 +76,11 @@ func aggregate(vals []float64) (max, mean float64) {
 	return max, sum / float64(len(vals))
 }
 
-// minOf returns the minimum of a float slice (1 for empty).
+// minOf returns the minimum of a float slice (0 for empty; callers that
+// render it must treat an empty sample set as n/a, not as a measured 0).
 func minOf(vals []float64) float64 {
 	if len(vals) == 0 {
-		return 1
+		return 0
 	}
 	m := vals[0]
 	for _, v := range vals {
@@ -92,3 +93,13 @@ func minOf(vals []float64) float64 {
 
 // pct renders a ratio as a percentage string.
 func pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+
+// pctN renders a ratio aggregated over n samples; with no samples the
+// aggregate is undefined and renders as n/a (an approach with zero
+// passing runs must not report a fake 0.00%).
+func pctN(v float64, n int) string {
+	if n == 0 {
+		return "n/a"
+	}
+	return pct(v)
+}

@@ -30,6 +30,9 @@ type Table3Run struct {
 	Coverage float64
 	SizeInc  float64
 	Traps    int
+	// Metrics are the rewrite's per-pass metrics (zero when the rewrite
+	// itself failed before producing a result).
+	Metrics core.Metrics
 }
 
 // Table3Approach aggregates one approach row of Table 3.
@@ -37,11 +40,17 @@ type Table3Approach struct {
 	Name string
 	Runs []Table3Run
 	// Aggregates over the benchmarks (overhead/size over passing runs;
-	// coverage over all rewrites that completed).
+	// coverage over all rewrites that completed). The *Samples counts
+	// record how many benchmarks each aggregate is over: an aggregate
+	// with zero samples is undefined and renders as n/a, never as 0.00%.
 	TimeMax, TimeMean float64
 	CovMin, CovMean   float64
 	SizeMax, SizeMean float64
+	TimeSamples       int
+	CovSamples        int
 	Pass, Total       int
+	// Metrics sums the per-pass rewrite metrics over all completed cells.
+	Metrics core.Metrics
 }
 
 // Table3Result is one architecture's Table 3.
@@ -56,35 +65,26 @@ func blockEmpty() instrument.Request {
 	return instrument.Request{Where: instrument.BlockEntry, Payload: instrument.PayloadEmpty}
 }
 
-// Table3ForArch runs the SPEC-like suite through SRBI and the three
-// incremental modes (plus IR lowering on x86-64, where the paper managed
-// to build Egalito) and aggregates the paper's Table 3 columns.
-func Table3ForArch(a arch.Arch) (*Table3Result, error) {
-	suite, err := workload.SPECSuite(a, false)
-	if err != nil {
-		return nil, err
-	}
-	var pieSuite []*workload.Program
-	if a == arch.X64 {
-		// IR lowering requires PIE; the paper compiled the benchmarks
-		// with -pie for Egalito.
-		pieSuite, err = workload.SPECSuite(a, true)
-		if err != nil {
-			return nil, err
-		}
-	}
+// rewriteFn rewrites one benchmark program under one approach.
+type rewriteFn func(p *workload.Program) (*core.Result, error)
+
+// table3Spec is one approach row of the sweep: the approaches are fixed
+// up front so the serial and parallel runners execute identical cells.
+type table3Spec struct {
+	name string
+	pie  bool
+	fn   rewriteFn
+}
+
+// table3Specs lists the sweep's approaches for one architecture: SRBI
+// and the three incremental modes, plus IR lowering on x86-64 (where the
+// paper managed to build Egalito).
+func table3Specs(a arch.Arch) []table3Spec {
 	gap := uint64(0)
 	if a == arch.PPC {
 		gap = ppcInstrGap
 	}
-
-	res := &Table3Result{Arch: a}
-	type rewriteFn func(p *workload.Program) (*core.Result, error)
-	approaches := []struct {
-		name string
-		pie  bool
-		fn   rewriteFn
-	}{
+	specs := []table3Spec{
 		{"SRBI", false, func(p *workload.Program) (*core.Result, error) {
 			return baseline.SRBI(p.Binary, baseline.SRBIOptions{Request: blockEmpty(), Verify: true, InstrGap: gap})
 		}},
@@ -99,46 +99,111 @@ func Table3ForArch(a arch.Arch) (*Table3Result, error) {
 		}},
 	}
 	if a == arch.X64 {
-		approaches = append(approaches, struct {
-			name string
-			pie  bool
-			fn   rewriteFn
-		}{"IR lowering", true, func(p *workload.Program) (*core.Result, error) {
+		// IR lowering requires PIE; the paper compiled the benchmarks
+		// with -pie for Egalito.
+		specs = append(specs, table3Spec{"IR lowering", true, func(p *workload.Program) (*core.Result, error) {
 			return baseline.IRLower(p.Binary, baseline.IRLowerOptions{Request: blockEmpty()})
 		}})
 	}
+	return specs
+}
 
-	for _, ap := range approaches {
-		progs := suite
-		if ap.pie {
-			progs = pieSuite
-		}
-		row := Table3Approach{Name: ap.name, Total: len(progs)}
-		var ovh, cov, siz []float64
-		for _, p := range progs {
-			r := runOne(p, ap.fn)
-			row.Runs = append(row.Runs, r)
-			if r.Coverage >= 0 {
-				cov = append(cov, r.Coverage)
+// Table3ForArch runs the SPEC-like suite through every approach serially
+// and aggregates the paper's Table 3 columns.
+func Table3ForArch(a arch.Arch) (*Table3Result, error) {
+	return table3Sweep(a, 1)
+}
+
+// table3Sweep executes the (approach, benchmark) cells on up to jobs
+// workers. Every cell is independent: the suite binaries are shared
+// read-only (the rewriter clones before mutating, the emulator copies
+// section data into its own pages) and each result is written to its own
+// index, so the output is byte-identical regardless of job count or
+// scheduling order.
+func table3Sweep(a arch.Arch, jobs int) (*Table3Result, error) {
+	suite, err := workload.SPECSuiteCached(a, false)
+	if err != nil {
+		return nil, err
+	}
+	var pieSuite []*workload.Program
+	specs := table3Specs(a)
+	for _, sp := range specs {
+		if sp.pie {
+			pieSuite, err = workload.SPECSuiteCached(a, true)
+			if err != nil {
+				return nil, err
 			}
-			if r.Pass {
-				row.Pass++
-				ovh = append(ovh, r.Overhead)
-				siz = append(siz, r.SizeInc)
-			}
+			break
 		}
-		row.TimeMax, row.TimeMean = aggregate(ovh)
-		row.SizeMax, row.SizeMean = aggregate(siz)
-		_, row.CovMean = aggregate(cov)
-		row.CovMin = minOf(cov)
-		res.Approaches = append(res.Approaches, row)
+	}
+	progsFor := func(sp table3Spec) []*workload.Program {
+		if sp.pie {
+			return pieSuite
+		}
+		return suite
+	}
+
+	type cell struct{ spec, bench int }
+	var cells []cell
+	for si, sp := range specs {
+		for bi := range progsFor(sp) {
+			cells = append(cells, cell{si, bi})
+		}
+	}
+	runs := make([]Table3Run, len(cells))
+	runIndexed(len(cells), jobs, func(i int) {
+		c := cells[i]
+		runs[i] = runOne(progsFor(specs[c.spec])[c.bench], specs[c.spec].fn)
+	})
+
+	res := &Table3Result{Arch: a}
+	k := 0
+	for _, sp := range specs {
+		n := len(progsFor(sp))
+		res.Approaches = append(res.Approaches, table3Aggregate(sp.name, runs[k:k+n]))
+		k += n
 	}
 	return res, nil
 }
 
-// runOne measures one (approach, benchmark) cell.
-func runOne(p *workload.Program, rewrite func(*workload.Program) (*core.Result, error)) Table3Run {
-	out := Table3Run{Bench: p.Profile.Name, Coverage: -1}
+// table3Aggregate folds one approach's runs into the table row. An
+// approach with zero passing runs keeps zero samples and renders n/a —
+// aggregating over an empty set must never print as a measured 0.00%.
+func table3Aggregate(name string, runs []Table3Run) Table3Approach {
+	row := Table3Approach{Name: name, Total: len(runs), Runs: append([]Table3Run(nil), runs...)}
+	var ovh, cov, siz []float64
+	for _, r := range runs {
+		if r.Coverage >= 0 {
+			cov = append(cov, r.Coverage)
+		}
+		if r.Pass {
+			row.Pass++
+			ovh = append(ovh, r.Overhead)
+			siz = append(siz, r.SizeInc)
+		}
+		row.Metrics.Add(r.Metrics)
+	}
+	row.TimeSamples = len(ovh)
+	row.CovSamples = len(cov)
+	row.TimeMax, row.TimeMean = aggregate(ovh)
+	row.SizeMax, row.SizeMean = aggregate(siz)
+	_, row.CovMean = aggregate(cov)
+	row.CovMin = minOf(cov)
+	return row
+}
+
+// runOne measures one (approach, benchmark) cell. A panic anywhere in
+// the rewrite or measurement fails this cell with a reported reason
+// instead of killing the whole sweep — the per-run half of the paper's
+// graceful-failure contract (§4.3).
+func runOne(p *workload.Program, rewrite rewriteFn) (out Table3Run) {
+	out = Table3Run{Bench: p.Profile.Name, Coverage: -1}
+	defer func() {
+		if r := recover(); r != nil {
+			out.Pass = false
+			out.Reason = fmt.Sprintf("panic during rewrite: %v", r)
+		}
+	}()
 	orig, err := run(p.Binary, runOpts{})
 	if err != nil {
 		out.Reason = "original run failed: " + err.Error()
@@ -155,6 +220,7 @@ func runOne(p *workload.Program, rewrite func(*workload.Program) (*core.Result, 
 	out.Coverage = rw.Stats.Coverage()
 	out.SizeInc = rw.Stats.SizeIncrease()
 	out.Traps = rw.Stats.TrapCount()
+	out.Metrics = rw.Metrics
 	got, err := run(rw.Binary, runOpts{})
 	if err != nil {
 		out.Reason = "rewritten binary faulted: " + err.Error()
@@ -178,9 +244,9 @@ func (t *Table3Result) Render() string {
 		"", "time max", "time mean", "cov min", "cov mean", "size max", "size mean", "pass")
 	for _, ap := range t.Approaches {
 		fmt.Fprintf(&b, "%-12s %9s %9s | %8s %8s | %9s %9s | %d/%d\n",
-			ap.Name, pct(ap.TimeMax), pct(ap.TimeMean),
-			pct(ap.CovMin), pct(ap.CovMean),
-			pct(ap.SizeMax), pct(ap.SizeMean), ap.Pass, ap.Total)
+			ap.Name, pctN(ap.TimeMax, ap.TimeSamples), pctN(ap.TimeMean, ap.TimeSamples),
+			pctN(ap.CovMin, ap.CovSamples), pctN(ap.CovMean, ap.CovSamples),
+			pctN(ap.SizeMax, ap.TimeSamples), pctN(ap.SizeMean, ap.TimeSamples), ap.Pass, ap.Total)
 	}
 	for _, ap := range t.Approaches {
 		for _, r := range ap.Runs {
@@ -190,6 +256,34 @@ func (t *Table3Result) Render() string {
 		}
 	}
 	return b.String()
+}
+
+// MetricsRender formats the aggregated per-pass rewrite metrics of the
+// sweep. The stage timings are wall-clock and therefore excluded from
+// Render's deterministic table output.
+func (t *Table3Result) MetricsRender() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pipeline metrics (%s)\n", t.Arch)
+	for _, ap := range t.Approaches {
+		fmt.Fprintf(&b, "  %-12s %s\n", ap.Name,
+			strings.ReplaceAll(ap.Metrics.Render(), "\n", "\n               "))
+	}
+	return b.String()
+}
+
+// Failures lists every failed (approach, benchmark) cell as a
+// "approach/bench: reason" line, for callers that must signal failures
+// through the process exit status rather than only in the table.
+func (t *Table3Result) Failures() []string {
+	var out []string
+	for _, ap := range t.Approaches {
+		for _, r := range ap.Runs {
+			if !r.Pass {
+				out = append(out, fmt.Sprintf("%s/%s/%s: %s", t.Arch, ap.Name, r.Bench, r.Reason))
+			}
+		}
+	}
+	return out
 }
 
 // ensure bin import is used (section constants appear in other files).

@@ -23,7 +23,7 @@ type TrampolineDistribution struct {
 // Trampolines runs the distribution study for one architecture, with
 // the same PPC .instr gap as Table 3.
 func Trampolines(a arch.Arch) (*TrampolineDistribution, error) {
-	suite, err := workload.SPECSuite(a, false)
+	suite, err := workload.SPECSuiteCached(a, false)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"sync"
+
+	"icfgpatch/internal/arch"
+)
+
+// The generators are deterministic but not cheap: building and linking
+// the 19-benchmark suite dominates the start of every experiment sweep,
+// and the parallel Table 3 runner would otherwise regenerate identical
+// binaries in every worker. The cache memoises each seeded binary so it
+// is generated and compiled once and then shared read-only across cells:
+// that sharing is safe because the rewriter clones before mutating and
+// the emulator copies section data into its own pages.
+
+// cacheKey identifies one memoised generation request.
+type cacheKey struct {
+	kind string
+	a    arch.Arch
+	pie  bool
+}
+
+// cacheEntry single-flights one generation: the first caller runs gen,
+// concurrent and later callers share the stored result.
+type cacheEntry struct {
+	once  sync.Once
+	progs []*Program
+	err   error
+}
+
+var progCache sync.Map // cacheKey -> *cacheEntry
+
+// cached memoises gen behind key.
+func cached(key cacheKey, gen func() ([]*Program, error)) ([]*Program, error) {
+	e, _ := progCache.LoadOrStore(key, &cacheEntry{})
+	ent := e.(*cacheEntry)
+	ent.once.Do(func() { ent.progs, ent.err = gen() })
+	return ent.progs, ent.err
+}
+
+// cachedOne memoises a single-program generator.
+func cachedOne(key cacheKey, gen func() (*Program, error)) (*Program, error) {
+	progs, err := cached(key, func() ([]*Program, error) {
+		p, err := gen()
+		if err != nil {
+			return nil, err
+		}
+		return []*Program{p}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return progs[0], nil
+}
+
+// SPECSuiteCached returns the memoised 19-benchmark suite for one
+// architecture/PIE configuration. Callers must treat the programs as
+// read-only.
+func SPECSuiteCached(a arch.Arch, pie bool) ([]*Program, error) {
+	return cached(cacheKey{"spec", a, pie}, func() ([]*Program, error) { return SPECSuite(a, pie) })
+}
+
+// LibxulCached returns the memoised Firefox libxul.so-like workload.
+func LibxulCached(a arch.Arch) (*Program, error) {
+	return cachedOne(cacheKey{"libxul", a, true}, func() (*Program, error) { return Libxul(a) })
+}
+
+// DockerCached returns the memoised Docker-like Go binary.
+func DockerCached(a arch.Arch) (*Program, error) {
+	return cachedOne(cacheKey{"docker", a, true}, func() (*Program, error) { return Docker(a) })
+}
+
+// LibcudaCached returns the memoised libcuda.so-like driver library.
+func LibcudaCached(a arch.Arch) (*Program, error) {
+	return cachedOne(cacheKey{"libcuda", a, true}, func() (*Program, error) { return Libcuda(a) })
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+
+	"icfgpatch/internal/arch"
+)
+
+// TestCachedSuiteSingleFlight drives the memoised suite from many
+// goroutines at once: every caller must get the same generated programs
+// (pointer identity — one generation shared, not N generations), and
+// under -race the single-flight must be clean.
+func TestCachedSuiteSingleFlight(t *testing.T) {
+	const callers = 8
+	suites := make([][]*Program, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			suites[g], errs[g] = SPECSuiteCached(arch.A64, false)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < callers; g++ {
+		if errs[g] != nil {
+			t.Fatalf("caller %d: %v", g, errs[g])
+		}
+		if len(suites[g]) == 0 {
+			t.Fatalf("caller %d: empty suite", g)
+		}
+		for i := range suites[g] {
+			if suites[g][i] != suites[0][i] {
+				t.Fatalf("caller %d got a different program instance for benchmark %d", g, i)
+			}
+		}
+	}
+}
+
+// TestCachedSuiteMatchesFresh verifies the cache is a pure memoisation:
+// the cached binaries are byte-identical to a freshly generated suite.
+func TestCachedSuiteMatchesFresh(t *testing.T) {
+	cachedSuite, err := SPECSuiteCached(arch.A64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := SPECSuite(arch.A64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cachedSuite) != len(fresh) {
+		t.Fatalf("suite sizes differ: %d cached, %d fresh", len(cachedSuite), len(fresh))
+	}
+	for i := range fresh {
+		if cachedSuite[i].Profile.Name != fresh[i].Profile.Name {
+			t.Errorf("benchmark %d: name %q vs %q", i, cachedSuite[i].Profile.Name, fresh[i].Profile.Name)
+		}
+		if string(cachedSuite[i].Binary.Marshal()) != string(fresh[i].Binary.Marshal()) {
+			t.Errorf("benchmark %s: cached binary differs from fresh generation", fresh[i].Profile.Name)
+		}
+	}
+}
+
+// TestCachedOneIdentity checks the single-program caches return the
+// same instance on repeated calls.
+func TestCachedOneIdentity(t *testing.T) {
+	a, err := LibcudaCached(arch.X64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LibcudaCached(arch.X64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("LibcudaCached regenerated instead of memoising")
+	}
+}
