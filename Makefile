@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet fmt fmt-check bench check
+.PHONY: build test short race vet fmt fmt-check bench fuzz-seed bench-warm check
 
 build:
 	$(GO) build ./...
@@ -29,4 +29,15 @@ fmt-check:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-check: fmt-check vet race
+# fuzz-seed replays every fuzz target's seed corpus as regular tests
+# (no fuzzing engine — fast and deterministic).
+fuzz-seed:
+	$(GO) test -run Fuzz ./...
+
+# bench-warm smoke-tests the rewrite-as-a-service warm path: a few
+# iterations of warm Patch vs cold Rewrite, asserting byte-identical
+# output and reporting the speedup multiplier.
+bench-warm:
+	$(GO) test -run '^$$' -bench BenchmarkRewriteWarmVsCold -benchtime 3x .
+
+check: fmt-check vet race fuzz-seed bench-warm

@@ -251,6 +251,60 @@ func BenchmarkFirefoxLibxul(b *testing.B) {
 	}
 }
 
+// BenchmarkRewriteWarmVsCold measures the rewrite-as-a-service win on
+// the libxul-like workload: a cold end-to-end Rewrite against a warm
+// Patch on a cached analysis (the icfg-serve hit path). The speedup_x
+// metric is the warm-path multiplier; the warm output is asserted
+// byte-identical to the cold one.
+func BenchmarkRewriteWarmVsCold(b *testing.B) {
+	p, err := workload.LibxulCached(arch.X64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Mode: core.ModeJT, Request: blockEmpty()}
+
+	var cold, warm float64
+	var coldImg, warmImg []byte
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := core.Rewrite(p.Binary, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if coldImg == nil {
+				coldImg = res.Binary.Marshal()
+			}
+		}
+		cold = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("warm", func(b *testing.B) {
+		an, err := core.Analyze(p.Binary, core.AnalysisConfig{Mode: opts.Mode})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Prime the lazy per-function placements so the steady-state hit
+		// path is measured, as on a served analysis after its first patch.
+		res, err := an.Patch(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warmImg = res.Binary.Marshal()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := an.Patch(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		warm = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		if cold > 0 && warm > 0 {
+			b.ReportMetric(cold/warm, "speedup_x")
+		}
+	})
+	if coldImg != nil && warmImg != nil && string(coldImg) != string(warmImg) {
+		b.Fatal("warm patch output diverged from cold rewrite")
+	}
+}
+
 // BenchmarkDockerGo drives the Section 8.2 Docker experiment's "run"
 // command through the jt rewrite with Go runtime RA translation.
 func BenchmarkDockerGo(b *testing.B) {

@@ -21,13 +21,14 @@ import (
 
 	"icfgpatch/internal/arch"
 	"icfgpatch/internal/experiments"
+	"icfgpatch/internal/workload"
 )
 
 func main() {
 	runSel := flag.String("run", "all", "experiment to run: all, table1, table2, table3, figure1, figure2, firefox, docker, bolt, diogenes, ablation, trampolines")
 	archSel := flag.String("arch", "all", "architecture for table3: x64, ppc, a64, all")
 	jobs := flag.Int("jobs", 0, "worker count for the table3 sweep (0 = one per CPU, 1 = serial)")
-	metrics := flag.Bool("metrics", false, "print aggregated per-pass rewrite metrics after table3")
+	metrics := flag.Bool("metrics", false, "print aggregated per-pass rewrite metrics after table3 and workload cache stats at exit")
 	flag.Parse()
 
 	want := func(name string) bool { return *runSel == "all" || *runSel == name }
@@ -141,6 +142,9 @@ func main() {
 		}
 	}
 
+	if *metrics {
+		fmt.Printf("workload cache: %s\n", workload.CacheStats())
+	}
 	if failedRuns > 0 {
 		fmt.Fprintf(os.Stderr, "icfg-experiments: %d failed run(s)\n", failedRuns)
 		os.Exit(1)

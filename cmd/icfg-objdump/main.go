@@ -64,13 +64,47 @@ func printCFG(img *bin.Binary, symSel string) {
 	}
 }
 
+// printAddrMaps decodes the rewriter's address-map sections (.ra_map,
+// .tramp_map) entry by entry rather than leaving them as opaque bytes.
+func printAddrMaps(img *bin.Binary) {
+	for _, name := range []string{bin.SecRAMap, bin.SecTrampMap} {
+		s := img.Section(name)
+		if s == nil {
+			continue
+		}
+		pairs, err := bin.DecodeAddrMap(s.Data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icfg-objdump: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s: %d entries\n", name, len(pairs))
+		for _, p := range pairs {
+			fmt.Printf("  %#10x -> %#10x\n", p.From, p.To)
+		}
+	}
+}
+
+// addrMapSummary annotates an address-map section's row in the section
+// table with its decoded entry count.
+func addrMapSummary(s *bin.Section) string {
+	if s.Name != bin.SecRAMap && s.Name != bin.SecTrampMap {
+		return ""
+	}
+	pairs, err := bin.DecodeAddrMap(s.Data)
+	if err != nil {
+		return fmt.Sprintf("  (corrupt map: %v)", err)
+	}
+	return fmt.Sprintf("  (%d map entries)", len(pairs))
+}
+
 func main() {
 	disas := flag.Bool("d", false, "disassemble function symbols")
 	showCFG := flag.Bool("cfg", false, "print control flow graphs (blocks, edges, jump tables)")
+	ramap := flag.Bool("ramap", false, "decode .ra_map/.tramp_map sections entry by entry")
 	symSel := flag.String("sym", "", "disassemble only this function")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: icfg-objdump [-d] [-cfg] [-sym name] file.icfg")
+		fmt.Fprintln(os.Stderr, "usage: icfg-objdump [-d] [-cfg] [-ramap] [-sym name] file.icfg")
 		os.Exit(2)
 	}
 	img, err := bin.ReadFile(flag.Arg(0))
@@ -95,11 +129,15 @@ func main() {
 		if s.Flags&bin.FlagWrite != 0 {
 			flags += "W"
 		}
-		fmt.Printf("  %-16s %#10x..%#10x %8d %s\n", s.Name, s.Addr, s.End(), s.Size(), flags)
+		fmt.Printf("  %-16s %#10x..%#10x %8d %s%s\n", s.Name, s.Addr, s.End(), s.Size(), flags, addrMapSummary(s))
 	}
 	fmt.Printf("\n%d symbols, %d dynamic, %d runtime relocs, %d link relocs\n",
 		len(img.Symbols), len(img.DynSymbols), len(img.Relocs), len(img.LinkRelocs))
 
+	if *ramap {
+		printAddrMaps(img)
+		return
+	}
 	if *showCFG {
 		printCFG(img, *symSel)
 		return

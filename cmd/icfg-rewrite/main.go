@@ -6,25 +6,31 @@
 //
 //	icfg-rewrite -mode jt [-where block|func] [-payload empty|counter]
 //	             [-funcs f1,f2] [-verify] [-check] [-metrics]
-//	             [-gap bytes] -o out.icfg in.icfg
+//	             [-gap bytes] [-remote http://host:port]
+//	             -o out.icfg in.icfg
 //
-// With -check the original and rewritten binaries are both executed in
-// the reference emulator and their outputs compared; a fault or output
-// divergence is reported on stderr and the command exits non-zero.
+// With -remote the rewrite is performed by an icfg-serve daemon: the
+// serialised binary is POSTed to the service, which caches analyses by
+// content hash so repeat rewrites of the same binary run the warm patch
+// path. All other flags behave identically; -check still executes both
+// binaries locally in the reference emulator.
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"net/url"
 	"os"
+	"strconv"
 	"strings"
 
 	"icfgpatch/internal/bin"
 	"icfgpatch/internal/core"
 	"icfgpatch/internal/emu"
-	"icfgpatch/internal/instrument"
 	"icfgpatch/internal/rtlib"
+	"icfgpatch/internal/service"
 )
 
 // checkMaxInstrs bounds each -check execution; the workload drivers all
@@ -40,6 +46,7 @@ func main() {
 	check := flag.Bool("check", false, "run original and rewritten binaries in the emulator and compare outputs")
 	metrics := flag.Bool("metrics", false, "print per-pass rewrite metrics")
 	gap := flag.Uint64("gap", 0, "force a gap (bytes) before the relocated code section")
+	remote := flag.String("remote", "", "rewrite via an icfg-serve daemon at this base URL instead of locally")
 	out := flag.String("o", "", "output path (required)")
 	flag.Parse()
 
@@ -48,52 +55,93 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	img, err := bin.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
 
-	opts := core.Options{Verify: *verify, InstrGap: *gap}
-	switch *mode {
-	case "dir":
-		opts.Mode = core.ModeDir
-	case "jt":
-		opts.Mode = core.ModeJT
-	case "func-ptr", "funcptr":
-		opts.Mode = core.ModeFuncPtr
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
-	}
-	switch *where {
-	case "block":
-		opts.Request.Where = instrument.BlockEntry
-	case "func":
-		opts.Request.Where = instrument.FuncEntry
-	default:
-		fatal(fmt.Errorf("unknown instrumentation point %q", *where))
-	}
-	switch *payload {
-	case "empty":
-		opts.Request.Payload = instrument.PayloadEmpty
-	case "counter":
-		opts.Request.Payload = instrument.PayloadCounter
-	default:
-		fatal(fmt.Errorf("unknown payload %q", *payload))
-	}
+	// The flag surface is exactly the service wire surface, so the CLI
+	// reuses its parser: one set of validation for both paths.
+	v := url.Values{}
+	v.Set("mode", *mode)
+	v.Set("where", *where)
+	v.Set("payload", *payload)
 	if *funcs != "" {
-		opts.Request.Funcs = strings.Split(*funcs, ",")
+		v.Set("funcs", *funcs)
 	}
-
-	res, err := core.Rewrite(img, opts)
+	if *verify {
+		v.Set("verify", "1")
+	}
+	if *gap > 0 {
+		v.Set("gap", strconv.FormatUint(*gap, 10))
+	}
+	opts, err := service.ParseOptions(v)
 	if err != nil {
 		fatal(err)
 	}
-	if err := res.Binary.WriteFile(*out); err != nil {
+
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	img, err := bin.Unmarshal(raw)
+	if err != nil {
 		fatal(err)
 	}
 
-	s := res.Stats
+	var (
+		stats       core.Stats
+		metricsText string
+		rewritten   *bin.Binary
+		cacheLine   string
+	)
+	if *remote != "" {
+		cl := &service.Client{BaseURL: *remote}
+		image, reply, err := cl.Rewrite(context.Background(), raw, opts)
+		if err != nil {
+			fatal(err)
+		}
+		rewritten, err = bin.Unmarshal(image)
+		if err != nil {
+			fatal(fmt.Errorf("remote returned a bad image: %w", err))
+		}
+		if err := os.WriteFile(*out, image, 0o644); err != nil {
+			fatal(err)
+		}
+		stats, metricsText = reply.Stats, reply.MetricsText
+		switch {
+		case reply.ResultHit:
+			cacheLine = fmt.Sprintf("result cache hit (%.1fms server)", float64(reply.ElapsedUS)/1000)
+		case reply.AnalysisHit:
+			cacheLine = fmt.Sprintf("warm analysis (%.1fms server)", float64(reply.ElapsedUS)/1000)
+		default:
+			cacheLine = fmt.Sprintf("cold (%.1fms server)", float64(reply.ElapsedUS)/1000)
+		}
+	} else {
+		res, err := core.Rewrite(img, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Binary.WriteFile(*out); err != nil {
+			fatal(err)
+		}
+		stats, metricsText, rewritten = res.Stats, res.Metrics.Render(), res.Binary
+	}
+
 	fmt.Printf("rewrote %s (%s, mode %s)\n", flag.Arg(0), img.Arch, opts.Mode)
+	printSummary(stats)
+	if cacheLine != "" {
+		fmt.Printf("  service:      %s\n", cacheLine)
+	}
+	if *metrics {
+		fmt.Println(metricsText)
+	}
+
+	if *check {
+		if err := checkRun(img, rewritten); err != nil {
+			fatal(fmt.Errorf("check: %w", err))
+		}
+		fmt.Println("  check:        outputs identical")
+	}
+}
+
+func printSummary(s core.Stats) {
 	fmt.Printf("  functions:    %d/%d instrumented (coverage %.2f%%)\n",
 		s.InstrumentedFuncs, s.TotalFuncs, 100*s.Coverage())
 	if len(s.SkippedFuncs) > 0 {
@@ -106,16 +154,6 @@ func main() {
 	fmt.Printf("  ra map:       %d entries\n", s.RAMapEntries)
 	fmt.Printf("  size:         %d -> %d bytes (+%.2f%%)\n",
 		s.OrigLoadedSize, s.NewLoadedSize, 100*s.SizeIncrease())
-	if *metrics {
-		fmt.Println(res.Metrics.Render())
-	}
-
-	if *check {
-		if err := checkRun(img, res.Binary); err != nil {
-			fatal(fmt.Errorf("check: %w", err))
-		}
-		fmt.Println("  check:        outputs identical")
-	}
 }
 
 // checkRun executes orig and rewritten under the emulator and compares

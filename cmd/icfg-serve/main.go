@@ -1,0 +1,89 @@
+// Command icfg-serve runs the rewriter as a daemon. Clients POST
+// serialised binaries to /rewrite (see internal/service for the wire
+// format, or use icfg-rewrite -remote) and get back rewritten images;
+// analyses are cached by content hash so repeat rewrites of the same
+// binary skip CFG construction, jump-table analysis, and function-
+// pointer analysis entirely.
+//
+// Usage:
+//
+//	icfg-serve [-addr :8844] [-workers N] [-queue N]
+//	           [-analyses N] [-results N] [-disk dir]
+//	           [-timeout dur]
+//
+// SIGINT/SIGTERM drain gracefully: in-flight rewrites complete, queued
+// requests are rejected with 503, and the final cache statistics are
+// printed before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"icfgpatch/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8844", "listen address")
+	workers := flag.Int("workers", 0, "rewrite worker count (default: GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "request queue depth (default: 64)")
+	analyses := flag.Int("analyses", 0, "analysis cache entries (default: 32)")
+	results := flag.Int("results", 0, "result cache entries (0 disables the result cache)")
+	disk := flag.String("disk", "", "persist the result cache to this directory")
+	timeout := flag.Duration("timeout", 0, "per-request processing timeout (0: none)")
+	flag.Parse()
+
+	if *disk != "" && *results == 0 {
+		fatal(errors.New("-disk requires -results > 0"))
+	}
+
+	s := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		AnalysisEntries: *analyses,
+		ResultEntries:   *results,
+		Dir:             *disk,
+		Timeout:         *timeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Printf("icfg-serve: listening on %s\n", ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("icfg-serve: %s, draining\n", sig)
+	case err := <-errc:
+		fatal(err)
+	}
+
+	// Stop accepting, then drain the rewrite pool: in-flight requests
+	// finish, queued ones get their clean rejection.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	if err := s.Shutdown(ctx); err != nil {
+		fatal(fmt.Errorf("drain: %w", err))
+	}
+	fmt.Println(s.Stats())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "icfg-serve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+package bin_test
+
+import (
+	"bytes"
+	"testing"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/workload"
+)
+
+// fuzzSeeds returns serialised workload binaries for every arch — real
+// on-the-wire inputs, which give the fuzzer structurally valid starting
+// points to mutate.
+func fuzzSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	var seeds [][]byte
+	for _, a := range []arch.Arch{arch.X64, arch.A64, arch.PPC} {
+		p, err := workload.Generate(a, false, workload.Profile{
+			Name: "fuzzseed", Seed: 11, Lang: "c",
+			Funcs: 6, SwitchFrac: 0.3, TinyFrac: 0.2, Iters: 2,
+		})
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, p.Binary.Marshal())
+	}
+	return seeds
+}
+
+// FuzzDeserialize drives bin.Unmarshal with mutated serialised
+// binaries. Malformed or truncated input must return an error — never
+// panic — and anything that parses must survive a Marshal/Unmarshal
+// round trip byte-identically.
+func FuzzDeserialize(f *testing.F) {
+	for _, raw := range fuzzSeeds(f) {
+		f.Add(raw)
+		// Truncations exercise every table's short-input path.
+		for _, frac := range []int{2, 3, 10} {
+			f.Add(raw[:len(raw)/frac])
+		}
+	}
+	f.Add([]byte("ICFGBIN1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := bin.Unmarshal(data)
+		if err != nil {
+			return
+		}
+		out := b.Marshal()
+		b2, err := bin.Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-unmarshal of marshalled binary failed: %v", err)
+		}
+		if !bytes.Equal(out, b2.Marshal()) {
+			t.Fatal("marshal/unmarshal round trip not stable")
+		}
+	})
+}
+
+// FuzzDecodeAddrMap drives the .ra_map/.tramp_map payload decoder; a
+// hostile entry count must fail cleanly instead of over-allocating.
+func FuzzDecodeAddrMap(f *testing.F) {
+	f.Add(bin.EncodeAddrMap([]bin.AddrPair{{From: 0x1000, To: 0x2000}, {From: 0x1010, To: 0x2040}}))
+	f.Add(bin.EncodeAddrMap(nil))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pairs, err := bin.DecodeAddrMap(data)
+		if err != nil {
+			return
+		}
+		enc := bin.EncodeAddrMap(pairs)
+		back, err := bin.DecodeAddrMap(enc)
+		if err != nil {
+			t.Fatalf("re-decode of encoded map failed: %v", err)
+		}
+		if len(back) != len(pairs) {
+			t.Fatalf("round trip lost entries: %d -> %d", len(pairs), len(back))
+		}
+	})
+}

@@ -38,8 +38,10 @@ func DecodeAddrMap(data []byte) ([]AddrPair, error) {
 	if len(data) < 8 {
 		return nil, fmt.Errorf("bin: address map too short (%d bytes)", len(data))
 	}
+	// Bound n by the bytes actually present before doing arithmetic on
+	// it: 8+16*n overflows for adversarial counts.
 	n := binary.LittleEndian.Uint64(data)
-	if uint64(len(data)) < 8+16*n {
+	if n > uint64(len(data)-8)/16 {
 		return nil, fmt.Errorf("bin: address map declares %d entries but has %d bytes", n, len(data))
 	}
 	pairs := make([]AddrPair, n)

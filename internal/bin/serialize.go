@@ -70,6 +70,25 @@ func (r *reader) u64() uint64 {
 
 func (r *reader) i64() int64 { return int64(r.u64()) }
 
+// count reads a table length and rejects any count that could not fit
+// in the remaining input given a minimum entry size. This bounds both
+// allocation and loop work by the input length, so a hostile 2^60-entry
+// header fails cleanly instead of panicking on a negative make cap or
+// grinding through the loop.
+func (r *reader) count(what string, minEntrySize int) uint64 {
+	n := r.u64()
+	if r.err != nil {
+		return 0
+	}
+	if rem := len(r.b) - r.off; n > uint64(rem)/uint64(minEntrySize) {
+		if r.err == nil {
+			r.err = fmt.Errorf("bin: %s table declares %d entries but only %d bytes remain at offset %d", what, n, rem, r.off)
+		}
+		return 0
+	}
+	return n
+}
+
 func (r *reader) str() string {
 	n := r.u64()
 	if r.err != nil || r.off+int(n) > len(r.b) || n > uint64(len(r.b)) {
@@ -108,12 +127,16 @@ func writeSymbols(w *writer, syms []Symbol) {
 	}
 }
 
+// symbolWireSize is the minimum serialised Symbol: name length prefix,
+// addr, size, kind, global flag.
+const symbolWireSize = 8 + 8 + 8 + 1 + 1
+
 func readSymbols(r *reader) []Symbol {
-	n := r.u64()
+	n := r.count("symbol", symbolWireSize)
 	if r.err != nil {
 		return nil
 	}
-	syms := make([]Symbol, 0, min(int(n), 1<<20))
+	syms := make([]Symbol, 0, n)
 	for k := uint64(0); k < n && r.err == nil; k++ {
 		var s Symbol
 		s.Name = r.str()
@@ -136,12 +159,16 @@ func writeRelocs(w *writer, rels []Reloc) {
 	}
 }
 
+// relocWireSize is the minimum serialised Reloc: kind, offset, addend,
+// symbol length prefix.
+const relocWireSize = 1 + 8 + 8 + 8
+
 func readRelocs(r *reader) []Reloc {
-	n := r.u64()
+	n := r.count("reloc", relocWireSize)
 	if r.err != nil {
 		return nil
 	}
-	rels := make([]Reloc, 0, min(int(n), 1<<20))
+	rels := make([]Reloc, 0, n)
 	for k := uint64(0); k < n && r.err == nil; k++ {
 		var rl Reloc
 		rl.Kind = RelocKind(r.u8())
@@ -216,7 +243,9 @@ func Unmarshal(data []byte) (*Binary, error) {
 	b.Entry = r.u64()
 	b.TOCValue = r.u64()
 
-	nsec := r.u64()
+	// Minimum serialised section: name prefix, addr, flags, align, data
+	// prefix.
+	nsec := r.count("section", 8+8+1+8+8)
 	for k := uint64(0); k < nsec && r.err == nil; k++ {
 		s := &Section{}
 		s.Name = r.str()
@@ -232,13 +261,16 @@ func Unmarshal(data []byte) (*Binary, error) {
 	b.Relocs = readRelocs(r)
 	b.LinkRelocs = readRelocs(r)
 
-	nmeta := r.u64()
+	nmeta := r.count("meta", 8+8)
 	for k := uint64(0); k < nmeta && r.err == nil; k++ {
 		key := r.str()
 		b.Meta[key] = r.str()
 	}
 	if r.err != nil {
 		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("bin: %d trailing bytes after binary at offset %d", len(data)-r.off, r.off)
 	}
 	if !b.Arch.Valid() {
 		return nil, fmt.Errorf("bin: unknown architecture %d", b.Arch)

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"icfgpatch/internal/analysis"
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/cfg"
+	"icfgpatch/internal/dataflow"
+)
+
+// AnalysisConfig identifies one analysis variant of a binary: everything
+// Analyze consumes besides the binary itself. Two rewrites of the same
+// binary with the same config share all analysis work, whatever their
+// instrumentation request — the content-addressed store (internal/store)
+// keys cached analyses by binary hash × arch × mode × variant.
+type AnalysisConfig struct {
+	Mode    Mode
+	Variant Variant
+}
+
+// Analysis is the request-independent product of analysing one binary:
+// the CFG with jump-table resolution, function-pointer sites (func-ptr
+// mode), and lazily computed per-function trampoline placement inputs
+// (CFL blocks, liveness, superblocks). It is read-only after Analyze
+// returns, so one Analysis may serve any number of concurrent Patch
+// calls — the rewrite-service warm path.
+type Analysis struct {
+	Binary *bin.Binary
+	Config AnalysisConfig
+	Graph  *cfg.Graph
+	// PtrSites holds the function-pointer analysis result (func-ptr mode
+	// only; nil otherwise).
+	PtrSites []analysis.PtrSite
+	// Metrics records the analysis-phase stage timings (cfg,
+	// funcptr-analysis). Patch copies them into its Result so a cold
+	// Rewrite reports the same stage shape as before the split; a warm
+	// Patch reports the timings of the cached analysis.
+	Metrics Metrics
+
+	place   sync.Map // *cfg.Func -> *funcPlacement
+	padOnce sync.Once
+	padding [][2]uint64
+}
+
+// funcPlacement caches one function's trampoline placement inputs. The
+// once guard single-flights computation across concurrent Patch calls;
+// the fields are read-only afterwards.
+type funcPlacement struct {
+	once sync.Once
+	cfl  map[uint64]bool
+	lv   *dataflow.Liveness
+	sbs  []superblock
+}
+
+// Analyze runs every rewrite pass that is independent of the
+// instrumentation request: CFG construction with jump-table analysis,
+// the variant's coverage adjustments, and function-pointer analysis in
+// func-ptr mode. The result is cacheable: Patch applies any number of
+// instrumentation requests to it without repeating this work.
+func Analyze(b *bin.Binary, cfgc AnalysisConfig) (*Analysis, error) {
+	mx := Metrics{}
+	clock := time.Now()
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("core: input binary invalid: %w", err)
+	}
+	resolver := analysis.NewJumpTables(b)
+	resolver.Strict = cfgc.Variant.StrictJumpTableBounds
+	var g *cfg.Graph
+	var err error
+	if len(b.FuncSymbols()) == 0 {
+		// Stripped binary: recover function entries first, as Dyninst's
+		// parser does (the paper's libcuda.so is stripped).
+		g, err = cfg.BuildStripped(b, resolver)
+	} else {
+		g, err = cfg.Build(b, resolver)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: CFG construction: %w", err)
+	}
+	if cfgc.Variant.NoTailCallHeuristic {
+		for _, f := range g.Funcs {
+			if f.Err != nil {
+				continue
+			}
+			for _, ij := range f.IndirectJumps {
+				if ij.TailCall {
+					f.Err = fmt.Errorf("core: unresolved indirect jump at %#x (tail call heuristic disabled)", ij.Addr)
+					break
+				}
+			}
+		}
+	}
+	if cfgc.Variant.FailOnAnyError {
+		for _, f := range g.Funcs {
+			if f.Err != nil {
+				return nil, fmt.Errorf("core: all-or-nothing rewriting failed: %w", f.Err)
+			}
+		}
+	}
+	mx.lap(StageCFG, &clock)
+
+	// Function pointer analysis gates func-ptr mode (Section 5.2): it is
+	// only safe when every pointer is identified precisely.
+	var ptrSites []analysis.PtrSite
+	if cfgc.Mode == ModeFuncPtr {
+		sites, err := analysis.FuncPointers(b, g)
+		if err != nil {
+			if errors.Is(err, analysis.ErrImprecise) {
+				return nil, fmt.Errorf("%w: %v", ErrImpreciseFuncPtrs, err)
+			}
+			return nil, fmt.Errorf("core: function pointer analysis: %w", err)
+		}
+		ptrSites = sites
+	}
+	mx.lap(StageFuncPtr, &clock)
+
+	return &Analysis{Binary: b, Config: cfgc, Graph: g, PtrSites: ptrSites, Metrics: mx}, nil
+}
+
+// placement returns the function's cached placement inputs, computing
+// them on first use. CFL sets, liveness, and superblocks depend only on
+// the binary, mode, and variant — all part of the analysis key — so the
+// result is shared read-only by every Patch on this Analysis.
+func (an *Analysis) placement(f *cfg.Func) *funcPlacement {
+	pi, _ := an.place.LoadOrStore(f, &funcPlacement{})
+	p := pi.(*funcPlacement)
+	p.once.Do(func() {
+		b, mode, v := an.Binary, an.Config.Mode, an.Config.Variant
+		cfl := cflSet(b, f, mode)
+		if v.CallEmulation && b.Arch == arch.X64 {
+			// Emulated calls return to ORIGINAL fall-through blocks.
+			for _, blk := range f.Blocks {
+				if blk.Last().IsCall() && blk.Last().Kind != arch.CallIndMem {
+					cfl[blk.End] = true
+				}
+			}
+		}
+		if v.TrampolineEveryBlock {
+			for _, blk := range f.Blocks {
+				cfl[blk.Start] = true
+			}
+		}
+		sbs := superblocks(f, cfl)
+		if v.NoSuperblocks {
+			for i := range sbs {
+				if blk, ok := f.BlockAt(sbs[i].Start); ok {
+					if n := blk.Len() - int(sbs[i].Start-blk.Start); n < sbs[i].Space {
+						sbs[i].Space = n
+					}
+				}
+			}
+		}
+		p.cfl = cfl
+		p.lv = dataflow.ComputeLiveness(b.Arch, f)
+		p.sbs = sbs
+	})
+	return p
+}
+
+// paddingRanges lazily computes the text section's inter-function
+// padding, which every Patch donates to the scratch pool.
+func (an *Analysis) paddingRanges() [][2]uint64 {
+	an.padOnce.Do(func() { an.padding = paddingRanges(an.Binary) })
+	return an.padding
+}

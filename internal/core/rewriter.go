@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
@@ -9,7 +8,6 @@ import (
 	"icfgpatch/internal/arch"
 	"icfgpatch/internal/bin"
 	"icfgpatch/internal/cfg"
-	"icfgpatch/internal/dataflow"
 	"icfgpatch/internal/instrument"
 	"icfgpatch/internal/rtlib"
 )
@@ -17,62 +15,33 @@ import (
 // Rewrite performs incremental CFG patching on the binary and returns
 // the rewritten image. The input binary is not modified, so one binary
 // may be shared read-only by concurrent Rewrite calls.
+//
+// Rewrite is Analyze followed by Patch: callers that rewrite the same
+// binary repeatedly with different instrumentation sets should run
+// Analyze once (or hit it in a store.Store) and Patch per request.
 func Rewrite(b *bin.Binary, opts Options) (*Result, error) {
-	mx := Metrics{}
-	clock := time.Now()
-	if err := b.Validate(); err != nil {
-		return nil, fmt.Errorf("core: input binary invalid: %w", err)
-	}
-	resolver := analysis.NewJumpTables(b)
-	resolver.Strict = opts.Variant.StrictJumpTableBounds
-	var g *cfg.Graph
-	var err error
-	if len(b.FuncSymbols()) == 0 {
-		// Stripped binary: recover function entries first, as Dyninst's
-		// parser does (the paper's libcuda.so is stripped).
-		g, err = cfg.BuildStripped(b, resolver)
-	} else {
-		g, err = cfg.Build(b, resolver)
-	}
+	an, err := Analyze(b, AnalysisConfig{Mode: opts.Mode, Variant: opts.Variant})
 	if err != nil {
-		return nil, fmt.Errorf("core: CFG construction: %w", err)
+		return nil, err
 	}
-	if opts.Variant.NoTailCallHeuristic {
-		for _, f := range g.Funcs {
-			if f.Err != nil {
-				continue
-			}
-			for _, ij := range f.IndirectJumps {
-				if ij.TailCall {
-					f.Err = fmt.Errorf("core: unresolved indirect jump at %#x (tail call heuristic disabled)", ij.Addr)
-					break
-				}
-			}
-		}
-	}
-	if opts.Variant.FailOnAnyError {
-		for _, f := range g.Funcs {
-			if f.Err != nil {
-				return nil, fmt.Errorf("core: all-or-nothing rewriting failed: %w", f.Err)
-			}
-		}
-	}
-	mx.lap(StageCFG, &clock)
+	return an.Patch(opts)
+}
 
-	// Function pointer analysis gates func-ptr mode (Section 5.2): it is
-	// only safe when every pointer is identified precisely.
-	var ptrSites []analysis.PtrSite
-	if opts.Mode == ModeFuncPtr {
-		sites, err := analysis.FuncPointers(b, g)
-		if err != nil {
-			if errors.Is(err, analysis.ErrImprecise) {
-				return nil, fmt.Errorf("%w: %v", ErrImpreciseFuncPtrs, err)
-			}
-			return nil, fmt.Errorf("core: function pointer analysis: %w", err)
-		}
-		ptrSites = sites
+// Patch applies one instrumentation request to an analysed binary: it
+// plans the new layout, relocates the instrumented functions, installs
+// trampolines, rewrites function pointers, and emits the new sections.
+// The analysis is not mutated, so concurrent Patch calls may share it;
+// opts must carry the mode and variant the analysis was built with.
+func (an *Analysis) Patch(opts Options) (*Result, error) {
+	if opts.Mode != an.Config.Mode {
+		return nil, fmt.Errorf("core: patch mode %s does not match analysis mode %s", opts.Mode, an.Config.Mode)
 	}
-	mx.lap(StageFuncPtr, &clock)
+	if opts.Variant != an.Config.Variant {
+		return nil, fmt.Errorf("core: patch variant does not match analysis variant")
+	}
+	b, g, ptrSites := an.Binary, an.Graph, an.PtrSites
+	mx := Metrics{Stages: append([]StageMetric(nil), an.Metrics.Stages...)}
+	clock := time.Now()
 
 	// Arbitrary instrumentation points restrict relocation to the
 	// functions that contain them (partial instrumentation).
@@ -186,7 +155,7 @@ func Rewrite(b *bin.Binary, opts Options) (*Result, error) {
 			fillTextIllegal(b.Arch, text, f)
 		}
 	}
-	for _, pr := range paddingRanges(b) {
+	for _, pr := range an.paddingRanges() {
 		pool.add(pr[0], pr[1])
 	}
 
@@ -201,33 +170,12 @@ func Rewrite(b *bin.Binary, opts Options) (*Result, error) {
 		if !r.instrumented[f.Name] || opts.Variant.NoTrampolines {
 			continue
 		}
-		cfl := cflSet(b, f, opts.Mode)
-		if opts.Variant.CallEmulation && b.Arch == arch.X64 {
-			// Emulated calls return to ORIGINAL fall-through blocks.
-			for _, blk := range f.Blocks {
-				if blk.Last().IsCall() && blk.Last().Kind != arch.CallIndMem {
-					cfl[blk.End] = true
-				}
-			}
-		}
-		if opts.Variant.TrampolineEveryBlock {
-			for _, blk := range f.Blocks {
-				cfl[blk.Start] = true
-			}
-		}
+		pl := an.placement(f)
+		cfl := pl.cfl
 		stats.CFLBlocks += len(cfl)
 		stats.ScratchBlocks += len(f.Blocks) - len(cfl)
-		lv := dataflow.ComputeLiveness(b.Arch, f)
-		sbs := superblocks(f, cfl)
-		if opts.Variant.NoSuperblocks {
-			for i := range sbs {
-				if blk, ok := f.BlockAt(sbs[i].Start); ok {
-					if n := blk.Len() - int(sbs[i].Start-blk.Start); n < sbs[i].Space {
-						sbs[i].Space = n
-					}
-				}
-			}
-		}
+		lv := pl.lv
+		sbs := pl.sbs
 		for _, sb := range sbs {
 			to, ok := r.relocMap[sb.Start]
 			if !ok {

@@ -1,0 +1,103 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"icfgpatch/internal/core"
+)
+
+// Client drives a remote icfg-serve instance over the /rewrite wire
+// format. The zero value is not usable; set BaseURL.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8844".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient when set.
+	HTTPClient *http.Client
+}
+
+// maxReplyHeader bounds the JSON header a client will accept, keeping a
+// corrupt or hostile length prefix from driving a huge allocation.
+const maxReplyHeader = 16 << 20
+
+// Rewrite submits a serialised binary with the given options and
+// returns the rewritten image plus the server's reply metadata.
+func (c *Client) Rewrite(ctx context.Context, raw []byte, opts core.Options) ([]byte, *Reply, error) {
+	params, err := EncodeOptions(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	u := strings.TrimSuffix(c.BaseURL, "/") + "/rewrite?" + params.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(raw))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, nil, fmt.Errorf("service: remote rewrite failed (%s): %s",
+			resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(resp.Body, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("service: truncated reply header: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(hdr[:])
+	if n > maxReplyHeader {
+		return nil, nil, fmt.Errorf("service: reply header declares %d bytes", n)
+	}
+	jr := make([]byte, n)
+	if _, err := io.ReadFull(resp.Body, jr); err != nil {
+		return nil, nil, fmt.Errorf("service: truncated reply: %w", err)
+	}
+	var reply Reply
+	if err := json.Unmarshal(jr, &reply); err != nil {
+		return nil, nil, fmt.Errorf("service: bad reply JSON: %w", err)
+	}
+	image, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: truncated image: %w", err)
+	}
+	return image, &reply, nil
+}
+
+// Stats fetches the server's counters.
+func (c *Client) Stats(ctx context.Context) (*ServerStats, error) {
+	u := strings.TrimSuffix(c.BaseURL, "/") + "/stats"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("service: stats: %s", resp.Status)
+	}
+	var st ServerStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

@@ -1,0 +1,190 @@
+// HTTP transport: the wire format shared by cmd/icfg-serve and
+// cmd/icfg-rewrite -remote.
+//
+//	POST /rewrite?mode=jt&where=block&payload=empty[&funcs=a,b][&verify=1][&gap=N]
+//	  body: serialised input binary (.icfg bytes)
+//	  200 body: 8-byte little-endian JSON length, a JSON Reply, then
+//	            the serialised rewritten binary
+//	  errors: 400 bad request/options, 422 rewrite failure,
+//	          429 queue full, 503 shutting down, 504 deadline exceeded
+//	GET /stats   — JSON ServerStats
+//	GET /healthz — 200 "ok"
+package service
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"icfgpatch/internal/core"
+	"icfgpatch/internal/instrument"
+)
+
+// Reply is the JSON half of a /rewrite response.
+type Reply struct {
+	Stats       core.Stats `json:"stats"`
+	MetricsText string     `json:"metrics"`
+	AnalysisHit bool       `json:"analysisHit"`
+	ResultHit   bool       `json:"resultHit"`
+	ElapsedUS   int64      `json:"elapsedUs"`
+}
+
+// EncodeOptions renders the CLI-expressible rewrite options as query
+// parameters. Options outside the wire surface (instrumentation at raw
+// addresses, baseline variants) are rejected: they are in-process-only.
+func EncodeOptions(o core.Options) (url.Values, error) {
+	v := url.Values{}
+	v.Set("mode", o.Mode.String())
+	switch o.Request.Where {
+	case instrument.BlockEntry:
+		v.Set("where", "block")
+	case instrument.FuncEntry:
+		v.Set("where", "func")
+	default:
+		return nil, fmt.Errorf("service: instrumentation point %d not expressible on the wire", o.Request.Where)
+	}
+	switch o.Request.Payload {
+	case instrument.PayloadEmpty:
+		v.Set("payload", "empty")
+	case instrument.PayloadCounter:
+		v.Set("payload", "counter")
+	default:
+		return nil, fmt.Errorf("service: payload %d not expressible on the wire", o.Request.Payload)
+	}
+	if len(o.Request.Funcs) > 0 {
+		v.Set("funcs", strings.Join(o.Request.Funcs, ","))
+	}
+	if o.Verify {
+		v.Set("verify", "1")
+	}
+	if o.InstrGap > 0 {
+		v.Set("gap", strconv.FormatUint(o.InstrGap, 10))
+	}
+	if o.Variant != (core.Variant{}) {
+		return nil, errors.New("service: baseline variants are not expressible on the wire")
+	}
+	return v, nil
+}
+
+// ParseOptions is EncodeOptions' inverse, also used by the CLIs to turn
+// their flags into core.Options.
+func ParseOptions(v url.Values) (core.Options, error) {
+	var o core.Options
+	switch m := v.Get("mode"); m {
+	case "dir":
+		o.Mode = core.ModeDir
+	case "jt", "":
+		o.Mode = core.ModeJT
+	case "func-ptr", "funcptr":
+		o.Mode = core.ModeFuncPtr
+	default:
+		return o, fmt.Errorf("unknown mode %q", m)
+	}
+	switch w := v.Get("where"); w {
+	case "block", "":
+		o.Request.Where = instrument.BlockEntry
+	case "func":
+		o.Request.Where = instrument.FuncEntry
+	default:
+		return o, fmt.Errorf("unknown instrumentation point %q", w)
+	}
+	switch p := v.Get("payload"); p {
+	case "empty", "":
+		o.Request.Payload = instrument.PayloadEmpty
+	case "counter":
+		o.Request.Payload = instrument.PayloadCounter
+	default:
+		return o, fmt.Errorf("unknown payload %q", p)
+	}
+	if f := v.Get("funcs"); f != "" {
+		o.Request.Funcs = strings.Split(f, ",")
+	}
+	o.Verify = v.Get("verify") == "1" || v.Get("verify") == "true"
+	if g := v.Get("gap"); g != "" {
+		gap, err := strconv.ParseUint(g, 10, 64)
+		if err != nil {
+			return o, fmt.Errorf("bad gap %q: %v", g, err)
+		}
+		o.InstrGap = gap
+	}
+	return o, nil
+}
+
+// Handler returns the HTTP interface to the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/rewrite", s.handleRewrite)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	opts, err := ParseOptions(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := s.Submit(r.Context(), Request{Raw: raw, Opts: opts})
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	reply, err := json.Marshal(Reply{
+		Stats:       resp.Stats,
+		MetricsText: resp.Metrics.Render(),
+		AnalysisHit: resp.AnalysisHit,
+		ResultHit:   resp.ResultHit,
+		ElapsedUS:   resp.Elapsed.Microseconds(),
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(reply)))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(hdr[:])
+	w.Write(reply)
+	w.Write(resp.Image)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats())
+}
+
+// statusFor maps service errors onto HTTP statuses the client can act
+// on: retryable rejections are distinct from rewrite failures.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}

@@ -1,0 +1,465 @@
+// Package service turns the rewriter into a daemon: a bounded worker
+// pool consuming a backpressured request queue, with warm-path caching
+// through the content-addressed analysis store (internal/store).
+//
+// The paper's incremental pitch is operational here: rewriting the same
+// binary with different instrumentation sets (the Diogenes §9 loop)
+// pays for CFG, jump-table, and function-pointer analysis once per
+// (binary hash, arch, mode, variant) and then runs only core.Patch per
+// request. An optional second-level result cache — keyed additionally
+// by the full instrumentation request, persistable to disk — serves
+// byte-identical repeat requests without patching at all.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/core"
+	"icfgpatch/internal/store"
+)
+
+// Sentinel errors for the service's rejection paths.
+var (
+	// ErrQueueFull is returned by Submit when the request queue is at
+	// capacity — the backpressure signal; clients should retry later.
+	ErrQueueFull = errors.New("service: request queue full")
+	// ErrShuttingDown is returned for requests submitted after Shutdown
+	// began, and for queued requests drained during Shutdown.
+	ErrShuttingDown = errors.New("service: shutting down")
+)
+
+// Config configures a Server. Zero values select the documented
+// defaults.
+type Config struct {
+	// Workers is the rewrite worker count (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the pending request queue (default: 64).
+	QueueDepth int
+	// AnalysisEntries bounds the analysis store (default: 32 entries).
+	AnalysisEntries int
+	// ResultEntries bounds the request-level result cache; 0 disables
+	// it (analyses are still cached).
+	ResultEntries int
+	// Dir enables on-disk persistence of the result cache.
+	Dir string
+	// Timeout bounds each request's processing time, measured from
+	// dequeue; 0 means no server-side limit.
+	Timeout time.Duration
+}
+
+// Request is one rewrite submission. Either Binary or Raw (a serialised
+// binary) must be set; Hash is the content address and is computed when
+// empty.
+type Request struct {
+	Raw    []byte
+	Binary *bin.Binary
+	Hash   string
+	Opts   core.Options
+}
+
+// Response is one completed rewrite.
+type Response struct {
+	// Image is the serialised rewritten binary.
+	Image []byte
+	Stats core.Stats
+	// Metrics is the request's per-pass metrics. On an analysis-store
+	// hit the analysis stages report the cached analysis's timings (see
+	// core.Analysis.Metrics); on a result-cache hit the whole record is
+	// the cached request's.
+	Metrics core.Metrics
+	// AnalysisHit reports that the patch ran against a cached analysis;
+	// ResultHit that the entire response was served from the result
+	// cache (AnalysisHit is false then — no analysis was consulted).
+	AnalysisHit bool
+	ResultHit   bool
+	// Elapsed is the server-side processing time, excluding queueing.
+	Elapsed time.Duration
+}
+
+// AnalysisKey addresses one cached analysis: the content hash of the
+// serialised input binary plus everything core.Analyze consumes.
+type AnalysisKey struct {
+	Hash    string
+	Arch    arch.Arch
+	Mode    core.Mode
+	Variant core.Variant
+}
+
+// cachedResult is the result cache's artifact (gob-encoded on disk).
+type cachedResult struct {
+	Image   []byte
+	Stats   core.Stats
+	Metrics core.Metrics
+}
+
+// ServerStats is a snapshot of the service's counters.
+type ServerStats struct {
+	Analyses store.Stats
+	Results  store.Stats
+	Served   uint64
+	Failed   uint64
+	Rejected uint64
+	Queued   int
+	QueueCap int
+	Workers  int
+}
+
+// String renders the snapshot as a short multi-line report.
+func (s ServerStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workers=%d queued=%d/%d served=%d failed=%d rejected=%d\n",
+		s.Workers, s.Queued, s.QueueCap, s.Served, s.Failed, s.Rejected)
+	fmt.Fprintf(&b, "analysis store: %s\n", s.Analyses)
+	fmt.Fprintf(&b, "result store:   %s", s.Results)
+	return b.String()
+}
+
+type job struct {
+	ctx  context.Context
+	req  *Request
+	resp *Response
+	err  error
+	done chan struct{}
+}
+
+func (j *job) finish(resp *Response, err error) {
+	j.resp, j.err = resp, err
+	close(j.done)
+}
+
+// Server is the rewrite daemon. Create with New, submit with Submit
+// (or the HTTP handler), stop with Shutdown.
+type Server struct {
+	cfg      Config
+	analyses *store.Store[AnalysisKey, *core.Analysis]
+	results  *store.Store[string, cachedResult] // nil when disabled
+
+	queue   chan *job
+	drain   chan struct{}
+	workers sync.WaitGroup
+
+	stateMu  sync.RWMutex
+	draining bool
+	stopped  chan struct{}
+
+	served, failed, rejected atomic.Uint64
+}
+
+// New creates a Server and starts its workers.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.AnalysisEntries <= 0 {
+		cfg.AnalysisEntries = 32
+	}
+	s := &Server{
+		cfg:      cfg,
+		analyses: store.New(store.Config[AnalysisKey, *core.Analysis]{MaxEntries: cfg.AnalysisEntries}),
+		queue:    make(chan *job, cfg.QueueDepth),
+		drain:    make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+	if cfg.ResultEntries > 0 {
+		s.results = store.New(store.Config[string, cachedResult]{
+			MaxEntries: cfg.ResultEntries,
+			Dir:        cfg.Dir,
+			KeyPath:    func(k string) string { return k + ".res" },
+			Encode:     encodeResult,
+			Decode:     decodeResult,
+		})
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func encodeResult(v cachedResult) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeResult(data []byte) (cachedResult, error) {
+	var v cachedResult
+	err := gob.NewDecoder(bytes.NewReader(data)).Decode(&v)
+	return v, err
+}
+
+// Submit enqueues one request and waits for its response. It returns
+// ErrQueueFull immediately when the queue is at capacity (the caller
+// owns the retry policy), ErrShuttingDown once Shutdown has begun, and
+// ctx's error if the caller gives up first.
+func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
+	if err := normalize(&req); err != nil {
+		return nil, err
+	}
+	j := &job{ctx: ctx, req: &req, done: make(chan struct{})}
+
+	// The state lock pairs the draining check with the (non-blocking)
+	// enqueue, so Shutdown's queue drain cannot miss a racing Submit.
+	s.stateMu.RLock()
+	if s.draining {
+		s.stateMu.RUnlock()
+		return nil, ErrShuttingDown
+	}
+	select {
+	case s.queue <- j:
+		s.stateMu.RUnlock()
+	default:
+		s.stateMu.RUnlock()
+		s.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+
+	select {
+	case <-j.done:
+		return j.resp, j.err
+	case <-ctx.Done():
+		// The job stays queued; the worker that dequeues it observes the
+		// dead context and abandons it at the first seam.
+		return nil, ctx.Err()
+	}
+}
+
+// normalize fills the request's derived fields.
+func normalize(req *Request) error {
+	if req.Binary == nil {
+		if len(req.Raw) == 0 {
+			return errors.New("service: request carries no binary")
+		}
+		b, err := bin.Unmarshal(req.Raw)
+		if err != nil {
+			return fmt.Errorf("service: bad request binary: %w", err)
+		}
+		req.Binary = b
+	}
+	if req.Hash == "" {
+		if len(req.Raw) > 0 {
+			req.Hash = store.Hash(req.Raw)
+		} else {
+			req.Hash = store.Hash(req.Binary.Marshal())
+		}
+	}
+	return nil
+}
+
+// worker is one pool goroutine: it prefers the drain signal over new
+// work, so Shutdown stops the pool after at most the in-flight request
+// per worker.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		select {
+		case <-s.drain:
+			return
+		default:
+		}
+		select {
+		case <-s.drain:
+			return
+		case j := <-s.queue:
+			s.process(j)
+		}
+	}
+}
+
+// testHookDequeue, when non-nil, runs as a worker picks up a job —
+// test instrumentation for deterministic scheduling assertions.
+var testHookDequeue func()
+
+// process runs one dequeued job under the server-side timeout.
+func (s *Server) process(j *job) {
+	if testHookDequeue != nil {
+		testHookDequeue()
+	}
+	ctx := j.ctx
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	resp, err := s.handle(ctx, j.req)
+	if err != nil {
+		s.failed.Add(1)
+		j.finish(nil, err)
+		return
+	}
+	resp.Elapsed = time.Since(start)
+	s.served.Add(1)
+	j.finish(resp, nil)
+}
+
+// handle serves one request through the cache hierarchy. A single
+// retry absorbs the singleflight wart: when the building request's
+// context dies mid-build, its waiters receive that foreign context
+// error even though their own contexts are live — the failed build is
+// not cached, so one retry rebuilds cleanly.
+func (s *Server) handle(ctx context.Context, req *Request) (*Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := s.rewriteOnce(ctx, req)
+		if err != nil && attempt == 0 && isContextErr(err) && ctx.Err() == nil {
+			continue
+		}
+		return resp, err
+	}
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// rewriteOnce is one pass through result cache → analysis cache →
+// patch. The request's context is honoured at the phase seams: before
+// starting, between Analyze and Patch, and before serialisation.
+func (s *Server) rewriteOnce(ctx context.Context, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.results == nil {
+		res, analysisHit, err := s.analyzeAndPatch(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{Image: res.Image, Stats: res.Stats, Metrics: res.Metrics, AnalysisHit: analysisHit}, nil
+	}
+	var analysisHit bool
+	key := resultFingerprint(req.Hash, req.Opts)
+	v, hit, err := s.results.GetOrCreate(key, func() (cachedResult, error) {
+		res, ah, err := s.analyzeAndPatch(ctx, req)
+		if err != nil {
+			return cachedResult{}, err
+		}
+		analysisHit = ah
+		return *res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		return &Response{Image: v.Image, Stats: v.Stats, Metrics: v.Metrics, ResultHit: true}, nil
+	}
+	return &Response{Image: v.Image, Stats: v.Stats, Metrics: v.Metrics, AnalysisHit: analysisHit}, nil
+}
+
+// analyzeAndPatch is the warm path's seam: analysis through the
+// content-addressed store (single-flighted across concurrent requests
+// for the same binary), then a per-request patch.
+func (s *Server) analyzeAndPatch(ctx context.Context, req *Request) (*cachedResult, bool, error) {
+	key := AnalysisKey{Hash: req.Hash, Arch: req.Binary.Arch, Mode: req.Opts.Mode, Variant: req.Opts.Variant}
+	an, hit, err := s.analyses.GetOrCreate(key, func() (*core.Analysis, error) {
+		return core.Analyze(req.Binary, core.AnalysisConfig{Mode: req.Opts.Mode, Variant: req.Opts.Variant})
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, hit, err
+	}
+	res, err := an.Patch(req.Opts)
+	if err != nil {
+		return nil, hit, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, hit, err
+	}
+	return &cachedResult{Image: res.Binary.Marshal(), Stats: res.Stats, Metrics: res.Metrics}, hit, nil
+}
+
+// resultFingerprint extends the content address with the full
+// instrumentation request, canonically rendered.
+func resultFingerprint(hash string, o core.Options) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|m%d|w%d|p%d|v%t|g%d|nr%t|%+v|f:%s|a:",
+		hash, o.Mode, o.Request.Where, o.Request.Payload,
+		o.Verify, o.InstrGap, o.NoRAMap, o.Variant,
+		strings.Join(o.Request.Funcs, ","))
+	for _, a := range o.Request.Addrs {
+		fmt.Fprintf(&b, "%x,", a)
+	}
+	return store.Hash([]byte(b.String()))
+}
+
+// Shutdown drains the service: new submissions are rejected, workers
+// finish their in-flight requests and stop, and every request still
+// queued fails with ErrShuttingDown. It returns ctx's error if the
+// in-flight work outlives the context.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.stateMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.stateMu.Unlock()
+	if already {
+		select {
+		case <-s.stopped:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	close(s.drain)
+
+	finished := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+
+	// With the state lock held once more, no Submit can still be
+	// enqueueing: everything left in the queue is drainable.
+	s.stateMu.Lock()
+	for {
+		select {
+		case j := <-s.queue:
+			s.rejected.Add(1)
+			j.finish(nil, ErrShuttingDown)
+			continue
+		default:
+		}
+		break
+	}
+	s.stateMu.Unlock()
+	close(s.stopped)
+	return nil
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() ServerStats {
+	st := ServerStats{
+		Analyses: s.analyses.Stats(),
+		Served:   s.served.Load(),
+		Failed:   s.failed.Load(),
+		Rejected: s.rejected.Load(),
+		Queued:   len(s.queue),
+		QueueCap: cap(s.queue),
+		Workers:  s.cfg.Workers,
+	}
+	if s.results != nil {
+		st.Results = s.results.Stats()
+	}
+	return st
+}

@@ -1,0 +1,229 @@
+// Package store provides the content-addressed artifact store behind
+// the rewrite service's warm path. Artifacts are keyed by what produced
+// them — for rewrite analyses, the binary's content hash × arch × mode
+// × variant — so identical inputs share one cached result regardless of
+// which client submitted them.
+//
+// The store is an in-memory LRU with single-flight population:
+// concurrent GetOrCreate calls for one key run the builder exactly once
+// and share its result, the idiom internal/workload's generation cache
+// established. Optional on-disk persistence (Config.Dir plus a codec)
+// spills successfully built artifacts to files named by key, so a
+// restarted process warms from disk instead of rebuilding.
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is the counter shape every cache in the system reports: the
+// analysis and result stores here, and internal/workload's generation
+// cache. Hits include waiters that shared a single-flighted build and
+// artifacts reloaded from disk.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// String renders the counters as a stable one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d", s.Hits, s.Misses, s.Evictions)
+}
+
+// Hash returns the content address of a byte string: a hex sha256,
+// suitable for Key fields and persistence file names.
+func Hash(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Config configures one store.
+type Config[K comparable, V any] struct {
+	// MaxEntries bounds the in-memory entry count; 0 means unbounded.
+	// Eviction is LRU and never removes an entry still being built.
+	MaxEntries int
+	// Dir enables on-disk persistence when non-empty: built artifacts
+	// are encoded into Dir and decoded back on a memory miss. KeyPath,
+	// Encode, and Decode must be set when Dir is.
+	Dir     string
+	KeyPath func(K) string
+	Encode  func(V) ([]byte, error)
+	Decode  func([]byte) (V, error)
+}
+
+// entry is one keyed slot. ready closes when the value (or error) is
+// final; val/err must not be read before that.
+type entry[V any] struct {
+	ready chan struct{}
+	val   V
+	err   error
+	done  bool // guarded by Store.mu; true once ready is closed
+	elem  *list.Element
+}
+
+// Store is a content-addressed artifact cache safe for concurrent use.
+type Store[K comparable, V any] struct {
+	cfg Config[K, V]
+
+	mu      sync.Mutex
+	entries map[K]*entry[V]
+	lru     *list.List // of K; front is most recently used
+
+	hits, misses, evictions atomic.Uint64
+}
+
+// New creates a store. It panics if Dir is set without a complete codec
+// (a configuration bug, not a runtime condition).
+func New[K comparable, V any](cfg Config[K, V]) *Store[K, V] {
+	if cfg.Dir != "" && (cfg.KeyPath == nil || cfg.Encode == nil || cfg.Decode == nil) {
+		panic("store: Dir requires KeyPath, Encode, and Decode")
+	}
+	return &Store[K, V]{cfg: cfg, entries: map[K]*entry[V]{}, lru: list.New()}
+}
+
+// GetOrCreate returns the artifact for key, building it with build on a
+// miss. Exactly one concurrent caller per key runs build; the others
+// block and share the outcome. The hit result reports whether the value
+// came from the cache (memory or disk) rather than from this call's
+// build. A failed build is not cached: its error goes to every waiter,
+// and the next GetOrCreate retries.
+func (s *Store[K, V]) GetOrCreate(key K, build func() (V, error)) (V, bool, error) {
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(e.elem)
+		s.mu.Unlock()
+		<-e.ready
+		s.hits.Add(1)
+		return e.val, true, e.err
+	}
+	e := &entry[V]{ready: make(chan struct{})}
+	e.elem = s.lru.PushFront(key)
+	s.entries[key] = e
+	s.mu.Unlock()
+
+	fromDisk := false
+	v, err := s.loadDisk(key)
+	if err == nil {
+		fromDisk = true
+	} else {
+		v, err = build()
+	}
+	e.val, e.err = v, err
+	close(e.ready)
+
+	s.mu.Lock()
+	e.done = true
+	if err != nil {
+		// Do not cache failures; let later calls retry.
+		s.lru.Remove(e.elem)
+		delete(s.entries, key)
+	} else {
+		s.evictLocked()
+	}
+	s.mu.Unlock()
+
+	if err == nil {
+		if fromDisk {
+			s.hits.Add(1)
+			return v, true, nil
+		}
+		s.saveDisk(key, v)
+	}
+	s.misses.Add(1)
+	return v, false, err
+}
+
+// Get returns the artifact for key if present and built, without
+// populating.
+func (s *Store[K, V]) Get(key K) (V, bool) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if ok {
+		s.lru.MoveToFront(e.elem)
+	}
+	s.mu.Unlock()
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	<-e.ready
+	if e.err != nil {
+		var zero V
+		return zero, false
+	}
+	s.hits.Add(1)
+	return e.val, true
+}
+
+// evictLocked drops least-recently-used completed entries until the
+// store fits MaxEntries. Entries still building are skipped: their
+// builder will re-check on completion.
+func (s *Store[K, V]) evictLocked() {
+	if s.cfg.MaxEntries <= 0 {
+		return
+	}
+	for el := s.lru.Back(); el != nil && s.lru.Len() > s.cfg.MaxEntries; {
+		prev := el.Prev()
+		key := el.Value.(K)
+		if e := s.entries[key]; e != nil && e.done {
+			s.lru.Remove(el)
+			delete(s.entries, key)
+			s.evictions.Add(1)
+		}
+		el = prev
+	}
+}
+
+// loadDisk attempts to decode a persisted artifact.
+func (s *Store[K, V]) loadDisk(key K) (V, error) {
+	var zero V
+	if s.cfg.Dir == "" {
+		return zero, os.ErrNotExist
+	}
+	data, err := os.ReadFile(filepath.Join(s.cfg.Dir, s.cfg.KeyPath(key)))
+	if err != nil {
+		return zero, err
+	}
+	return s.cfg.Decode(data)
+}
+
+// saveDisk persists an artifact best-effort: the memory copy is
+// authoritative and persistence failures are not the caller's problem.
+func (s *Store[K, V]) saveDisk(key K, v V) {
+	if s.cfg.Dir == "" {
+		return
+	}
+	data, err := s.cfg.Encode(v)
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(s.cfg.Dir, 0o755); err != nil {
+		return
+	}
+	path := filepath.Join(s.cfg.Dir, s.cfg.KeyPath(key))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, path)
+}
+
+// Len returns the number of in-memory entries (including in-flight).
+func (s *Store[K, V]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats returns a snapshot of the hit/miss/eviction counters.
+func (s *Store[K, V]) Stats() Stats {
+	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Evictions: s.evictions.Load()}
+}

@@ -1,0 +1,149 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func byteConfig(max int, dir string) Config[string, []byte] {
+	cfg := Config[string, []byte]{MaxEntries: max}
+	if dir != "" {
+		cfg.Dir = dir
+		cfg.KeyPath = func(k string) string { return k }
+		cfg.Encode = func(v []byte) ([]byte, error) { return v, nil }
+		cfg.Decode = func(d []byte) ([]byte, error) { return d, nil }
+	}
+	return cfg
+}
+
+func TestHitMissCounters(t *testing.T) {
+	s := New(byteConfig(0, ""))
+	build := func() ([]byte, error) { return []byte("v"), nil }
+	if _, hit, err := s.GetOrCreate("a", build); err != nil || hit {
+		t.Fatalf("first get: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := s.GetOrCreate("a", build); err != nil || !hit {
+		t.Fatalf("second get: hit=%v err=%v", hit, err)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Evictions != 0 {
+		t.Fatalf("stats = %s", st)
+	}
+}
+
+func TestSingleFlight(t *testing.T) {
+	s := New(byteConfig(0, ""))
+	var builds atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := s.GetOrCreate("k", func() ([]byte, error) {
+				builds.Add(1)
+				return []byte("once"), nil
+			})
+			if err != nil || string(v) != "once" {
+				t.Errorf("got %q err %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("builder ran %d times", n)
+	}
+}
+
+func TestErrorNotCached(t *testing.T) {
+	s := New(byteConfig(0, ""))
+	boom := errors.New("boom")
+	if _, _, err := s.GetOrCreate("k", func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("failed build cached (%d entries)", s.Len())
+	}
+	v, hit, err := s.GetOrCreate("k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || hit || string(v) != "ok" {
+		t.Fatalf("retry: v=%q hit=%v err=%v", v, hit, err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := New(byteConfig(2, ""))
+	mk := func(k string) { s.GetOrCreate(k, func() ([]byte, error) { return []byte(k), nil }) }
+	mk("a")
+	mk("b")
+	mk("a") // refresh a; b is now LRU
+	mk("c") // evicts b
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := s.Get("a"); !ok {
+		t.Fatal("a evicted despite being recently used")
+	}
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d", st.Evictions)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s1 := New(byteConfig(0, dir))
+	if _, hit, err := s1.GetOrCreate("k", func() ([]byte, error) { return []byte("payload"), nil }); err != nil || hit {
+		t.Fatalf("build: hit=%v err=%v", hit, err)
+	}
+
+	// A fresh store over the same directory must warm from disk.
+	s2 := New(byteConfig(0, dir))
+	v, hit, err := s2.GetOrCreate("k", func() ([]byte, error) {
+		return nil, errors.New("must not rebuild")
+	})
+	if err != nil || !hit || string(v) != "payload" {
+		t.Fatalf("disk load: v=%q hit=%v err=%v", v, hit, err)
+	}
+	if st := s2.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("disk stats = %s", st)
+	}
+}
+
+func TestHashStable(t *testing.T) {
+	if Hash([]byte("x")) != Hash([]byte("x")) {
+		t.Fatal("hash not deterministic")
+	}
+	if Hash([]byte("x")) == Hash([]byte("y")) {
+		t.Fatal("hash collision on trivial input")
+	}
+	if len(Hash(nil)) != 64 {
+		t.Fatal("hash not hex sha256")
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	s := New(byteConfig(4, ""))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 64; i++ {
+				k := fmt.Sprintf("k%d", (g+i)%6)
+				v, _, err := s.GetOrCreate(k, func() ([]byte, error) { return []byte(k), nil })
+				if err != nil || string(v) != k {
+					t.Errorf("key %s: v=%q err=%v", k, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() > 4 {
+		t.Fatalf("len %d exceeds max", s.Len())
+	}
+}

@@ -2,8 +2,10 @@ package workload
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"icfgpatch/internal/arch"
+	"icfgpatch/internal/store"
 )
 
 // The generators are deterministic but not cheap: building and linking
@@ -29,13 +31,33 @@ type cacheEntry struct {
 	err   error
 }
 
-var progCache sync.Map // cacheKey -> *cacheEntry
+var (
+	progCache   sync.Map // cacheKey -> *cacheEntry
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+)
+
+// CacheStats reports the workload cache's hit/miss counters — the same
+// shape internal/store uses, so experiment reports can print both
+// caches uniformly. A miss is a generation actually run; concurrent
+// callers that share a single-flighted generation count as hits.
+func CacheStats() store.Stats {
+	return store.Stats{Hits: cacheHits.Load(), Misses: cacheMisses.Load()}
+}
 
 // cached memoises gen behind key.
 func cached(key cacheKey, gen func() ([]*Program, error)) ([]*Program, error) {
 	e, _ := progCache.LoadOrStore(key, &cacheEntry{})
 	ent := e.(*cacheEntry)
-	ent.once.Do(func() { ent.progs, ent.err = gen() })
+	generated := false
+	ent.once.Do(func() {
+		generated = true
+		cacheMisses.Add(1)
+		ent.progs, ent.err = gen()
+	})
+	if !generated {
+		cacheHits.Add(1)
+	}
 	return ent.progs, ent.err
 }
 

@@ -78,3 +78,29 @@ func TestCachedOneIdentity(t *testing.T) {
 		t.Error("LibcudaCached regenerated instead of memoising")
 	}
 }
+
+// TestCacheStats checks the hit/miss counters: repeated calls for one
+// key must record at most one miss (the generation) and count every
+// other caller as a hit. Counters are process-global, so the test
+// measures deltas; the assertions hold whether or not another test
+// already generated the key.
+func TestCacheStats(t *testing.T) {
+	before := CacheStats()
+	for i := 0; i < 3; i++ {
+		if _, err := LibcudaCached(arch.A64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := CacheStats()
+	d.Hits -= before.Hits
+	d.Misses -= before.Misses
+	if d.Hits+d.Misses != 3 {
+		t.Fatalf("3 calls recorded %d hits + %d misses", d.Hits, d.Misses)
+	}
+	if d.Misses > 1 {
+		t.Fatalf("one key generated %d times", d.Misses)
+	}
+	if d.Hits < 2 {
+		t.Fatalf("repeat calls not counted as hits: %s", d)
+	}
+}
