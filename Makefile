@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet fmt fmt-check bench fuzz-seed bench-warm check
+.PHONY: build test short race vet fmt fmt-check bench fuzz-seed bench-warm obs-guard check
 
 build:
 	$(GO) build ./...
@@ -40,4 +40,9 @@ fuzz-seed:
 bench-warm:
 	$(GO) test -run '^$$' -bench BenchmarkRewriteWarmVsCold -benchtime 3x .
 
-check: fmt-check vet race fuzz-seed bench-warm
+# obs-guard verifies the tracing instrumentation stays within its 2%
+# overhead budget on the warm patch path (see obs_overhead_test.go).
+obs-guard:
+	$(GO) test -run TestObsOverheadGuard .
+
+check: fmt-check vet race fuzz-seed bench-warm obs-guard

@@ -19,6 +19,7 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 || *out == "" {
 		fmt.Fprintln(os.Stderr, "usage: icfg-asm -o out.icfg in.s")
+		flag.PrintDefaults()
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))

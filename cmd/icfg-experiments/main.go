@@ -10,7 +10,7 @@
 // Usage:
 //
 //	icfg-experiments [-run all|table1|table2|table3|figure1|figure2|firefox|docker|bolt|diogenes]
-//	                 [-arch x64|ppc|a64|all] [-jobs N] [-metrics]
+//	                 [-arch x64|ppc|a64|all] [-jobs N] [-metrics] [-trace]
 package main
 
 import (
@@ -24,12 +24,47 @@ import (
 	"icfgpatch/internal/workload"
 )
 
+// knownRuns are the -run values; validated up front so a typo'd
+// selector is a usage error instead of a silent empty (and successful-
+// looking) run.
+var knownRuns = []string{
+	"all", "table1", "table2", "table3", "figure1", "figure2",
+	"firefox", "docker", "bolt", "diogenes", "ablation", "trampolines",
+}
+
 func main() {
-	runSel := flag.String("run", "all", "experiment to run: all, table1, table2, table3, figure1, figure2, firefox, docker, bolt, diogenes, ablation, trampolines")
+	runSel := flag.String("run", "all", "experiment to run: "+strings.Join(knownRuns, ", "))
 	archSel := flag.String("arch", "all", "architecture for table3: x64, ppc, a64, all")
 	jobs := flag.Int("jobs", 0, "worker count for the table3 sweep (0 = one per CPU, 1 = serial)")
 	metrics := flag.Bool("metrics", false, "print aggregated per-pass rewrite metrics after table3 and workload cache stats at exit")
+	trace := flag.Bool("trace", false, "print each rewrite's span tree (table3 and ablation cells)")
 	flag.Parse()
+
+	usage := func(err error) {
+		fmt.Fprintln(os.Stderr, "icfg-experiments:", err)
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	known := false
+	for _, r := range knownRuns {
+		known = known || r == *runSel
+	}
+	if !known {
+		usage(fmt.Errorf("unknown experiment %q (want one of %s)", *runSel, strings.Join(knownRuns, ", ")))
+	}
+	var arches []arch.Arch
+	if strings.ToLower(*archSel) == "all" {
+		arches = arch.All()
+	} else {
+		a, err := arch.Parse(strings.ToLower(*archSel))
+		if err != nil {
+			usage(err)
+		}
+		arches = []arch.Arch{a}
+	}
+	if *trace {
+		experiments.SetTrace(os.Stdout)
+	}
 
 	want := func(name string) bool { return *runSel == "all" || *runSel == name }
 	fail := func(err error) {
@@ -69,19 +104,6 @@ func main() {
 		fmt.Println(res.Render())
 	}
 	if want("table3") {
-		var arches []arch.Arch
-		switch strings.ToLower(*archSel) {
-		case "all":
-			arches = arch.All()
-		case "x64":
-			arches = []arch.Arch{arch.X64}
-		case "ppc":
-			arches = []arch.Arch{arch.PPC}
-		case "a64":
-			arches = []arch.Arch{arch.A64}
-		default:
-			fail(fmt.Errorf("unknown architecture %q", *archSel))
-		}
 		for _, a := range arches {
 			res, err := experiments.Table3ForArchParallel(a, *jobs)
 			if err != nil {

@@ -155,7 +155,14 @@ func main() {
 			fmt.Println("  (outside text)")
 			continue
 		}
-		data := text.Data[sym.Addr-text.Addr : sym.Addr+sym.Size-text.Addr]
+		// A corrupt symbol table can declare a size past the section;
+		// clamp instead of letting the slice expression panic.
+		end := sym.Addr + sym.Size
+		if end > text.End() {
+			fmt.Printf("  (symbol size %d overruns text; truncating)\n", sym.Size)
+			end = text.End()
+		}
+		data := text.Data[sym.Addr-text.Addr : end-text.Addr]
 		for _, ins := range arch.DecodeAll(img.Arch, data, sym.Addr) {
 			target := ""
 			if t, ok := ins.Target(); ok {

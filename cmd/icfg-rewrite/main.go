@@ -5,7 +5,7 @@
 // Usage:
 //
 //	icfg-rewrite -mode jt [-where block|func] [-payload empty|counter]
-//	             [-funcs f1,f2] [-verify] [-check] [-metrics]
+//	             [-funcs f1,f2] [-verify] [-check] [-metrics] [-trace]
 //	             [-gap bytes] [-remote http://host:port]
 //	             -o out.icfg in.icfg
 //
@@ -29,6 +29,7 @@ import (
 	"icfgpatch/internal/bin"
 	"icfgpatch/internal/core"
 	"icfgpatch/internal/emu"
+	"icfgpatch/internal/obs"
 	"icfgpatch/internal/rtlib"
 	"icfgpatch/internal/service"
 )
@@ -45,15 +46,20 @@ func main() {
 	verify := flag.Bool("verify", false, "overwrite stale original code with illegal instructions")
 	check := flag.Bool("check", false, "run original and rewritten binaries in the emulator and compare outputs")
 	metrics := flag.Bool("metrics", false, "print per-pass rewrite metrics")
+	trace := flag.Bool("trace", false, "print the rewrite's span tree (stage timings and counters)")
 	gap := flag.Uint64("gap", 0, "force a gap (bytes) before the relocated code section")
 	remote := flag.String("remote", "", "rewrite via an icfg-serve daemon at this base URL instead of locally")
 	out := flag.String("o", "", "output path (required)")
 	flag.Parse()
 
-	if flag.NArg() != 1 || *out == "" {
+	usage := func(err error) {
+		fmt.Fprintln(os.Stderr, "icfg-rewrite:", err)
 		fmt.Fprintln(os.Stderr, "usage: icfg-rewrite [flags] -o out.icfg in.icfg")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if flag.NArg() != 1 || *out == "" {
+		usage(fmt.Errorf("need exactly one input file and -o"))
 	}
 
 	// The flag surface is exactly the service wire surface, so the CLI
@@ -71,9 +77,12 @@ func main() {
 	if *gap > 0 {
 		v.Set("gap", strconv.FormatUint(*gap, 10))
 	}
+	// A bad mode/where/payload string is a usage error, reported with
+	// the flag reference — not a runtime failure (and never a panic in
+	// the arch layer, which only sees validated values).
 	opts, err := service.ParseOptions(v)
 	if err != nil {
-		fatal(err)
+		usage(err)
 	}
 
 	raw, err := os.ReadFile(flag.Arg(0))
@@ -88,15 +97,17 @@ func main() {
 	var (
 		stats       core.Stats
 		metricsText string
+		traceText   string
 		rewritten   *bin.Binary
 		cacheLine   string
 	)
 	if *remote != "" {
-		cl := &service.Client{BaseURL: *remote}
+		cl := &service.Client{BaseURL: *remote, Trace: *trace}
 		image, reply, err := cl.Rewrite(context.Background(), raw, opts)
 		if err != nil {
 			fatal(err)
 		}
+		traceText = reply.TraceText
 		rewritten, err = bin.Unmarshal(image)
 		if err != nil {
 			fatal(fmt.Errorf("remote returned a bad image: %w", err))
@@ -114,10 +125,17 @@ func main() {
 			cacheLine = fmt.Sprintf("cold (%.1fms server)", float64(reply.ElapsedUS)/1000)
 		}
 	} else {
+		var sp *obs.Span
+		if *trace {
+			sp = obs.NewTrace("rewrite")
+			opts.Trace = sp
+		}
 		res, err := core.Rewrite(img, opts)
 		if err != nil {
 			fatal(err)
 		}
+		sp.End()
+		traceText = sp.Render()
 		if err := res.Binary.WriteFile(*out); err != nil {
 			fatal(err)
 		}
@@ -131,6 +149,9 @@ func main() {
 	}
 	if *metrics {
 		fmt.Println(metricsText)
+	}
+	if *trace && traceText != "" {
+		fmt.Println(traceText)
 	}
 
 	if *check {

@@ -11,6 +11,12 @@
 //	           [-analyses N] [-results N] [-disk dir]
 //	           [-timeout dur]
 //
+// Besides /rewrite, /stats, and /healthz, the server exposes /metrics
+// (Prometheus text: request outcomes, cache paths, per-stage latency
+// histograms, queue and store gauges) and /debug/pprof for profiling a
+// live daemon. Clients can add trace=1 to /rewrite for a span tree of
+// their request.
+//
 // SIGINT/SIGTERM drain gracefully: in-flight rewrites complete, queued
 // requests are rejected with 503, and the final cache statistics are
 // printed before exit.

@@ -125,6 +125,44 @@ func TestSpilledIndexFallsBackToBoundExtension(t *testing.T) {
 	}
 }
 
+func TestLargeTableAtSectionEndNotTruncated(t *testing.T) {
+	// Regression: a table bigger than MaxTableEntries whose bounds check
+	// is invisible. The extension limit here comes from the section end
+	// (or a boundary hint) — a hard bound — so the MaxTableEntries cap
+	// must not apply. Capping silently dropped entries past 512, an
+	// under-approximation: indices above the cap kept jumping into the
+	// stale original code after rewriting.
+	const nCases = MaxTableEntries + 88
+	for _, a := range arch.All() {
+		img, dbg := switchBinary(t, a, false, nCases, asm.SwitchOpts{SpillIndex: true})
+		g := analyze(t, img)
+		fn, _ := g.FuncByName("main")
+		if fn.Err != nil {
+			t.Fatalf("%s: analysis failed: %v", a, fn.Err)
+		}
+		tbl := fn.IndirectJumps[0].Table
+		if tbl == nil {
+			t.Fatalf("%s: jump unresolved", a)
+		}
+		if tbl.BoundExact {
+			t.Fatalf("%s: bound claimed exact despite the spill", a)
+		}
+		truth := dbg.Tables[0]
+		if truth.N != nCases {
+			t.Fatalf("%s: ground truth has %d entries, want %d", a, truth.N, nCases)
+		}
+		if tbl.Count < truth.N {
+			t.Errorf("%s: UNDER-approximation: %d entries, truth %d — catastrophic per Section 4.3",
+				a, tbl.Count, truth.N)
+		}
+		for i := 0; i < truth.N && i < tbl.Count; i++ {
+			if tbl.Targets[i] != truth.Targets[i] {
+				t.Fatalf("%s: target[%d] = %#x, want %#x", a, i, tbl.Targets[i], truth.Targets[i])
+			}
+		}
+	}
+}
+
 func TestOpaqueBaseIsGracefulFailure(t *testing.T) {
 	// Failure 1: the table start cannot be found; the function fails
 	// gracefully (Err set), never silently.
@@ -324,9 +362,13 @@ func TestFuncPointersMidInstructionIsImprecise(t *testing.T) {
 func TestBoundaryScanFindsDataAccesses(t *testing.T) {
 	img, dbg := switchBinary(t, arch.X64, false, 4, asm.SwitchOpts{})
 	jt := NewJumpTables(img)
-	// The table base itself must be a boundary (materialised constant).
-	next := jt.nextBoundary(dbg.Tables[0].Addr - 1)
+	// The table base itself must be a boundary (materialised constant),
+	// and a boundary hit is a hard bound.
+	next, hard := jt.nextBoundary(dbg.Tables[0].Addr - 1)
 	if next != dbg.Tables[0].Addr {
 		t.Errorf("nextBoundary before table = %#x, want table start %#x", next, dbg.Tables[0].Addr)
+	}
+	if !hard {
+		t.Errorf("boundary-derived limit not reported as hard")
 	}
 }

@@ -17,7 +17,9 @@ import (
 	"icfgpatch/internal/dataflow"
 )
 
-// MaxTableEntries caps Assumption-2 bound extension.
+// MaxTableEntries caps Assumption-2 bound extension when no hard bound
+// (boundary hint or section end) is available. Hard bounds are never
+// capped: trimming them would silently drop real table entries.
 const MaxTableEntries = 512
 
 // JumpTables is the jump-table resolver plugged into cfg.Build. It keeps
@@ -111,17 +113,20 @@ func (jt *JumpTables) scanBoundaries() {
 }
 
 // nextBoundary returns the first boundary strictly greater than addr,
-// or the end of addr's section.
-func (jt *JumpTables) nextBoundary(addr uint64) uint64 {
-	limit := uint64(1) << 62
+// or the end of addr's section. hard reports whether the limit is a
+// proven upper bound on the table (a boundary hint or the section end)
+// rather than the arbitrary fallback used when addr is outside every
+// section.
+func (jt *JumpTables) nextBoundary(addr uint64) (limit uint64, hard bool) {
+	limit = uint64(1) << 62
 	if s := jt.bin.SectionAt(addr); s != nil {
-		limit = s.End()
+		limit, hard = s.End(), true
 	}
 	i := sort.Search(len(jt.boundaries), func(i int) bool { return jt.boundaries[i] > addr })
 	if i < len(jt.boundaries) && jt.boundaries[i] < limit {
-		return jt.boundaries[i]
+		return jt.boundaries[i], true
 	}
-	return limit
+	return limit, hard
 }
 
 // ResolveJump implements cfg.Resolver: backward slicing from the
@@ -160,9 +165,16 @@ func (jt *JumpTables) ResolveJump(b *bin.Binary, f *cfg.Func, jumpAddr uint64) (
 		return nil, fmt.Errorf("analysis: %s at %#x: jump table bound not provable (strict mode)", f.Name, jumpAddr)
 	}
 	if !exact {
-		limit := jt.nextBoundary(tbl.TableAddr)
+		limit, hard := jt.nextBoundary(tbl.TableAddr)
 		n = int((limit - tbl.TableAddr) / uint64(tbl.EntrySize))
-		if n > MaxTableEntries {
+		// Only cap the extent when no hard bound exists: a boundary- or
+		// section-end-derived limit is a proven upper bound, and
+		// truncating it would under-approximate the table — the
+		// catastrophic failure direction (missed targets become stale
+		// jumps into moved code). Over-approximation is safe here
+		// because entry decoding below trims at the first implausible
+		// target.
+		if !hard && n > MaxTableEntries {
 			n = MaxTableEntries
 		}
 	}

@@ -69,6 +69,23 @@ func (a Arch) InstrAlign() uint64 {
 // Valid reports whether a is one of the defined architectures.
 func (a Arch) Valid() bool { return a <= A64 }
 
+// Parse maps an architecture name (as String prints it) back to the
+// Arch. CLIs must route user-supplied arch strings through here — the
+// per-arch encoding tables (ForArch) panic on an invalid Arch, which is
+// the right response to a programming error but not to a typo'd flag.
+func Parse(s string) (Arch, error) {
+	switch s {
+	case "x64":
+		return X64, nil
+	case "ppc":
+		return PPC, nil
+	case "a64":
+		return A64, nil
+	default:
+		return 0, fmt.Errorf("unknown architecture %q (want x64, ppc, or a64)", s)
+	}
+}
+
 // Kind enumerates the abstract operations shared by all three ISAs. The
 // per-architecture encodings differ in length and branch range, but the
 // semantics of each kind are identical, which is what lets the CFG builder,

@@ -150,16 +150,9 @@ func (p *textParser) directive(line string) error {
 		if len(fields) != 2 {
 			return fmt.Errorf(".arch needs one operand")
 		}
-		var a arch.Arch
-		switch fields[1] {
-		case "x64":
-			a = arch.X64
-		case "ppc":
-			a = arch.PPC
-		case "a64":
-			a = arch.A64
-		default:
-			return fmt.Errorf("unknown architecture %q", fields[1])
+		a, err := arch.Parse(fields[1])
+		if err != nil {
+			return err
 		}
 		p.b = New(a, false)
 		return nil

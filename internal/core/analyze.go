@@ -11,6 +11,7 @@ import (
 	"icfgpatch/internal/bin"
 	"icfgpatch/internal/cfg"
 	"icfgpatch/internal/dataflow"
+	"icfgpatch/internal/obs"
 )
 
 // AnalysisConfig identifies one analysis variant of a binary: everything
@@ -21,6 +22,12 @@ import (
 type AnalysisConfig struct {
 	Mode    Mode
 	Variant Variant
+	// Trace, when non-nil, receives an "analyze" span with per-stage
+	// laps. It is NOT part of the analysis identity: caches key analyses
+	// by (hash, arch, mode, variant) only, and Analyze clears it before
+	// storing the config in the Analysis so a cached analysis never
+	// retains the first requester's span tree.
+	Trace *obs.Span
 }
 
 // Analysis is the request-independent product of analysing one binary:
@@ -65,6 +72,9 @@ type funcPlacement struct {
 func Analyze(b *bin.Binary, cfgc AnalysisConfig) (*Analysis, error) {
 	mx := Metrics{}
 	clock := time.Now()
+	sp := cfgc.Trace.Start("analyze")
+	defer sp.End()
+	cfgc.Trace = nil // never retained by the (cacheable) Analysis
 	if err := b.Validate(); err != nil {
 		return nil, fmt.Errorf("core: input binary invalid: %w", err)
 	}
@@ -102,7 +112,7 @@ func Analyze(b *bin.Binary, cfgc AnalysisConfig) (*Analysis, error) {
 			}
 		}
 	}
-	mx.lap(StageCFG, &clock)
+	sp.Record(StageCFG, mx.lap(StageCFG, &clock))
 
 	// Function pointer analysis gates func-ptr mode (Section 5.2): it is
 	// only safe when every pointer is identified precisely.
@@ -117,7 +127,7 @@ func Analyze(b *bin.Binary, cfgc AnalysisConfig) (*Analysis, error) {
 		}
 		ptrSites = sites
 	}
-	mx.lap(StageFuncPtr, &clock)
+	sp.Record(StageFuncPtr, mx.lap(StageFuncPtr, &clock))
 
 	return &Analysis{Binary: b, Config: cfgc, Graph: g, PtrSites: ptrSites, Metrics: mx}, nil
 }

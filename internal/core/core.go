@@ -36,6 +36,7 @@ import (
 	"icfgpatch/internal/arch"
 	"icfgpatch/internal/bin"
 	"icfgpatch/internal/instrument"
+	"icfgpatch/internal/obs"
 )
 
 // Mode selects how much indirect control flow is rewritten (Section 5).
@@ -91,6 +92,10 @@ type Options struct {
 	// Variant selects baseline behaviours (package baseline); the zero
 	// value is incremental CFG patching as published.
 	Variant Variant
+	// Trace, when non-nil, receives an "analyze"/"patch" span subtree
+	// with per-stage laps and the pipeline counters. Nil disables
+	// tracing at zero cost (obs spans are nil-receiver safe).
+	Trace *obs.Span
 }
 
 // Variant toggles the design decisions that distinguish the paper's

@@ -52,11 +52,14 @@ type Metrics struct {
 	AnalysisFailures int
 }
 
-// lap appends a stage timing measured since *last and advances *last.
-func (m *Metrics) lap(name string, last *time.Time) {
+// lap appends a stage timing measured since *last, advances *last, and
+// returns the duration so call sites can graft it onto a trace span.
+func (m *Metrics) lap(name string, last *time.Time) time.Duration {
 	now := time.Now()
-	m.Stages = append(m.Stages, StageMetric{Name: name, Wall: now.Sub(*last)})
+	d := now.Sub(*last)
+	m.Stages = append(m.Stages, StageMetric{Name: name, Wall: d})
 	*last = now
+	return d
 }
 
 // Add accumulates o into m so sweeps can aggregate per-cell metrics.

@@ -20,7 +20,7 @@ import (
 // binary repeatedly with different instrumentation sets should run
 // Analyze once (or hit it in a store.Store) and Patch per request.
 func Rewrite(b *bin.Binary, opts Options) (*Result, error) {
-	an, err := Analyze(b, AnalysisConfig{Mode: opts.Mode, Variant: opts.Variant})
+	an, err := Analyze(b, AnalysisConfig{Mode: opts.Mode, Variant: opts.Variant, Trace: opts.Trace})
 	if err != nil {
 		return nil, err
 	}
@@ -42,6 +42,8 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 	b, g, ptrSites := an.Binary, an.Graph, an.PtrSites
 	mx := Metrics{Stages: append([]StageMetric(nil), an.Metrics.Stages...)}
 	clock := time.Now()
+	sp := opts.Trace.Start("patch")
+	defer sp.End()
 
 	// Arbitrary instrumentation points restrict relocation to the
 	// functions that contain them (partial instrumentation).
@@ -138,12 +140,12 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 	if err := r.layout(instrBase); err != nil {
 		return nil, err
 	}
-	mx.lap(StageLayout, &clock)
+	sp.Record(StageLayout, mx.lap(StageLayout, &clock))
 	instrData, cloneData, err := r.emit()
 	if err != nil {
 		return nil, err
 	}
-	mx.lap(StageEmit, &clock)
+	sp.Record(StageEmit, mx.lap(StageEmit, &clock))
 
 	// Patch the original text: verification fill, then trampolines.
 	text := nb.Text()
@@ -216,7 +218,7 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 	for _, tp := range trapPairs {
 		trapSites = append(trapSites, tp.From)
 	}
-	mx.lap(StageTrampolines, &clock)
+	sp.Record(StageTrampolines, mx.lap(StageTrampolines, &clock))
 
 	// Function pointer rewriting (data slots and relocations).
 	for _, site := range ptrSites {
@@ -244,7 +246,7 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 			stats.RewrittenPtrs++ // patched during relocation
 		}
 	}
-	mx.lap(StagePointers, &clock)
+	sp.Record(StagePointers, mx.lap(StagePointers, &clock))
 
 	// New sections.
 	if r.nextCell > counterBase {
@@ -309,7 +311,7 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 	if err := nb.Validate(); err != nil {
 		return nil, fmt.Errorf("core: rewritten binary invalid: %w", err)
 	}
-	mx.lap(StageFinalize, &clock)
+	sp.Record(StageFinalize, mx.lap(StageFinalize, &clock))
 	mx.CFLBlocks = stats.CFLBlocks
 	mx.ScratchBlocks = stats.ScratchBlocks
 	mx.ScratchBytesHarvested = pool.harvested
@@ -320,6 +322,14 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 	}
 	mx.ClonedTables = stats.ClonedTables
 	mx.AnalysisFailures = len(stats.SkippedFuncs)
+	if sp != nil {
+		sp.SetInt("cfl-blocks", int64(mx.CFLBlocks))
+		sp.SetInt("scratch-blocks", int64(mx.ScratchBlocks))
+		sp.SetInt("scratch-bytes", int64(mx.ScratchBytesHarvested))
+		sp.SetInt("trampolines", int64(mx.TrampolineTotal()))
+		sp.SetInt("tables-cloned", int64(mx.ClonedTables))
+		sp.SetInt("analysis-failures", int64(mx.AnalysisFailures))
+	}
 	res := &Result{Binary: nb, Stats: stats, Metrics: mx, RelocMap: r.relocMap, TrapSites: trapSites}
 	if opts.Request.Payload == instrument.PayloadCounter {
 		res.CounterCells = r.counterCells

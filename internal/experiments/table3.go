@@ -11,6 +11,7 @@ import (
 	"icfgpatch/internal/core"
 	"icfgpatch/internal/emu"
 	"icfgpatch/internal/instrument"
+	"icfgpatch/internal/obs"
 	"icfgpatch/internal/workload"
 )
 
@@ -65,8 +66,10 @@ func blockEmpty() instrument.Request {
 	return instrument.Request{Where: instrument.BlockEntry, Payload: instrument.PayloadEmpty}
 }
 
-// rewriteFn rewrites one benchmark program under one approach.
-type rewriteFn func(p *workload.Program) (*core.Result, error)
+// rewriteFn rewrites one benchmark program under one approach. tr is
+// the cell's trace span (nil unless -trace); approaches built on
+// core.Rewrite thread it through Options, baselines may ignore it.
+type rewriteFn func(p *workload.Program, tr *obs.Span) (*core.Result, error)
 
 // table3Spec is one approach row of the sweep: the approaches are fixed
 // up front so the serial and parallel runners execute identical cells.
@@ -85,23 +88,23 @@ func table3Specs(a arch.Arch) []table3Spec {
 		gap = ppcInstrGap
 	}
 	specs := []table3Spec{
-		{"SRBI", false, func(p *workload.Program) (*core.Result, error) {
+		{"SRBI", false, func(p *workload.Program, _ *obs.Span) (*core.Result, error) {
 			return baseline.SRBI(p.Binary, baseline.SRBIOptions{Request: blockEmpty(), Verify: true, InstrGap: gap})
 		}},
-		{"dir", false, func(p *workload.Program) (*core.Result, error) {
-			return core.Rewrite(p.Binary, core.Options{Mode: core.ModeDir, Request: blockEmpty(), Verify: true, InstrGap: gap})
+		{"dir", false, func(p *workload.Program, tr *obs.Span) (*core.Result, error) {
+			return core.Rewrite(p.Binary, core.Options{Mode: core.ModeDir, Request: blockEmpty(), Verify: true, InstrGap: gap, Trace: tr})
 		}},
-		{"jt", false, func(p *workload.Program) (*core.Result, error) {
-			return core.Rewrite(p.Binary, core.Options{Mode: core.ModeJT, Request: blockEmpty(), Verify: true, InstrGap: gap})
+		{"jt", false, func(p *workload.Program, tr *obs.Span) (*core.Result, error) {
+			return core.Rewrite(p.Binary, core.Options{Mode: core.ModeJT, Request: blockEmpty(), Verify: true, InstrGap: gap, Trace: tr})
 		}},
-		{"func-ptr", false, func(p *workload.Program) (*core.Result, error) {
-			return core.Rewrite(p.Binary, core.Options{Mode: core.ModeFuncPtr, Request: blockEmpty(), Verify: true, InstrGap: gap})
+		{"func-ptr", false, func(p *workload.Program, tr *obs.Span) (*core.Result, error) {
+			return core.Rewrite(p.Binary, core.Options{Mode: core.ModeFuncPtr, Request: blockEmpty(), Verify: true, InstrGap: gap, Trace: tr})
 		}},
 	}
 	if a == arch.X64 {
 		// IR lowering requires PIE; the paper compiled the benchmarks
 		// with -pie for Egalito.
-		specs = append(specs, table3Spec{"IR lowering", true, func(p *workload.Program) (*core.Result, error) {
+		specs = append(specs, table3Spec{"IR lowering", true, func(p *workload.Program, _ *obs.Span) (*core.Result, error) {
 			return baseline.IRLower(p.Binary, baseline.IRLowerOptions{Request: blockEmpty()})
 		}})
 	}
@@ -153,7 +156,7 @@ func table3Sweep(a arch.Arch, jobs int) (*Table3Result, error) {
 	runs := make([]Table3Run, len(cells))
 	runIndexed(len(cells), jobs, func(i int) {
 		c := cells[i]
-		runs[i] = runOne(progsFor(specs[c.spec])[c.bench], specs[c.spec].fn)
+		runs[i] = runOne(specs[c.spec].name, progsFor(specs[c.spec])[c.bench], specs[c.spec].fn)
 	})
 
 	res := &Table3Result{Arch: a}
@@ -196,7 +199,7 @@ func table3Aggregate(name string, runs []Table3Run) Table3Approach {
 // the rewrite or measurement fails this cell with a reported reason
 // instead of killing the whole sweep — the per-run half of the paper's
 // graceful-failure contract (§4.3).
-func runOne(p *workload.Program, rewrite rewriteFn) (out Table3Run) {
+func runOne(label string, p *workload.Program, rewrite rewriteFn) (out Table3Run) {
 	out = Table3Run{Bench: p.Profile.Name, Coverage: -1}
 	defer func() {
 		if r := recover(); r != nil {
@@ -209,7 +212,9 @@ func runOne(p *workload.Program, rewrite rewriteFn) (out Table3Run) {
 		out.Reason = "original run failed: " + err.Error()
 		return out
 	}
-	rw, err := rewrite(p)
+	sp := traceRun(label, p.Profile.Name)
+	rw, err := rewrite(p, sp)
+	emitTrace(sp)
 	if err != nil {
 		out.Reason = "rewrite failed: " + err.Error()
 		if errors.Is(err, core.ErrImpreciseFuncPtrs) {

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"icfgpatch/internal/obs"
+)
+
+// The sweep-wide trace sink (icfg-experiments -trace). Cells run on a
+// worker pool, so each finished tree is written whole under the mutex —
+// interleaved cells, never interleaved lines.
+var (
+	traceMu   sync.Mutex
+	traceSink io.Writer
+)
+
+// SetTrace directs every cell's rendered span tree to w; nil disables
+// tracing (the default).
+func SetTrace(w io.Writer) {
+	traceMu.Lock()
+	traceSink = w
+	traceMu.Unlock()
+}
+
+// traceRun starts one cell's root span, or returns nil when tracing is
+// off — which silences the whole span tree downstream.
+func traceRun(label, bench string) *obs.Span {
+	traceMu.Lock()
+	enabled := traceSink != nil
+	traceMu.Unlock()
+	if !enabled {
+		return nil
+	}
+	return obs.NewTrace(label + "/" + bench)
+}
+
+// emitTrace ends the cell's span and writes the rendered tree.
+func emitTrace(sp *obs.Span) {
+	if sp == nil {
+		return
+	}
+	sp.End()
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	if traceSink != nil {
+		fmt.Fprintln(traceSink, sp.Render())
+	}
+}

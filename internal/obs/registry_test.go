@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func scrape(t *testing.T, r *Registry) string {
+	t.Helper()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestCounterVecText(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("icfg_requests_total", "requests by outcome", "outcome")
+	v.With("ok").Add(3)
+	v.With("error").Inc()
+	if v.Value("ok") != 3 || v.Value("error") != 1 || v.Value("absent") != 0 {
+		t.Fatal("counter values wrong")
+	}
+	out := scrape(t, r)
+	for _, want := range []string{
+		"# HELP icfg_requests_total requests by outcome",
+		"# TYPE icfg_requests_total counter",
+		`icfg_requests_total{outcome="error"} 1`,
+		`icfg_requests_total{outcome="ok"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeFuncScrapedLive(t *testing.T) {
+	r := NewRegistry()
+	n := 0.0
+	r.GaugeFunc("icfg_queue_depth", "queued requests", "", "", func() float64 { return n })
+	n = 7
+	if !strings.Contains(scrape(t, r), "icfg_queue_depth 7") {
+		t.Fatal("gauge not evaluated at scrape time")
+	}
+	n = 9
+	if !strings.Contains(scrape(t, r), "icfg_queue_depth 9") {
+		t.Fatal("gauge stale on second scrape")
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("icfg_stage_seconds", "stage latency", "stage", []float64{0.01, 0.1, 1})
+	h := hv.With("layout")
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if s := h.Sum(); s < 5.5 || s > 5.6 {
+		t.Fatalf("sum %v", s)
+	}
+	out := scrape(t, r)
+	for _, want := range []string{
+		`icfg_stage_seconds_bucket{stage="layout",le="0.01"} 1`,
+		`icfg_stage_seconds_bucket{stage="layout",le="0.1"} 2`,
+		`icfg_stage_seconds_bucket{stage="layout",le="1"} 3`,
+		`icfg_stage_seconds_bucket{stage="layout",le="+Inf"} 4`,
+		`icfg_stage_seconds_count{stage="layout"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestReRegistrationSharesFamily(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("icfg_total", "t")
+	b := r.Counter("icfg_total", "t")
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 {
+		t.Fatal("re-registration created a second series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type-conflicting re-registration did not panic")
+		}
+	}()
+	r.GaugeFunc("icfg_total", "t", "", "", func() float64 { return 0 })
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "h", []float64{1})
+	c := r.Counter("c", "c")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.5)
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || c.Value() != 8000 {
+		t.Fatalf("lost observations: %d %d", h.Count(), c.Value())
+	}
+	if s := h.Sum(); s != 4000 {
+		t.Fatalf("sum %v", s)
+	}
+}

@@ -20,6 +20,9 @@ type Client struct {
 	BaseURL string
 	// HTTPClient overrides http.DefaultClient when set.
 	HTTPClient *http.Client
+	// Trace asks the server for the request's span tree; it comes back
+	// in Reply.TraceText.
+	Trace bool
 }
 
 // maxReplyHeader bounds the JSON header a client will accept, keeping a
@@ -32,6 +35,9 @@ func (c *Client) Rewrite(ctx context.Context, raw []byte, opts core.Options) ([]
 	params, err := EncodeOptions(opts)
 	if err != nil {
 		return nil, nil, err
+	}
+	if c.Trace {
+		params.Set("trace", "1")
 	}
 	u := strings.TrimSuffix(c.BaseURL, "/") + "/rewrite?" + params.Encode()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(raw))

@@ -9,6 +9,11 @@
 //	          429 queue full, 503 shutting down, 504 deadline exceeded
 //	GET /stats   — JSON ServerStats
 //	GET /healthz — 200 "ok"
+//	GET /metrics — Prometheus text exposition (internal/obs registry)
+//	GET /debug/pprof/ — standard net/http/pprof profiles
+//
+// Adding trace=1 to /rewrite returns the request's rendered span tree
+// in the Reply's trace field.
 package service
 
 import (
@@ -19,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"strconv"
 	"strings"
@@ -34,6 +40,8 @@ type Reply struct {
 	AnalysisHit bool       `json:"analysisHit"`
 	ResultHit   bool       `json:"resultHit"`
 	ElapsedUS   int64      `json:"elapsedUs"`
+	// TraceText is the rendered span tree (trace=1 requests only).
+	TraceText string `json:"trace,omitempty"`
 }
 
 // EncodeOptions renders the CLI-expressible rewrite options as query
@@ -117,7 +125,10 @@ func ParseOptions(v url.Values) (core.Options, error) {
 	return o, nil
 }
 
-// Handler returns the HTTP interface to the service.
+// Handler returns the HTTP interface to the service, including the
+// observability endpoints: /metrics for the Prometheus registry and the
+// pprof profiles, wired explicitly because the service builds its own
+// mux rather than using http.DefaultServeMux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/rewrite", s.handleRewrite)
@@ -125,6 +136,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.Handle("/metrics", s.metrics.reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -143,7 +160,9 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	resp, err := s.Submit(r.Context(), Request{Raw: raw, Opts: opts})
+	q := r.URL.Query()
+	trace := q.Get("trace") == "1" || q.Get("trace") == "true"
+	resp, err := s.Submit(r.Context(), Request{Raw: raw, Opts: opts, Trace: trace})
 	if err != nil {
 		http.Error(w, err.Error(), statusFor(err))
 		return
@@ -154,6 +173,7 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		AnalysisHit: resp.AnalysisHit,
 		ResultHit:   resp.ResultHit,
 		ElapsedUS:   resp.Elapsed.Microseconds(),
+		TraceText:   resp.Trace.Render(),
 	})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)

@@ -1,0 +1,159 @@
+// Service metrics: every counter the daemon already keeps, plus the
+// per-stage latency distributions, rendered by internal/obs as a
+// Prometheus /metrics endpoint. The registry is per-Server so tests can
+// assert on isolated counters; gauges read live server state at scrape
+// time.
+package service
+
+import (
+	"context"
+	"errors"
+
+	"icfgpatch/internal/obs"
+	"icfgpatch/internal/store"
+	"icfgpatch/internal/workload"
+)
+
+// Request outcome labels for icfg_requests_total. Every submission ends
+// in exactly one of them.
+const (
+	outcomeOK        = "ok"       // rewrite served
+	outcomeError     = "error"    // rewrite failed
+	outcomeTimeout   = "timeout"  // server-side deadline fired
+	outcomeCanceled  = "canceled" // client gave up (disconnect, cancel)
+	outcomeQueueFull = "queue_full"
+	outcomeShutdown  = "shutdown"
+)
+
+// Cache path labels for icfg_cache_path_total: how much of the pipeline
+// a served request actually ran.
+const (
+	pathCold         = "cold"          // full Analyze + Patch
+	pathWarmAnalysis = "warm-analysis" // cached analysis, per-request Patch
+	pathResultCache  = "result-cache"  // byte-identical replay, no patching
+)
+
+// metrics is one Server's instrumentation: outcome/cache-path counters,
+// latency histograms, and scrape-time gauges over the queue and stores.
+type metrics struct {
+	reg       *obs.Registry
+	requests  *obs.CounterVec   // by outcome
+	cachePath *obs.CounterVec   // by cache path, served requests only
+	stage     *obs.HistogramVec // by pipeline stage, seconds
+	request   *obs.Histogram    // end-to-end processing, seconds
+	queueWait *obs.Histogram    // enqueue -> dequeue, seconds
+}
+
+func newMetrics(s *Server) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg:       reg,
+		requests:  reg.CounterVec("icfg_requests_total", "rewrite requests by outcome", "outcome"),
+		cachePath: reg.CounterVec("icfg_cache_path_total", "served requests by cache path", "path"),
+		stage: reg.HistogramVec("icfg_stage_seconds",
+			"per-stage pipeline latency (excludes result-cache replays)", "stage", nil),
+		request:   reg.Histogram("icfg_request_seconds", "server-side processing time, excluding queueing", nil),
+		queueWait: reg.Histogram("icfg_queue_wait_seconds", "time from enqueue to worker dequeue", nil),
+	}
+	reg.GaugeFunc("icfg_queue_depth", "requests waiting in the queue", "", "",
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("icfg_queue_capacity", "request queue capacity", "", "",
+		func() float64 { return float64(cap(s.queue)) })
+	reg.GaugeFunc("icfg_workers", "rewrite worker count", "", "",
+		func() float64 { return float64(s.cfg.Workers) })
+	registerStoreGauges(reg, "analysis", func() store.Stats { return s.analyses.Stats() })
+	if s.results != nil {
+		registerStoreGauges(reg, "result", func() store.Stats { return s.results.Stats() })
+	}
+	registerCacheGauges(reg, "icfg_workload_cache", "workload generation cache",
+		func() store.Stats { return workload.CacheStats() })
+	return m
+}
+
+// registerStoreGauges exposes one store's cumulative counters as a
+// labeled series per store (analysis, result).
+func registerStoreGauges(reg *obs.Registry, name string, stats func() store.Stats) {
+	reg.GaugeFunc("icfg_store_hits", "cache hits by store", "store", name,
+		func() float64 { return float64(stats().Hits) })
+	reg.GaugeFunc("icfg_store_misses", "cache misses by store", "store", name,
+		func() float64 { return float64(stats().Misses) })
+	reg.GaugeFunc("icfg_store_evictions", "cache evictions by store", "store", name,
+		func() float64 { return float64(stats().Evictions) })
+	reg.GaugeFunc("icfg_store_persist_failures", "failed disk persists by store", "store", name,
+		func() float64 { return float64(stats().PersistFailures) })
+}
+
+// registerCacheGauges exposes a process-global cache's counters as
+// unlabeled gauges under a distinct prefix.
+func registerCacheGauges(reg *obs.Registry, prefix, what string, stats func() store.Stats) {
+	reg.GaugeFunc(prefix+"_hits", what+" hits", "", "",
+		func() float64 { return float64(stats().Hits) })
+	reg.GaugeFunc(prefix+"_misses", what+" misses", "", "",
+		func() float64 { return float64(stats().Misses) })
+}
+
+// observeServed records a successfully served response: its cache path,
+// end-to-end latency, and — unless the response is a result-cache
+// replay, whose stage timings belong to the run that produced it — the
+// per-stage histogram samples.
+func (m *metrics) observeServed(resp *Response) {
+	m.requests.With(outcomeOK).Inc()
+	m.cachePath.With(respPath(resp)).Inc()
+	m.request.Observe(resp.Elapsed.Seconds())
+	if resp.ResultHit {
+		return
+	}
+	for _, st := range resp.Metrics.Stages {
+		m.stage.With(st.Name).Observe(st.Wall.Seconds())
+	}
+}
+
+// respPath classifies how a served response was produced.
+func respPath(resp *Response) string {
+	switch {
+	case resp.ResultHit:
+		return pathResultCache
+	case resp.AnalysisHit:
+		return pathWarmAnalysis
+	default:
+		return pathCold
+	}
+}
+
+// observeFailed classifies a processing failure into its outcome label.
+// The deadline/cancel distinction matters operationally: timeouts point
+// at the server (undersized Timeout, oversized binaries), cancellations
+// at clients disconnecting.
+func (m *metrics) observeFailed(err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		m.requests.With(outcomeTimeout).Inc()
+	case errors.Is(err, context.Canceled):
+		m.requests.With(outcomeCanceled).Inc()
+	default:
+		m.requests.With(outcomeError).Inc()
+	}
+}
+
+// traceFor starts the request's span tree when tracing is requested.
+// It returns nil otherwise, which disables every downstream span at
+// zero cost.
+func traceFor(req *Request) *obs.Span {
+	if !req.Trace {
+		return nil
+	}
+	sp := obs.NewTrace("rewrite")
+	sp.SetAttr("mode", req.Opts.Mode.String())
+	return sp
+}
+
+// finishTrace closes the request's root span, stamps the cache path,
+// and attaches the tree to the response.
+func finishTrace(sp *obs.Span, resp *Response) {
+	if sp == nil || resp == nil {
+		return
+	}
+	sp.SetAttr("path", respPath(resp))
+	sp.End()
+	resp.Trace = sp
+}

@@ -1,0 +1,311 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/core"
+	"icfgpatch/internal/store"
+)
+
+// TestMetricsEndpoint drives the full scrape path: three requests with
+// distinct cache paths (cold, result-cache, warm-analysis) against a
+// server whose result-cache directory is unwritable, then asserts the
+// /metrics text carries the outcome counters, cache-path counters,
+// latency histograms, gauges, and the persist-failure count.
+func TestMetricsEndpoint(t *testing.T) {
+	raw := testBinaryRaw(t)
+	img, err := bin.Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dir is an existing regular file: every result persist fails, which
+	// must be visible in the scrape but never fail a request.
+	notADir := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{Workers: 2, ResultEntries: 8, Dir: notADir})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cl := &Client{BaseURL: ts.URL}
+
+	full := core.Options{Mode: core.ModeJT, Request: blockEmpty()}
+	part := full
+	part.Request.Funcs = []string{img.FuncSymbols()[0].Name}
+	for _, opts := range []core.Options{full, full, part} { // cold, result-cache, warm-analysis
+		if _, _, err := cl.Rewrite(context.Background(), raw, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	for _, want := range []string{
+		`icfg_requests_total{outcome="ok"} 3`,
+		`icfg_cache_path_total{path="cold"} 1`,
+		`icfg_cache_path_total{path="result-cache"} 1`,
+		`icfg_cache_path_total{path="warm-analysis"} 1`,
+		`icfg_request_seconds_count 3`,
+		`icfg_queue_wait_seconds_count 3`,
+		// Stage histograms exclude the result-cache replay: the cold and
+		// warm request each contribute one sample per stage (the warm
+		// request's analysis stages replay the cached analysis's
+		// timings — see Response.Metrics).
+		`icfg_stage_seconds_bucket{stage="layout",le="+Inf"} 2`,
+		`icfg_stage_seconds_bucket{stage="cfg",le="+Inf"} 2`,
+		`icfg_queue_depth 0`,
+		`icfg_workers 2`,
+		`icfg_store_hits{store="analysis"} 1`,
+		`icfg_store_misses{store="analysis"} 1`,
+		`icfg_store_persist_failures{store="result"} 2`,
+		`icfg_store_persist_failures{store="analysis"} 0`,
+		"icfg_workload_cache_misses",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The profiling surface rides on the same mux.
+	pres, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres.Body.Close()
+	if pres.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", pres.StatusCode)
+	}
+}
+
+// waitOutcome polls the server's outcome counters until the label
+// reaches want or the deadline passes.
+func waitOutcome(t *testing.T, s *Server, label string, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got := s.Stats().Outcomes[label]; got >= want {
+			if got != want {
+				t.Fatalf("outcome %q = %d, want %d", label, got, want)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("outcome %q never reached %d: %v", label, want, s.Stats().Outcomes)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTimeoutMidPipelineCountsTimeout wedges the worker between Analyze
+// and Patch past the server-side deadline: the analysis single-flight
+// entry is owned by a gated test build, and the gate opens only after
+// the request's timeout has expired. The failure must surface as
+// DeadlineExceeded and be counted under the timeout outcome, not error.
+func TestTimeoutMidPipelineCountsTimeout(t *testing.T) {
+	raw := testBinaryRaw(t)
+	img, err := bin.Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dequeued := make(chan struct{}, 1)
+	testHookDequeue = func() { dequeued <- struct{}{} }
+	defer func() { testHookDequeue = nil }()
+
+	const timeout = 20 * time.Millisecond
+	s := New(Config{Workers: 1, Timeout: timeout})
+	defer s.Shutdown(context.Background())
+
+	key := AnalysisKey{Hash: store.Hash(raw), Arch: img.Arch, Mode: core.ModeJT}
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	go s.analyses.GetOrCreate(key, func() (*core.Analysis, error) {
+		close(started)
+		<-gate
+		return core.Analyze(img, core.AnalysisConfig{Mode: core.ModeJT})
+	})
+	<-started
+
+	result := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(context.Background(), Request{Raw: raw, Opts: core.Options{Mode: core.ModeJT, Request: blockEmpty()}})
+		result <- err
+	}()
+	select {
+	case <-dequeued:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never picked up the job")
+	}
+	// The request's deadline starts at dequeue; let it expire while the
+	// worker waits on the gated analysis, then release.
+	time.Sleep(4 * timeout)
+	close(gate)
+
+	if err := <-result; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	waitOutcome(t, s, outcomeTimeout, 1)
+	if st := s.Stats(); st.Outcomes[outcomeError] != 0 {
+		t.Fatalf("timeout misclassified as error: %v", st.Outcomes)
+	}
+}
+
+// TestDisconnectDuringQueueWaitCountsCanceled covers the abandoned-job
+// path: a client gives up while its request is still queued behind a
+// wedged worker. Submit returns the client's context error immediately,
+// and when the worker eventually dequeues the dead job it must count it
+// as canceled — the operational signal that clients are disconnecting,
+// distinct from server-side errors.
+func TestDisconnectDuringQueueWaitCountsCanceled(t *testing.T) {
+	raw := testBinaryRaw(t)
+	img, err := bin.Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dequeued := make(chan struct{}, 4)
+	testHookDequeue = func() { dequeued <- struct{}{} }
+	defer func() { testHookDequeue = nil }()
+
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	defer s.Shutdown(context.Background())
+
+	key := AnalysisKey{Hash: store.Hash(raw), Arch: img.Arch, Mode: core.ModeJT}
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	go s.analyses.GetOrCreate(key, func() (*core.Analysis, error) {
+		close(started)
+		<-gate
+		return core.Analyze(img, core.AnalysisConfig{Mode: core.ModeJT})
+	})
+	<-started
+
+	opts := core.Options{Mode: core.ModeJT, Request: blockEmpty()}
+	first := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(context.Background(), Request{Raw: raw, Opts: opts})
+		first <- err
+	}()
+	select {
+	case <-dequeued:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never picked up the first job")
+	}
+
+	// Second job queues behind the wedged worker; its client disconnects.
+	ctx, cancel := context.WithCancel(context.Background())
+	second := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(ctx, Request{Raw: raw, Opts: opts})
+		second <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("second job never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-second; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning client: err = %v, want Canceled", err)
+	}
+
+	// Release the worker: the first job completes, then the abandoned
+	// job is dequeued, observed dead, and counted as canceled.
+	close(gate)
+	if err := <-first; err != nil {
+		t.Fatalf("first job: %v", err)
+	}
+	waitOutcome(t, s, outcomeCanceled, 1)
+	waitOutcome(t, s, outcomeOK, 1)
+}
+
+// TestOutcomeSnapshotInStats checks every rejection path lands in the
+// ServerStats outcome map alongside the legacy counters.
+func TestOutcomeSnapshotInStats(t *testing.T) {
+	raw := testBinaryRaw(t)
+	s := New(Config{Workers: 1, Timeout: time.Nanosecond})
+	if _, err := s.Submit(context.Background(), Request{Raw: raw, Opts: core.Options{Mode: core.ModeJT, Request: blockEmpty()}}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(context.Background(), Request{Raw: raw, Opts: core.Options{Mode: core.ModeJT, Request: blockEmpty()}}); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("err = %v, want ErrShuttingDown", err)
+	}
+	st := s.Stats()
+	if st.Outcomes[outcomeTimeout] != 1 || st.Outcomes[outcomeShutdown] != 1 {
+		t.Fatalf("outcomes = %v, want timeout=1 shutdown=1", st.Outcomes)
+	}
+	if st.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", st.Failed)
+	}
+}
+
+// TestTraceRoundTripOverHTTP checks the per-request span tree reaches
+// the client: stage names and the cache-path attribute must appear in
+// the rendered text, and an untraced request must carry none.
+func TestTraceRoundTripOverHTTP(t *testing.T) {
+	raw := testBinaryRaw(t)
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	opts := core.Options{Mode: core.ModeJT, Request: blockEmpty()}
+	cl := &Client{BaseURL: ts.URL, Trace: true}
+	_, reply, err := cl.Rewrite(context.Background(), raw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rewrite", "analyze", "patch", core.StageCFG, core.StageLayout, "path=cold"} {
+		if !strings.Contains(reply.TraceText, want) {
+			t.Errorf("trace missing %q:\n%s", want, reply.TraceText)
+		}
+	}
+
+	plain := &Client{BaseURL: ts.URL}
+	_, reply2, err := plain.Rewrite(context.Background(), raw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply2.TraceText != "" {
+		t.Errorf("untraced request carried a trace:\n%s", reply2.TraceText)
+	}
+	// Warm repeat with tracing: the analyze span must be marked cached.
+	_, reply3, err := cl.Rewrite(context.Background(), raw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(reply3.TraceText, "cached=true") {
+		t.Errorf("warm trace not marked cached:\n%s", reply3.TraceText)
+	}
+}

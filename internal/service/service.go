@@ -26,6 +26,7 @@ import (
 	"icfgpatch/internal/arch"
 	"icfgpatch/internal/bin"
 	"icfgpatch/internal/core"
+	"icfgpatch/internal/obs"
 	"icfgpatch/internal/store"
 )
 
@@ -66,6 +67,10 @@ type Request struct {
 	Binary *bin.Binary
 	Hash   string
 	Opts   core.Options
+	// Trace requests a span tree for this rewrite; the Response carries
+	// it back. Tracing is per-request so one noisy client cannot slow
+	// the pipeline for everyone.
+	Trace bool
 }
 
 // Response is one completed rewrite.
@@ -85,6 +90,10 @@ type Response struct {
 	ResultHit   bool
 	// Elapsed is the server-side processing time, excluding queueing.
 	Elapsed time.Duration
+	// Trace is the request's span tree (Request.Trace only). A
+	// result-cache replay has no analyze/patch children — the root span
+	// with path=result-cache is the whole story.
+	Trace *obs.Span
 }
 
 // AnalysisKey addresses one cached analysis: the content hash of the
@@ -113,6 +122,10 @@ type ServerStats struct {
 	Queued   int
 	QueueCap int
 	Workers  int
+	// Outcomes breaks every finished submission down by its
+	// icfg_requests_total label (ok, error, timeout, canceled,
+	// queue_full, shutdown).
+	Outcomes map[string]uint64
 }
 
 // String renders the snapshot as a short multi-line report.
@@ -126,11 +139,12 @@ func (s ServerStats) String() string {
 }
 
 type job struct {
-	ctx  context.Context
-	req  *Request
-	resp *Response
-	err  error
-	done chan struct{}
+	ctx      context.Context
+	req      *Request
+	resp     *Response
+	err      error
+	done     chan struct{}
+	enqueued time.Time
 }
 
 func (j *job) finish(resp *Response, err error) {
@@ -154,6 +168,8 @@ type Server struct {
 	stopped  chan struct{}
 
 	served, failed, rejected atomic.Uint64
+
+	metrics *metrics
 }
 
 // New creates a Server and starts its workers.
@@ -183,6 +199,7 @@ func New(cfg Config) *Server {
 			Decode:     decodeResult,
 		})
 	}
+	s.metrics = newMetrics(s)
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
@@ -212,13 +229,14 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 	if err := normalize(&req); err != nil {
 		return nil, err
 	}
-	j := &job{ctx: ctx, req: &req, done: make(chan struct{})}
+	j := &job{ctx: ctx, req: &req, done: make(chan struct{}), enqueued: time.Now()}
 
 	// The state lock pairs the draining check with the (non-blocking)
 	// enqueue, so Shutdown's queue drain cannot miss a racing Submit.
 	s.stateMu.RLock()
 	if s.draining {
 		s.stateMu.RUnlock()
+		s.metrics.requests.With(outcomeShutdown).Inc()
 		return nil, ErrShuttingDown
 	}
 	select {
@@ -227,6 +245,7 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 	default:
 		s.stateMu.RUnlock()
 		s.rejected.Add(1)
+		s.metrics.requests.With(outcomeQueueFull).Inc()
 		return nil, ErrQueueFull
 	}
 
@@ -291,21 +310,27 @@ func (s *Server) process(j *job) {
 	if testHookDequeue != nil {
 		testHookDequeue()
 	}
+	s.metrics.queueWait.Observe(time.Since(j.enqueued).Seconds())
 	ctx := j.ctx
 	if s.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
 		defer cancel()
 	}
+	sp := traceFor(j.req)
+	j.req.Opts.Trace = sp
 	start := time.Now()
 	resp, err := s.handle(ctx, j.req)
 	if err != nil {
 		s.failed.Add(1)
+		s.metrics.observeFailed(err)
 		j.finish(nil, err)
 		return
 	}
 	resp.Elapsed = time.Since(start)
+	finishTrace(sp, resp)
 	s.served.Add(1)
+	s.metrics.observeServed(resp)
 	j.finish(resp, nil)
 }
 
@@ -367,10 +392,18 @@ func (s *Server) rewriteOnce(ctx context.Context, req *Request) (*Response, erro
 func (s *Server) analyzeAndPatch(ctx context.Context, req *Request) (*cachedResult, bool, error) {
 	key := AnalysisKey{Hash: req.Hash, Arch: req.Binary.Arch, Mode: req.Opts.Mode, Variant: req.Opts.Variant}
 	an, hit, err := s.analyses.GetOrCreate(key, func() (*core.Analysis, error) {
-		return core.Analyze(req.Binary, core.AnalysisConfig{Mode: req.Opts.Mode, Variant: req.Opts.Variant})
+		// The requester's trace rides into Analyze but is never part of
+		// the analysis identity; waiters sharing this single-flighted
+		// build see the cached result without the builder's spans.
+		return core.Analyze(req.Binary, core.AnalysisConfig{
+			Mode: req.Opts.Mode, Variant: req.Opts.Variant, Trace: req.Opts.Trace,
+		})
 	})
 	if err != nil {
 		return nil, false, err
+	}
+	if hit {
+		req.Opts.Trace.Record("analyze", 0).SetAttr("cached", "true")
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, hit, err
@@ -436,6 +469,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		select {
 		case j := <-s.queue:
 			s.rejected.Add(1)
+			s.metrics.requests.With(outcomeShutdown).Inc()
 			j.finish(nil, ErrShuttingDown)
 			continue
 		default:
@@ -457,6 +491,7 @@ func (s *Server) Stats() ServerStats {
 		Queued:   len(s.queue),
 		QueueCap: cap(s.queue),
 		Workers:  s.cfg.Workers,
+		Outcomes: s.metrics.requests.Snapshot(),
 	}
 	if s.results != nil {
 		st.Results = s.results.Stats()

@@ -31,11 +31,17 @@ type Stats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+	// PersistFailures counts artifacts that could not be spilled to disk.
+	// The in-memory copy stays authoritative, so a persist failure does
+	// not fail the request — but a store that silently stops persisting
+	// serves every restart cold, so the failures must be countable.
+	PersistFailures uint64
 }
 
 // String renders the counters as a stable one-line summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d evictions=%d", s.Hits, s.Misses, s.Evictions)
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d persist-failures=%d",
+		s.Hits, s.Misses, s.Evictions, s.PersistFailures)
 }
 
 // Hash returns the content address of a byte string: a hex sha256,
@@ -77,7 +83,7 @@ type Store[K comparable, V any] struct {
 	entries map[K]*entry[V]
 	lru     *list.List // of K; front is most recently used
 
-	hits, misses, evictions atomic.Uint64
+	hits, misses, evictions, persistFailures atomic.Uint64
 }
 
 // New creates a store. It panics if Dir is set without a complete codec
@@ -135,7 +141,9 @@ func (s *Store[K, V]) GetOrCreate(key K, build func() (V, error)) (V, bool, erro
 			s.hits.Add(1)
 			return v, true, nil
 		}
-		s.saveDisk(key, v)
+		if perr := s.saveDisk(key, v); perr != nil {
+			s.persistFailures.Add(1)
+		}
 	}
 	s.misses.Add(1)
 	return v, false, err
@@ -195,25 +203,32 @@ func (s *Store[K, V]) loadDisk(key K) (V, error) {
 	return s.cfg.Decode(data)
 }
 
-// saveDisk persists an artifact best-effort: the memory copy is
-// authoritative and persistence failures are not the caller's problem.
-func (s *Store[K, V]) saveDisk(key K, v V) {
+// saveDisk persists an artifact. The memory copy stays authoritative —
+// callers must not fail the request on error — but the error is
+// reported so failed persists count in Stats instead of vanishing: a
+// half-written .tmp left by a failed rename used to be the only trace
+// of a dying disk.
+func (s *Store[K, V]) saveDisk(key K, v V) error {
 	if s.cfg.Dir == "" {
-		return
+		return nil
 	}
 	data, err := s.cfg.Encode(v)
 	if err != nil {
-		return
+		return fmt.Errorf("store: encode %v: %w", key, err)
 	}
 	if err := os.MkdirAll(s.cfg.Dir, 0o755); err != nil {
-		return
+		return fmt.Errorf("store: persist dir: %w", err)
 	}
 	path := filepath.Join(s.cfg.Dir, s.cfg.KeyPath(key))
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return
+		return fmt.Errorf("store: persist %v: %w", key, err)
 	}
-	_ = os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: persist %v: %w", key, err)
+	}
+	return nil
 }
 
 // Len returns the number of in-memory entries (including in-flight).
@@ -225,5 +240,10 @@ func (s *Store[K, V]) Len() int {
 
 // Stats returns a snapshot of the hit/miss/eviction counters.
 func (s *Store[K, V]) Stats() Stats {
-	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Evictions: s.evictions.Load()}
+	return Stats{
+		Hits:            s.hits.Load(),
+		Misses:          s.misses.Load(),
+		Evictions:       s.evictions.Load(),
+		PersistFailures: s.persistFailures.Load(),
+	}
 }

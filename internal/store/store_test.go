@@ -3,6 +3,8 @@ package store
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -110,6 +112,49 @@ func TestDiskPersistence(t *testing.T) {
 	}
 	if st := s2.Stats(); st.Hits != 1 || st.Misses != 0 {
 		t.Fatalf("disk stats = %s", st)
+	}
+}
+
+func TestPersistFailureCountedNotFatal(t *testing.T) {
+	// Dir is an existing regular file, so MkdirAll fails on every
+	// persist. The request must still be served from memory, and the
+	// failure must show up in Stats instead of vanishing.
+	dir := t.TempDir()
+	notADir := filepath.Join(dir, "occupied")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(byteConfig(0, notADir))
+	v, hit, err := s.GetOrCreate("k", func() ([]byte, error) { return []byte("payload"), nil })
+	if err != nil || hit || string(v) != "payload" {
+		t.Fatalf("build under failing persistence: v=%q hit=%v err=%v", v, hit, err)
+	}
+	if st := s.Stats(); st.PersistFailures != 1 {
+		t.Fatalf("persist failures = %d, want 1 (stats = %s)", st.PersistFailures, st)
+	}
+	// The memory copy stays authoritative.
+	if _, hit, err := s.GetOrCreate("k", func() ([]byte, error) { return nil, errors.New("must not rebuild") }); err != nil || !hit {
+		t.Fatalf("memory copy lost after persist failure: hit=%v err=%v", hit, err)
+	}
+}
+
+func TestPersistRenameFailureCleansTmp(t *testing.T) {
+	// The final rename fails because the destination path is occupied by
+	// a directory. The half-written .tmp file must be removed — a
+	// leaked .tmp used to be the only trace of a failed persist.
+	dir := t.TempDir()
+	if err := os.Mkdir(filepath.Join(dir, "k"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s := New(byteConfig(0, dir))
+	if _, _, err := s.GetOrCreate("k", func() ([]byte, error) { return []byte("payload"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.PersistFailures != 1 {
+		t.Fatalf("persist failures = %d, want 1", st.PersistFailures)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "k.tmp")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("tmp file not cleaned up: stat err = %v", err)
 	}
 }
 

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+
+	"icfgpatch/internal/analysis"
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/asm"
+)
+
+// BoundaryCases is the switch width of the BoundaryTable workload:
+// wider than analysis.MaxTableEntries, so a bound-extension cap applied
+// to a hard limit would silently truncate the table.
+const BoundaryCases = analysis.MaxTableEntries + 88
+
+// BoundaryDriverIndices are the case indices the BoundaryTable driver
+// exercises: well below the extension cap, just below it, at it, and
+// above it. The above-cap indices are the regression: a rewriter that
+// truncated the table leaves them dispatching through stale code.
+var BoundaryDriverIndices = []int{
+	0, 7,
+	analysis.MaxTableEntries - 1,
+	analysis.MaxTableEntries,
+	analysis.MaxTableEntries + 78,
+	BoundaryCases - 1,
+}
+
+// BoundaryTable generates the jump-table bound regression workload: one
+// giant dispatcher whose switch has BoundaryCases cases, whose index is
+// spilled across the stack so bound recovery fails (Assumption-2
+// extension kicks in), and whose table is the last item in .rodata —
+// flush against the section end, the configuration where the extension
+// limit IS the section boundary. The driver calls indices on both sides
+// of the cap, so truncation shows up as divergent runtime output, not
+// just a smaller resolved count.
+func BoundaryTable(a arch.Arch) (*Program, error) {
+	b := asm.New(a, false)
+
+	d := b.Func("dispatch")
+	d.SetFrame(32)
+	// idx = arg mod BoundaryCases.
+	d.Li(arch.R7, int64(BoundaryCases))
+	d.Op3(arch.Div, arch.R8, arch.R1, arch.R7)
+	d.Op3(arch.Mul, arch.R8, arch.R8, arch.R7)
+	d.Op3(arch.Sub, arch.R8, arch.R1, arch.R8)
+	cases := make([]asm.Label, BoundaryCases)
+	for i := range cases {
+		cases[i] = d.NewLabel()
+	}
+	def := d.NewLabel()
+	join := d.NewLabel()
+	d.Switch(arch.R8, arch.R9, arch.R10, cases, def, asm.SwitchOpts{SpillIndex: true})
+	for i, c := range cases {
+		d.Bind(c)
+		d.OpI(arch.Add, arch.R0, arch.R1, int64(3*i+1))
+		d.BranchTo(join)
+	}
+	d.Bind(def)
+	d.OpI(arch.Add, arch.R0, arch.R1, 1999) // 12-bit ALU immediate limit
+	d.Bind(join)
+	d.Return()
+
+	m := b.Func("main")
+	m.SetFrame(48)
+	m.Li(arch.R3, 0) // checksum
+	for _, idx := range BoundaryDriverIndices {
+		m.StoreLocal(arch.R3, accSlot)
+		m.Li(arch.R1, int64(idx))
+		m.CallF("dispatch")
+		m.LoadLocal(arch.R3, accSlot)
+		m.Op3(arch.Add, arch.R3, arch.R3, arch.R0)
+		m.OpI(arch.Shl, arch.R5, arch.R3, 1)
+		m.Op3(arch.Xor, arch.R3, arch.R3, arch.R5)
+	}
+	m.Print(arch.R3)
+	m.Li(arch.R0, 0)
+	m.Halt()
+	b.SetEntry("main")
+
+	img, dbg, err := b.Link()
+	if err != nil {
+		return nil, fmt.Errorf("workload: linking boundary-table for %s: %w", a, err)
+	}
+	p := Profile{Name: "boundary-table", Lang: "c++"}
+	return &Program{Profile: p, Binary: img, Debug: dbg}, nil
+}

@@ -165,6 +165,41 @@ func TestLibcudaTraits(t *testing.T) {
 	runProg(t, p.Binary, 0)
 }
 
+func TestBoundaryTableTraits(t *testing.T) {
+	for _, a := range arch.All() {
+		p, err := BoundaryTable(a)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if len(p.Debug.Tables) != 1 {
+			t.Fatalf("%s: %d tables, want 1", a, len(p.Debug.Tables))
+		}
+		tbl := p.Debug.Tables[0]
+		if tbl.N != BoundaryCases {
+			t.Errorf("%s: table has %d entries, want %d", a, tbl.N, BoundaryCases)
+		}
+		// The regression configuration: on the rodata-table ISAs the
+		// table must sit flush against the section end, so Assumption-2
+		// extension is limited exactly by the section boundary. (PPC
+		// embeds its tables in .text.)
+		if !tbl.InText {
+			rod := p.Binary.Section(bin.SecRodata)
+			if rod == nil {
+				t.Fatalf("%s: no rodata section", a)
+			}
+			end := tbl.Addr + uint64(tbl.N*tbl.EntrySize)
+			if end != rod.End() {
+				t.Errorf("%s: table ends at %#x, rodata at %#x — not flush against the section boundary",
+					a, end, rod.End())
+			}
+		}
+		res := runProg(t, p.Binary, 0)
+		if len(res.Output) == 0 {
+			t.Errorf("%s: no output", a)
+		}
+	}
+}
+
 func TestGoBinariesHaveNoJumpTables(t *testing.T) {
 	p, err := Docker(arch.X64)
 	if err != nil {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package icfgpatch_test
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// guards skip themselves under it.
+const raceEnabled = false
