@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet fmt fmt-check bench fuzz-seed bench-warm obs-guard check
+.PHONY: build test short race vet fmt fmt-check bench fuzz-seed bench-warm bench-delta obs-guard delta-guard check
 
 build:
 	$(GO) build ./...
@@ -40,9 +40,21 @@ fuzz-seed:
 bench-warm:
 	$(GO) test -run '^$$' -bench BenchmarkRewriteWarmVsCold -benchtime 3x .
 
+# bench-delta smoke-tests the function-granular delta path: v2 mutates
+# a few functions, the delta re-analysis reuses the rest, and the output
+# is asserted byte-identical to a cold v2 rewrite.
+bench-delta:
+	$(GO) test -run '^$$' -bench BenchmarkDeltaVsCold -benchtime 3x .
+
 # obs-guard verifies the tracing instrumentation stays within its 2%
 # overhead budget on the warm patch path (see obs_overhead_test.go).
 obs-guard:
 	$(GO) test -run TestObsOverheadGuard .
 
-check: fmt-check vet race fuzz-seed bench-warm obs-guard
+# delta-guard asserts — by counters, not timing — that a K-function
+# mutation recomputes at most the changed functions plus their
+# dependency-index dependents (see TestDeltaRecomputeBound).
+delta-guard:
+	$(GO) test -run TestDeltaRecomputeBound -v ./internal/core/
+
+check: fmt-check vet race fuzz-seed bench-warm bench-delta obs-guard delta-guard

@@ -305,6 +305,75 @@ func BenchmarkRewriteWarmVsCold(b *testing.B) {
 	}
 }
 
+// BenchmarkDeltaVsCold measures the function-granular delta path on a
+// version pair: v2 mutates 3 functions of the libxul-like workload, and
+// the delta sub-benchmark re-analyzes v2 against a unit store warmed on
+// v1, reusing every unchanged function. The speedup_x metric is the
+// delta multiplier over a cold v2 rewrite; outputs are asserted
+// byte-identical.
+func BenchmarkDeltaVsCold(b *testing.B) {
+	p, err := workload.LibxulCached(arch.X64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v1 := p.Binary
+	v2, _, err := workload.MutateVersion(v1, 3, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Mode: core.ModeJT, Request: blockEmpty()}
+
+	var cold, delta float64
+	var coldImg, deltaImg []byte
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := core.Rewrite(v2, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if coldImg == nil {
+				coldImg = res.Binary.Marshal()
+			}
+		}
+		cold = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("delta", func(b *testing.B) {
+		units := core.NewUnitStore(0)
+		if _, err := core.Analyze(v1, core.AnalysisConfig{Mode: opts.Mode, Units: units}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var reused, recomputed int
+		for i := 0; i < b.N; i++ {
+			an, err := core.Analyze(v2, core.AnalysisConfig{Mode: opts.Mode, Units: units})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := an.Patch(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				// Later iterations find v2's own units already stored; the
+				// first is the real v1 -> v2 delta.
+				reused, recomputed = an.Delta.Reused, an.Delta.Recomputed
+			}
+			if deltaImg == nil {
+				deltaImg = res.Binary.Marshal()
+			}
+		}
+		delta = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		b.ReportMetric(float64(reused), "funcs_reused")
+		b.ReportMetric(float64(recomputed), "funcs_recomputed")
+		if cold > 0 && delta > 0 {
+			b.ReportMetric(cold/delta, "speedup_x")
+		}
+	})
+	if coldImg != nil && deltaImg != nil && string(coldImg) != string(deltaImg) {
+		b.Fatal("delta rewrite output diverged from cold rewrite")
+	}
+}
+
 // BenchmarkDockerGo drives the Section 8.2 Docker experiment's "run"
 // command through the jt rewrite with Go runtime RA translation.
 func BenchmarkDockerGo(b *testing.B) {

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	icfg-experiments [-run all|table1|table2|table3|figure1|figure2|firefox|docker|bolt|diogenes]
+//	icfg-experiments [-run all|table1|table2|table3|figure1|figure2|firefox|docker|bolt|diogenes|incremental]
 //	                 [-arch x64|ppc|a64|all] [-jobs N] [-metrics] [-trace]
 package main
 
@@ -30,11 +30,12 @@ import (
 var knownRuns = []string{
 	"all", "table1", "table2", "table3", "figure1", "figure2",
 	"firefox", "docker", "bolt", "diogenes", "ablation", "trampolines",
+	"incremental",
 }
 
 func main() {
 	runSel := flag.String("run", "all", "experiment to run: "+strings.Join(knownRuns, ", "))
-	archSel := flag.String("arch", "all", "architecture for table3: x64, ppc, a64, all")
+	archSel := flag.String("arch", "all", "architecture for table3/incremental: x64, ppc, a64, all")
 	jobs := flag.Int("jobs", 0, "worker count for the table3 sweep (0 = one per CPU, 1 = serial)")
 	metrics := flag.Bool("metrics", false, "print aggregated per-pass rewrite metrics after table3 and workload cache stats at exit")
 	trace := flag.Bool("trace", false, "print each rewrite's span tree (table3 and ablation cells)")
@@ -153,6 +154,16 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(res.Render())
+	}
+	if want("incremental") {
+		for _, a := range arches {
+			res, err := experiments.Incremental(a)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(res.Render())
+			report(res.Failures())
+		}
 	}
 	if want("trampolines") {
 		for _, a := range arch.All() {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	icfg-objdump [-d] [-sym func] file.icfg
+//	icfg-objdump [-d] [-funcs] [-sym func] file.icfg
 package main
 
 import (
@@ -64,6 +64,25 @@ func printCFG(img *bin.Binary, symSel string) {
 	}
 }
 
+// printFuncHashes lists every function with the content hash the
+// incremental-analysis layer keys its units by. Stripped binaries fall
+// back to discovered entry points, matching what the delta engine
+// itself would hash.
+func printFuncHashes(img *bin.Binary) {
+	syms := img.FuncSymbols()
+	if len(syms) == 0 {
+		var err error
+		if syms, err = cfg.DiscoverFunctions(img); err != nil {
+			fmt.Fprintln(os.Stderr, "icfg-objdump:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("\n%d functions:\n", len(syms))
+	for _, sym := range syms {
+		fmt.Printf("  %#10x %8d  %s  %s\n", sym.Addr, sym.Size, img.FuncContentHash(sym), sym.Name)
+	}
+}
+
 // printAddrMaps decodes the rewriter's address-map sections (.ra_map,
 // .tramp_map) entry by entry rather than leaving them as opaque bytes.
 func printAddrMaps(img *bin.Binary) {
@@ -101,10 +120,11 @@ func main() {
 	disas := flag.Bool("d", false, "disassemble function symbols")
 	showCFG := flag.Bool("cfg", false, "print control flow graphs (blocks, edges, jump tables)")
 	ramap := flag.Bool("ramap", false, "decode .ra_map/.tramp_map sections entry by entry")
+	funcs := flag.Bool("funcs", false, "print each function's address, size, and content hash")
 	symSel := flag.String("sym", "", "disassemble only this function")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: icfg-objdump [-d] [-cfg] [-ramap] [-sym name] file.icfg")
+		fmt.Fprintln(os.Stderr, "usage: icfg-objdump [-d] [-cfg] [-ramap] [-funcs] [-sym name] file.icfg")
 		os.Exit(2)
 	}
 	img, err := bin.ReadFile(flag.Arg(0))
@@ -136,6 +156,10 @@ func main() {
 
 	if *ramap {
 		printAddrMaps(img)
+		return
+	}
+	if *funcs {
+		printFuncHashes(img)
 		return
 	}
 	if *showCFG {

@@ -121,6 +121,9 @@ func main() {
 			cacheLine = fmt.Sprintf("result cache hit (%.1fms server)", float64(reply.ElapsedUS)/1000)
 		case reply.AnalysisHit:
 			cacheLine = fmt.Sprintf("warm analysis (%.1fms server)", float64(reply.ElapsedUS)/1000)
+		case reply.FuncsReused > 0:
+			cacheLine = fmt.Sprintf("delta analysis (reused %d / recomputed %d funcs, %.1fms server)",
+				reply.FuncsReused, reply.FuncsRecomputed, float64(reply.ElapsedUS)/1000)
 		default:
 			cacheLine = fmt.Sprintf("cold (%.1fms server)", float64(reply.ElapsedUS)/1000)
 		}

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	icfg-serve [-addr :8844] [-workers N] [-queue N]
-//	           [-analyses N] [-results N] [-disk dir]
+//	           [-analyses N] [-results N] [-funcs N] [-disk dir]
 //	           [-timeout dur]
 //
 // Besides /rewrite, /stats, and /healthz, the server exposes /metrics
@@ -43,6 +43,7 @@ func main() {
 	queue := flag.Int("queue", 0, "request queue depth (default: 64)")
 	analyses := flag.Int("analyses", 0, "analysis cache entries (default: 32)")
 	results := flag.Int("results", 0, "result cache entries (0 disables the result cache)")
+	funcs := flag.Int("funcs", 0, "function-unit store entries for delta analysis (default: 4096, -1 disables)")
 	disk := flag.String("disk", "", "persist the result cache to this directory")
 	timeout := flag.Duration("timeout", 0, "per-request processing timeout (0: none)")
 	flag.Parse()
@@ -56,6 +57,7 @@ func main() {
 		QueueDepth:      *queue,
 		AnalysisEntries: *analyses,
 		ResultEntries:   *results,
+		FuncEntries:     *funcs,
 		Dir:             *disk,
 		Timeout:         *timeout,
 	})

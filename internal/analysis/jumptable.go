@@ -8,6 +8,8 @@
 package analysis
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 
@@ -36,6 +38,10 @@ type JumpTables struct {
 	// another table: PC-relative access targets and materialised
 	// constants found anywhere in the code.
 	boundaries []uint64
+	// rec, when non-nil, accumulates the resolver's read set (see
+	// StartRecording). Resolution is serial per binary, so a single
+	// slot suffices.
+	rec *recording
 }
 
 // NewJumpTables scans the binary for boundary hints and returns the
@@ -116,9 +122,24 @@ func (jt *JumpTables) scanBoundaries() {
 // or the end of addr's section. hard reports whether the limit is a
 // proven upper bound on the table (a boundary hint or the section end)
 // rather than the arbitrary fallback used when addr is outside every
-// section.
+// section. Queries are logged while a recording is active: the answer
+// depends on code anywhere in the binary (any function can materialise
+// a data address), so reuse of a cached per-function analysis is only
+// sound if the new binary answers every recorded query identically.
 func (jt *JumpTables) nextBoundary(addr uint64) (limit uint64, hard bool) {
+	limit, hard = jt.Boundary(addr)
+	if jt.rec != nil {
+		jt.rec.bounds[addr] = BoundQuery{Addr: addr, Limit: limit, Hard: hard}
+	}
+	return limit, hard
+}
+
+// Boundary answers a boundary-hint query without recording it: the
+// validation-side entry point for replaying a Recording against a new
+// binary's resolver.
+func (jt *JumpTables) Boundary(addr uint64) (limit uint64, hard bool) {
 	limit = uint64(1) << 62
+	hard = false
 	if s := jt.bin.SectionAt(addr); s != nil {
 		limit, hard = s.End(), true
 	}
@@ -127,6 +148,167 @@ func (jt *JumpTables) nextBoundary(addr uint64) (limit uint64, hard bool) {
 		return jt.boundaries[i], true
 	}
 	return limit, hard
+}
+
+// ReadSpan is one contiguous byte range the resolver read successfully,
+// identified by content: reuse requires the same bytes at the same
+// address in the new binary.
+type ReadSpan struct {
+	Addr uint64
+	Len  uint64
+	Sum  string // hex sha256 of the bytes read
+}
+
+// ReadFail is a table read that failed (unmapped address or section
+// overrun). The failure shaped the analysis — an inexact table was
+// trimmed there — so reuse requires the read to fail in the new binary
+// too.
+type ReadFail struct {
+	Addr uint64
+	Len  uint64
+}
+
+// BoundQuery is one boundary-hint lookup and its answer.
+type BoundQuery struct {
+	Addr  uint64
+	Limit uint64
+	Hard  bool
+}
+
+// Recording is the resolver's read set for one function's analysis:
+// everything ResolveJump consulted outside the function's own bytes.
+// It is the evidence the delta engine replays to decide whether a
+// cached analysis unit is still valid against a new binary version.
+type Recording struct {
+	Reads  []ReadSpan
+	Fails  []ReadFail
+	Bounds []BoundQuery
+}
+
+// Empty reports whether the recording constrains nothing.
+func (r *Recording) Empty() bool {
+	return r == nil || (len(r.Reads) == 0 && len(r.Fails) == 0 && len(r.Bounds) == 0)
+}
+
+// ValidFor replays the recording against a new binary and its resolver:
+// every successful read must observe identical bytes, every failed read
+// must still fail, and every boundary query must produce the same
+// answer. This is deliberately conservative — any mismatch forces a
+// recompute, never a wrong reuse.
+func (r *Recording) ValidFor(b *bin.Binary, jt *JumpTables) bool {
+	if r == nil {
+		return true
+	}
+	for _, s := range r.Reads {
+		data, err := b.ReadAt(s.Addr, s.Len)
+		if err != nil || hashBytes(data) != s.Sum {
+			return false
+		}
+	}
+	for _, f := range r.Fails {
+		if _, err := b.ReadAt(f.Addr, f.Len); err == nil {
+			return false
+		}
+	}
+	for _, q := range r.Bounds {
+		limit, hard := jt.Boundary(q.Addr)
+		if limit != q.Limit || hard != q.Hard {
+			return false
+		}
+	}
+	return true
+}
+
+// recording accumulates raw events; StartRecording installs one and
+// StopRecording compacts it into a Recording.
+type recording struct {
+	spans  [][2]uint64 // successful reads as [start,end)
+	fails  []ReadFail
+	bounds map[uint64]BoundQuery
+}
+
+// StartRecording begins capturing the resolver's read set. Recordings
+// do not nest; the resolver is not safe for concurrent resolution while
+// one is active (CFG construction is serial per binary).
+func (jt *JumpTables) StartRecording() {
+	jt.rec = &recording{bounds: map[uint64]BoundQuery{}}
+}
+
+// StopRecording ends capture and returns the compacted read set:
+// successful reads merged into maximal per-section spans (a wide table
+// is one span, not hundreds of entry-sized records) and content-hashed,
+// failures deduplicated, boundary queries sorted.
+func (jt *JumpTables) StopRecording() *Recording {
+	rec := jt.rec
+	jt.rec = nil
+	out := &Recording{}
+	if rec == nil {
+		return out
+	}
+	sort.Slice(rec.spans, func(i, j int) bool { return rec.spans[i][0] < rec.spans[j][0] })
+	var merged [][2]uint64
+	for _, sp := range rec.spans {
+		n := len(merged)
+		if n > 0 && sp[0] <= merged[n-1][1] && sameSection(jt.bin, merged[n-1][0], sp[1]) {
+			if sp[1] > merged[n-1][1] {
+				merged[n-1][1] = sp[1]
+			}
+			continue
+		}
+		merged = append(merged, sp)
+	}
+	for _, sp := range merged {
+		data, err := jt.bin.ReadAt(sp[0], sp[1]-sp[0])
+		if err != nil {
+			// Individually readable spans only merge within one section,
+			// so this cannot happen; record an unmatchable span rather
+			// than silently widening reuse.
+			out.Fails = append(out.Fails, ReadFail{Addr: sp[0], Len: sp[1] - sp[0]})
+			continue
+		}
+		out.Reads = append(out.Reads, ReadSpan{Addr: sp[0], Len: sp[1] - sp[0], Sum: hashBytes(data)})
+	}
+	seen := map[ReadFail]bool{}
+	for _, f := range rec.fails {
+		if !seen[f] {
+			seen[f] = true
+			out.Fails = append(out.Fails, f)
+		}
+	}
+	sort.Slice(out.Fails, func(i, j int) bool {
+		return out.Fails[i].Addr < out.Fails[j].Addr ||
+			(out.Fails[i].Addr == out.Fails[j].Addr && out.Fails[i].Len < out.Fails[j].Len)
+	})
+	for _, q := range rec.bounds {
+		out.Bounds = append(out.Bounds, q)
+	}
+	sort.Slice(out.Bounds, func(i, j int) bool { return out.Bounds[i].Addr < out.Bounds[j].Addr })
+	return out
+}
+
+// readAt performs a table read through the active recording.
+func (jt *JumpTables) readAt(b *bin.Binary, addr, n uint64) ([]byte, error) {
+	data, err := b.ReadAt(addr, n)
+	if jt.rec != nil {
+		if err != nil {
+			jt.rec.fails = append(jt.rec.fails, ReadFail{Addr: addr, Len: n})
+		} else {
+			jt.rec.spans = append(jt.rec.spans, [2]uint64{addr, addr + n})
+		}
+	}
+	return data, err
+}
+
+// sameSection reports whether [start,end) lies inside one section.
+func sameSection(b *bin.Binary, start, end uint64) bool {
+	s := b.SectionAt(start)
+	return s != nil && end <= s.End()
+}
+
+// hashBytes is the content address of a read span.
+func hashBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
 }
 
 // ResolveJump implements cfg.Resolver: backward slicing from the
@@ -187,7 +369,7 @@ func (jt *JumpTables) ResolveJump(b *bin.Binary, f *cfg.Func, jumpAddr uint64) (
 	// implausible target instead of failing.
 	for k := 0; k < n; k++ {
 		entryAddr := tbl.TableAddr + uint64(k*tbl.EntrySize)
-		raw, err := b.ReadAt(entryAddr, uint64(tbl.EntrySize))
+		raw, err := jt.readAt(b, entryAddr, uint64(tbl.EntrySize))
 		if err != nil {
 			if exact {
 				return nil, fmt.Errorf("analysis: %s: table at %#x truncated by section end", f.Name, tbl.TableAddr)

@@ -1,0 +1,77 @@
+package bin
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+
+	"icfgpatch/internal/arch"
+)
+
+// funcHashVersion tags the hash input layout; bump it whenever the
+// fields below change so stale identities can never validate.
+const funcHashVersion = "icfg-func-v1"
+
+// FuncContentHash returns the content address of one function: a hex
+// sha256 over everything a per-function analysis may read from the
+// function itself. Two binaries in which a function hashes equal are
+// guaranteed to agree on the function's bytes, placement, and the
+// relocations landing inside it — the identity the delta engine keys
+// its function-granular analysis units by.
+//
+// The hashed byte range extends MaxLen-1 bytes past the symbol end
+// (clamped to the section): the decoder's lookahead window for the last
+// instruction may read past a truncated function, so those bytes are
+// part of what analysis can observe.
+func (b *Binary) FuncContentHash(sym Symbol) string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	str := func(s string) {
+		io.WriteString(h, s)
+		h.Write([]byte{0})
+	}
+	str(funcHashVersion)
+	str(sym.Name)
+	var flags uint64
+	if b.PIE {
+		flags |= 1
+	}
+	if b.SharedLib {
+		flags |= 2
+	}
+	put(uint64(b.Arch)<<8 | flags)
+	put(sym.Addr)
+	put(sym.Size)
+
+	if s := b.SectionAt(sym.Addr); s != nil {
+		end := sym.Addr + sym.Size + uint64(arch.ForArch(b.Arch).MaxLen()-1)
+		if end > s.End() {
+			end = s.End()
+		}
+		if sym.Addr < end {
+			h.Write(s.Data[sym.Addr-s.Addr : end-s.Addr])
+		}
+	}
+
+	inRange := func(off uint64) bool { return off >= sym.Addr && off < sym.Addr+sym.Size }
+	hashRelocs := func(tag string, relocs []Reloc) {
+		str(tag)
+		for _, r := range relocs {
+			if !inRange(r.Off) {
+				continue
+			}
+			put(uint64(r.Kind))
+			put(r.Off)
+			put(uint64(r.Addend))
+			str(r.Sym)
+		}
+	}
+	hashRelocs("relocs", b.Relocs)
+	hashRelocs("link", b.LinkRelocs)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -231,39 +231,73 @@ func Build(b *bin.Binary, resolver Resolver) (*Graph, error) {
 	if text == nil {
 		return nil, fmt.Errorf("cfg: binary has no text section")
 	}
-	var pads *unwind.Table
-	if s := b.Section(bin.SecEhFrame); s != nil {
-		tab, err := unwind.Decode(s.Data)
-		if err != nil {
-			return nil, fmt.Errorf("cfg: parsing unwind table: %w", err)
-		}
-		pads = tab
+	pads, err := UnwindTable(b)
+	if err != nil {
+		return nil, err
 	}
-	g := &Graph{Binary: b, Arch: b.Arch, byName: map[string]*Func{}}
+	var funcs []*Func
 	for _, sym := range b.FuncSymbols() {
 		if sym.Size == 0 {
 			continue
 		}
-		f := buildFunc(b, text, sym, pads, resolver)
-		g.Funcs = append(g.Funcs, f)
-		g.byName[f.Name] = f
+		funcs = append(funcs, BuildFunc(b, text, sym, pads, resolver))
 	}
-	sort.Slice(g.Funcs, func(i, j int) bool { return g.Funcs[i].Entry < g.Funcs[j].Entry })
-	return g, nil
+	return Assemble(b, funcs), nil
 }
 
-// buildFunc runs the traverse/resolve fixpoint for one function.
-func buildFunc(b *bin.Binary, text *bin.Section, sym bin.Symbol, pads *unwind.Table, resolver Resolver) *Func {
-	var catchPads []uint64
-	if pads != nil {
-		if fde, ok := pads.Find(sym.Addr); ok {
-			for _, p := range fde.Pads {
-				if p.Pad >= sym.Addr && p.Pad < sym.Addr+sym.Size {
-					catchPads = append(catchPads, p.Pad)
-				}
+// UnwindTable decodes the binary's unwind table, or returns nil when the
+// binary carries none. Decoding once and passing the table to every
+// BuildFunc call is what lets callers build functions individually.
+func UnwindTable(b *bin.Binary) (*unwind.Table, error) {
+	s := b.Section(bin.SecEhFrame)
+	if s == nil {
+		return nil, nil
+	}
+	tab, err := unwind.Decode(s.Data)
+	if err != nil {
+		return nil, fmt.Errorf("cfg: parsing unwind table: %w", err)
+	}
+	return tab, nil
+}
+
+// Assemble builds a whole-binary Graph from individually constructed
+// functions: the seam the delta engine uses to mix freshly built
+// functions with units reused from a previous version of the binary.
+// The input slice is retained and re-sorted by entry address.
+func Assemble(b *bin.Binary, funcs []*Func) *Graph {
+	g := &Graph{Binary: b, Arch: b.Arch, Funcs: funcs, byName: map[string]*Func{}}
+	sort.Slice(g.Funcs, func(i, j int) bool { return g.Funcs[i].Entry < g.Funcs[j].Entry })
+	for _, f := range g.Funcs {
+		g.byName[f.Name] = f
+	}
+	return g
+}
+
+// CatchPads returns the exception landing pads inside sym, in table
+// order — the per-function slice of the unwind table BuildFunc consumes
+// and the delta engine folds into a function's analysis identity.
+func CatchPads(pads *unwind.Table, sym bin.Symbol) []uint64 {
+	if pads == nil {
+		return nil
+	}
+	var out []uint64
+	if fde, ok := pads.Find(sym.Addr); ok {
+		for _, p := range fde.Pads {
+			if p.Pad >= sym.Addr && p.Pad < sym.Addr+sym.Size {
+				out = append(out, p.Pad)
 			}
 		}
 	}
+	return out
+}
+
+// BuildFunc runs the traverse/resolve fixpoint for one function. It is
+// the unit of incremental analysis: everything it reads is either the
+// function's own content, the unwind table slice covering it, or —
+// through the resolver — jump-table bytes and boundary hints, which the
+// resolver can record for reuse validation.
+func BuildFunc(b *bin.Binary, text *bin.Section, sym bin.Symbol, pads *unwind.Table, resolver Resolver) *Func {
+	catchPads := CatchPads(pads, sym)
 
 	resolved := map[uint64]*ResolvedTable{}
 	errs := map[uint64]error{}

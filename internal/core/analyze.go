@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -28,6 +29,14 @@ type AnalysisConfig struct {
 	// storing the config in the Analysis so a cached analysis never
 	// retains the first requester's span tree.
 	Trace *obs.Span
+	// Units, when non-nil, is the function-keyed second store level:
+	// Analyze pulls unchanged functions' units from it and deposits
+	// freshly computed ones, turning a whole-binary analysis of a new
+	// version into a delta over the previous one. Like Trace, it is NOT
+	// part of the analysis identity — the assembled Analysis is
+	// byte-for-byte the one a cold run would produce — and it is cleared
+	// before the config is retained.
+	Units *UnitStore
 }
 
 // Analysis is the request-independent product of analysing one binary:
@@ -48,15 +57,25 @@ type Analysis struct {
 	// Rewrite reports the same stage shape as before the split; a warm
 	// Patch reports the timings of the cached analysis.
 	Metrics Metrics
+	// FuncUnits are the per-function analysis units the graph was
+	// assembled from, in symbol-table order.
+	FuncUnits []*FuncUnit
+	// Delta reports how the assembly went: how many units were reused
+	// from the store versus recomputed.
+	Delta DeltaStats
 
-	place   sync.Map // *cfg.Func -> *funcPlacement
+	unitOf  map[*cfg.Func]*FuncUnit
 	padOnce sync.Once
 	padding [][2]uint64
 }
 
 // funcPlacement caches one function's trampoline placement inputs. The
 // once guard single-flights computation across concurrent Patch calls;
-// the fields are read-only afterwards.
+// the fields are read-only afterwards. The memo lives inside the
+// function's FuncUnit, so a reused unit carries its placement across
+// binary versions — placement depends only on the function's CFG, the
+// mode/variant (part of the unit key), and the binary-wide exception
+// flag (part of the unit identity).
 type funcPlacement struct {
 	once sync.Once
 	cfl  map[uint64]bool
@@ -65,46 +84,125 @@ type funcPlacement struct {
 }
 
 // Analyze runs every rewrite pass that is independent of the
-// instrumentation request: CFG construction with jump-table analysis,
-// the variant's coverage adjustments, and function-pointer analysis in
-// func-ptr mode. The result is cacheable: Patch applies any number of
-// instrumentation requests to it without repeating this work.
+// instrumentation request, assembling a whole-binary Analysis from
+// function-granular units:
+//
+//  1. function table — symbols, or entry discovery for stripped
+//     binaries;
+//  2. identity — each function's content-addressed unit ID (bytes,
+//     in-range relocations, catch pads, binary-wide environment);
+//  3. assembly — for each function, a validated unit from the store
+//     (cfgc.Units) or a fresh BuildFunc run with the resolver's read
+//     set recorded; then the whole-binary graph, variant adjustments,
+//     and function-pointer analysis in func-ptr mode.
+//
+// The result is cacheable: Patch applies any number of instrumentation
+// requests to it without repeating this work.
 func Analyze(b *bin.Binary, cfgc AnalysisConfig) (*Analysis, error) {
 	mx := Metrics{}
 	clock := time.Now()
 	sp := cfgc.Trace.Start("analyze")
 	defer sp.End()
-	cfgc.Trace = nil // never retained by the (cacheable) Analysis
+	units := cfgc.Units
+	cfgc.Trace, cfgc.Units = nil, nil // never retained by the (cacheable) Analysis
 	if err := b.Validate(); err != nil {
 		return nil, fmt.Errorf("core: input binary invalid: %w", err)
 	}
-	resolver := analysis.NewJumpTables(b)
-	resolver.Strict = cfgc.Variant.StrictJumpTableBounds
-	var g *cfg.Graph
-	var err error
-	if len(b.FuncSymbols()) == 0 {
-		// Stripped binary: recover function entries first, as Dyninst's
-		// parser does (the paper's libcuda.so is stripped).
-		g, err = cfg.BuildStripped(b, resolver)
-	} else {
-		g, err = cfg.Build(b, resolver)
+
+	// Pass 1: the function table.
+	text := b.Text()
+	if text == nil {
+		return nil, fmt.Errorf("core: CFG construction: cfg: binary has no text section")
 	}
+	syms := b.FuncSymbols()
+	if len(syms) == 0 {
+		// Stripped binary: recover function entries first, as Dyninst's
+		// parser does (the paper's libcuda.so is stripped). Discovery is
+		// re-run per version — it is cheap and global — and the delta
+		// applies per recovered fn_<addr> function.
+		ds, err := cfg.DiscoverFunctions(b)
+		if err != nil {
+			return nil, fmt.Errorf("core: CFG construction: %w", err)
+		}
+		syms = ds
+	}
+	pads, err := cfg.UnwindTable(b)
 	if err != nil {
 		return nil, fmt.Errorf("core: CFG construction: %w", err)
 	}
-	if cfgc.Variant.NoTailCallHeuristic {
-		for _, f := range g.Funcs {
-			if f.Err != nil {
-				continue
-			}
-			for _, ij := range f.IndirectJumps {
-				if ij.TailCall {
-					f.Err = fmt.Errorf("core: unresolved indirect jump at %#x (tail call heuristic disabled)", ij.Addr)
-					break
-				}
+	resolver := analysis.NewJumpTables(b)
+	resolver.Strict = cfgc.Variant.StrictJumpTableBounds
+
+	// Pass 2: per-function identities. The full name→ID map must exist
+	// before any unit is validated or built: reuse validation compares
+	// dependency edges against it, and fresh builds stamp their deps
+	// from it.
+	env := deltaEnv(b)
+	type fent struct {
+		sym bin.Symbol
+		id  string
+	}
+	var table []fent
+	idByName := make(map[string]string, len(syms))
+	for _, sym := range syms {
+		if sym.Size == 0 {
+			continue
+		}
+		id := unitID(b, sym, cfg.CatchPads(pads, sym), env)
+		table = append(table, fent{sym, id})
+		idByName[sym.Name] = id
+	}
+	symAt := func(addr uint64) (string, bool) {
+		i := sort.Search(len(table), func(i int) bool { return table[i].sym.Addr > addr })
+		if i > 0 {
+			if s := table[i-1].sym; addr >= s.Addr && addr < s.Addr+s.Size {
+				return s.Name, true
 			}
 		}
+		return "", false
 	}
+
+	// Pass 3: assemble units — reuse validated ones, recompute the rest.
+	funcs := make([]*cfg.Func, 0, len(table))
+	fus := make([]*FuncUnit, 0, len(table))
+	unitOf := make(map[*cfg.Func]*FuncUnit, len(table))
+	var delta DeltaStats
+	for _, fe := range table {
+		key := UnitKey{ID: fe.id, Arch: b.Arch, Mode: cfgc.Mode, Variant: cfgc.Variant}
+		var u *FuncUnit
+		if units != nil {
+			if cand, ok := units.m.Get(key, func(c *FuncUnit) bool {
+				return c.validFor(b, resolver, idByName)
+			}); ok {
+				u = cand
+				delta.Reused++
+			}
+		}
+		if u == nil {
+			resolver.StartRecording()
+			f := cfg.BuildFunc(b, text, fe.sym, pads, resolver)
+			rec := resolver.StopRecording()
+			if cfgc.Variant.NoTailCallHeuristic && f.Err == nil {
+				for _, ij := range f.IndirectJumps {
+					if ij.TailCall {
+						f.Err = fmt.Errorf("core: unresolved indirect jump at %#x (tail call heuristic disabled)", ij.Addr)
+						break
+					}
+				}
+			}
+			u = &FuncUnit{Key: key, Name: fe.sym.Name, Fn: f, Reads: rec}
+			u.Deps = callDeps(f, rec, symAt, idByName)
+			delta.Recomputed++
+			delta.RecomputedNames = append(delta.RecomputedNames, fe.sym.Name)
+			if units != nil {
+				units.m.Put(key, u)
+			}
+		}
+		funcs = append(funcs, u.Fn)
+		fus = append(fus, u)
+		unitOf[u.Fn] = u
+	}
+	g := cfg.Assemble(b, funcs)
 	if cfgc.Variant.FailOnAnyError {
 		for _, f := range g.Funcs {
 			if f.Err != nil {
@@ -112,6 +210,7 @@ func Analyze(b *bin.Binary, cfgc AnalysisConfig) (*Analysis, error) {
 			}
 		}
 	}
+	mx.FuncsReused, mx.FuncsRecomputed = delta.Reused, delta.Recomputed
 	sp.Record(StageCFG, mx.lap(StageCFG, &clock))
 
 	// Function pointer analysis gates func-ptr mode (Section 5.2): it is
@@ -129,16 +228,19 @@ func Analyze(b *bin.Binary, cfgc AnalysisConfig) (*Analysis, error) {
 	}
 	sp.Record(StageFuncPtr, mx.lap(StageFuncPtr, &clock))
 
-	return &Analysis{Binary: b, Config: cfgc, Graph: g, PtrSites: ptrSites, Metrics: mx}, nil
+	return &Analysis{
+		Binary: b, Config: cfgc, Graph: g, PtrSites: ptrSites, Metrics: mx,
+		FuncUnits: fus, Delta: delta, unitOf: unitOf,
+	}, nil
 }
 
 // placement returns the function's cached placement inputs, computing
 // them on first use. CFL sets, liveness, and superblocks depend only on
-// the binary, mode, and variant — all part of the analysis key — so the
-// result is shared read-only by every Patch on this Analysis.
+// inputs folded into the unit identity — so the memo lives in the
+// function's unit and is shared read-only by every Patch on every
+// Analysis the unit is assembled into.
 func (an *Analysis) placement(f *cfg.Func) *funcPlacement {
-	pi, _ := an.place.LoadOrStore(f, &funcPlacement{})
-	p := pi.(*funcPlacement)
+	p := &an.unitOf[f].place
 	p.once.Do(func() {
 		b, mode, v := an.Binary, an.Config.Mode, an.Config.Variant
 		cfl := cflSet(b, f, mode)

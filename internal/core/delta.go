@@ -1,0 +1,229 @@
+// Function-granular incremental analysis: the delta engine's identities,
+// units, dependency index, and store.
+//
+// One FuncUnit is everything Analyze computes for one function: its CFG
+// (with resolved jump tables), the resolver's recorded read set, the
+// dependency index edges, and the lazily memoised trampoline placement
+// inputs. Units are content-addressed by UnitKey — a hash of the
+// function's own content (bytes, in-range relocations, catch pads) and
+// the binary-wide invariants the analysis silently depends on — crossed
+// with arch × mode × variant, the same identity convention the
+// whole-binary analysis store uses.
+//
+// A unit from a previous binary version may be reused only when every
+// way the new version could change its analysis has been ruled out:
+//
+//   - its own identity hash is unchanged (UnitKey equality);
+//   - every dependency-index edge still points at an unchanged function
+//     (callees and read-range owners, compared by identity hash);
+//   - the resolver's recorded read set replays identically: the same
+//     table bytes at the same addresses, the same failed reads, the
+//     same boundary-hint answers from the new binary's boundary scan.
+//
+// Anything else recomputes. Correctness of delta assembly — a delta
+// rewrite must be byte-identical to a cold rewrite — follows from this
+// conservatism: a reused unit is indistinguishable, input by input,
+// from the unit a cold analysis would have built.
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+
+	"icfgpatch/internal/analysis"
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/cfg"
+	"icfgpatch/internal/store"
+)
+
+// UnitKey addresses one function-granular analysis unit.
+type UnitKey struct {
+	// ID is the function's identity hash: bin.FuncContentHash plus the
+	// catch pads landing in the function and the delta environment (see
+	// deltaEnv).
+	ID      string
+	Arch    arch.Arch
+	Mode    Mode
+	Variant Variant
+}
+
+// Dep is one edge of the dependency index: this unit's analysis was
+// built while the named function had the given identity hash. A
+// mismatch in the new version invalidates the unit.
+type Dep struct {
+	Name string
+	ID   string
+}
+
+// FuncUnit is one function's cached analysis.
+type FuncUnit struct {
+	Key  UnitKey
+	Name string
+	// Fn is the function's CFG, immutable after the build. Reusing a
+	// unit shares the pointer: graphs assembled for different binary
+	// versions may alias unchanged functions, which is safe because
+	// Patch never mutates the graph.
+	Fn *cfg.Func
+	// Deps is the dependency index: direct callees and the owners of
+	// read ranges, by name and identity hash at build time.
+	Deps []Dep
+	// Reads is the resolver's recorded read set: table bytes consulted
+	// and boundary-hint queries answered during this unit's analysis.
+	Reads *analysis.Recording
+
+	// place memoises the trampoline placement inputs (CFL set,
+	// liveness, superblocks) across every Patch of every Analysis the
+	// unit is assembled into.
+	place funcPlacement
+}
+
+// validFor reports whether the unit may stand in for a fresh analysis
+// of the same-identity function in binary b: all dependency edges
+// unchanged and the read set replaying identically.
+func (u *FuncUnit) validFor(b *bin.Binary, jt *analysis.JumpTables, idByName map[string]string) bool {
+	for _, d := range u.Deps {
+		if idByName[d.Name] != d.ID {
+			return false
+		}
+	}
+	return u.Reads.ValidFor(b, jt)
+}
+
+// DeltaStats reports how an Analysis was assembled: how many functions
+// were pulled unchanged from the unit store versus recomputed. Without
+// a unit store every function counts as recomputed.
+type DeltaStats struct {
+	Reused     int
+	Recomputed int
+	// RecomputedNames lists the recomputed functions in symbol-table
+	// order — the delta engine's audit trail: tests and the make-check
+	// gate assert it stays within changed functions plus dependents.
+	RecomputedNames []string
+}
+
+// UnitStore is the function-keyed second store level. One store serves
+// every binary the process analyses: units are content-addressed, so
+// versions of the same program share whatever functions survived the
+// diff, and unrelated binaries simply never collide.
+type UnitStore struct {
+	m *store.Multi[UnitKey, *FuncUnit]
+}
+
+// NewUnitStore creates a unit store bounding the number of distinct
+// function identities held; <= 0 means unbounded. Each identity keeps
+// up to two candidates (the current and the previous version's
+// environment for the same function content).
+func NewUnitStore(maxFuncs int) *UnitStore {
+	return &UnitStore{m: store.NewMulti[UnitKey, *FuncUnit](maxFuncs, 2)}
+}
+
+// Len returns the number of distinct function identities held.
+func (s *UnitStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.m.Len()
+}
+
+// Stats returns the unit store's hit/miss/eviction counters.
+func (s *UnitStore) Stats() store.Stats {
+	if s == nil {
+		return store.Stats{}
+	}
+	return s.m.Stats()
+}
+
+// Dependents returns the sorted names of functions whose dependency
+// index references any name in changed, excluding the changed functions
+// themselves — the "dependents" half of the delta engine's recompute
+// bound (changed ∪ dependents ⊇ recomputed).
+func Dependents(units []*FuncUnit, changed map[string]bool) []string {
+	var out []string
+	for _, u := range units {
+		if changed[u.Name] {
+			continue
+		}
+		for _, d := range u.Deps {
+			if changed[d.Name] {
+				out = append(out, u.Name)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// deltaEnv renders the binary-wide invariants every per-function
+// analysis silently depends on: architecture, position independence,
+// exception use (placement consults it), the text section extent
+// (decode windows and plausibility checks), and the TOC value (the
+// slicer's r2 seed on PPC). The environment is folded into every unit
+// ID, so a layout change — text grown, sections moved — invalidates all
+// units rather than risking a stale reuse. The delta engine targets
+// same-layout version changes; cross-layout diffs fall back to cold.
+func deltaEnv(b *bin.Binary) string {
+	text := b.Text()
+	var tAddr, tEnd uint64
+	if text != nil {
+		tAddr, tEnd = text.Addr, text.End()
+	}
+	return fmt.Sprintf("env1|%d|%t|%t|%t|%x|%x|%x",
+		b.Arch, b.PIE, b.SharedLib, b.UsesExceptions(), tAddr, tEnd, b.TOCValue)
+}
+
+// unitID computes a function's identity hash: content hash × catch pads
+// × delta environment.
+func unitID(b *bin.Binary, sym bin.Symbol, catchPads []uint64, env string) string {
+	h := sha256.New()
+	io.WriteString(h, b.FuncContentHash(sym))
+	io.WriteString(h, env)
+	for _, p := range catchPads {
+		fmt.Fprintf(h, "|%x", p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// callDeps builds a freshly analysed function's dependency index:
+// direct call targets resolved to their containing functions, plus the
+// owners of recorded read ranges (in-text jump tables land inside a
+// function), each stamped with its identity hash at build time.
+func callDeps(f *cfg.Func, rec *analysis.Recording, symAt func(uint64) (string, bool), idByName map[string]string) []Dep {
+	seen := map[string]bool{}
+	add := func(addr uint64) {
+		if f.Contains(addr) {
+			return
+		}
+		name, ok := symAt(addr)
+		if !ok || seen[name] {
+			return
+		}
+		seen[name] = true
+	}
+	for _, blk := range f.Blocks {
+		if last := blk.Last(); last.Kind == arch.Call {
+			if t, ok := last.Target(); ok {
+				add(t)
+			}
+		}
+	}
+	if rec != nil {
+		for _, r := range rec.Reads {
+			add(r.Addr)
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	deps := make([]Dep, 0, len(names))
+	for _, n := range names {
+		deps = append(deps, Dep{Name: n, ID: idByName[n]})
+	}
+	return deps
+}

@@ -50,6 +50,12 @@ type Metrics struct {
 	// AnalysisFailures counts functions whose CFG or jump-table analysis
 	// failed and were skipped (partial instrumentation).
 	AnalysisFailures int
+	// FuncsReused / FuncsRecomputed report the delta engine's work split:
+	// how many per-function analysis units were pulled unchanged from the
+	// unit store versus recomputed. A cold analysis (no unit store)
+	// recomputes everything.
+	FuncsReused     int
+	FuncsRecomputed int
 }
 
 // lap appends a stage timing measured since *last, advances *last, and
@@ -92,6 +98,8 @@ func (m *Metrics) Add(o Metrics) {
 	}
 	m.ClonedTables += o.ClonedTables
 	m.AnalysisFailures += o.AnalysisFailures
+	m.FuncsReused += o.FuncsReused
+	m.FuncsRecomputed += o.FuncsRecomputed
 }
 
 // TotalWall sums the stage timings.
@@ -120,8 +128,8 @@ func (m Metrics) Render() string {
 		fmt.Fprintf(&b, " %s=%s", s.Name, s.Wall.Round(time.Microsecond))
 	}
 	fmt.Fprintf(&b, " total=%s\n", m.TotalWall().Round(time.Microsecond))
-	fmt.Fprintf(&b, "counters: cfl-blocks=%d scratch-blocks=%d scratch-bytes=%d (free %d) trampolines=%d tables-cloned=%d analysis-failures=%d",
+	fmt.Fprintf(&b, "counters: cfl-blocks=%d scratch-blocks=%d scratch-bytes=%d (free %d) trampolines=%d tables-cloned=%d analysis-failures=%d funcs-reused=%d funcs-recomputed=%d",
 		m.CFLBlocks, m.ScratchBlocks, m.ScratchBytesHarvested, m.ScratchBytesFree,
-		m.TrampolineTotal(), m.ClonedTables, m.AnalysisFailures)
+		m.TrampolineTotal(), m.ClonedTables, m.AnalysisFailures, m.FuncsReused, m.FuncsRecomputed)
 	return b.String()
 }

@@ -40,7 +40,11 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: patch variant does not match analysis variant")
 	}
 	b, g, ptrSites := an.Binary, an.Graph, an.PtrSites
-	mx := Metrics{Stages: append([]StageMetric(nil), an.Metrics.Stages...)}
+	mx := Metrics{
+		Stages:          append([]StageMetric(nil), an.Metrics.Stages...),
+		FuncsReused:     an.Metrics.FuncsReused,
+		FuncsRecomputed: an.Metrics.FuncsRecomputed,
+	}
 	clock := time.Now()
 	sp := opts.Trace.Start("patch")
 	defer sp.End()

@@ -39,7 +39,13 @@ type Reply struct {
 	MetricsText string     `json:"metrics"`
 	AnalysisHit bool       `json:"analysisHit"`
 	ResultHit   bool       `json:"resultHit"`
-	ElapsedUS   int64      `json:"elapsedUs"`
+	// FuncsReused / FuncsRecomputed expose the delta engine's work split
+	// for the analysis behind this response: how many function units were
+	// pulled unchanged from the unit store versus recomputed. On cache
+	// hits they describe the run that originally built the artifact.
+	FuncsReused     int   `json:"funcsReused"`
+	FuncsRecomputed int   `json:"funcsRecomputed"`
+	ElapsedUS       int64 `json:"elapsedUs"`
 	// TraceText is the rendered span tree (trace=1 requests only).
 	TraceText string `json:"trace,omitempty"`
 }
@@ -168,12 +174,14 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reply, err := json.Marshal(Reply{
-		Stats:       resp.Stats,
-		MetricsText: resp.Metrics.Render(),
-		AnalysisHit: resp.AnalysisHit,
-		ResultHit:   resp.ResultHit,
-		ElapsedUS:   resp.Elapsed.Microseconds(),
-		TraceText:   resp.Trace.Render(),
+		Stats:           resp.Stats,
+		MetricsText:     resp.Metrics.Render(),
+		AnalysisHit:     resp.AnalysisHit,
+		ResultHit:       resp.ResultHit,
+		FuncsReused:     resp.Metrics.FuncsReused,
+		FuncsRecomputed: resp.Metrics.FuncsRecomputed,
+		ElapsedUS:       resp.Elapsed.Microseconds(),
+		TraceText:       resp.Trace.Render(),
 	})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)

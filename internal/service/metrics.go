@@ -29,6 +29,7 @@ const (
 // a served request actually ran.
 const (
 	pathCold         = "cold"          // full Analyze + Patch
+	pathDelta        = "delta"         // fresh analysis assembled partly from reused function units
 	pathWarmAnalysis = "warm-analysis" // cached analysis, per-request Patch
 	pathResultCache  = "result-cache"  // byte-identical replay, no patching
 )
@@ -42,6 +43,11 @@ type metrics struct {
 	stage     *obs.HistogramVec // by pipeline stage, seconds
 	request   *obs.Histogram    // end-to-end processing, seconds
 	queueWait *obs.Histogram    // enqueue -> dequeue, seconds
+	// funcsReused / funcsRecomputed accumulate the delta engine's work
+	// split over every analysis freshly built by this server (cached
+	// analyses did no function-level work and contribute nothing).
+	funcsReused     *obs.Counter
+	funcsRecomputed *obs.Counter
 }
 
 func newMetrics(s *Server) *metrics {
@@ -54,6 +60,10 @@ func newMetrics(s *Server) *metrics {
 			"per-stage pipeline latency (excludes result-cache replays)", "stage", nil),
 		request:   reg.Histogram("icfg_request_seconds", "server-side processing time, excluding queueing", nil),
 		queueWait: reg.Histogram("icfg_queue_wait_seconds", "time from enqueue to worker dequeue", nil),
+		funcsReused: reg.Counter("icfg_analysis_funcs_reused_total",
+			"function analysis units reused from the unit store"),
+		funcsRecomputed: reg.Counter("icfg_analysis_funcs_recomputed_total",
+			"function analysis units recomputed"),
 	}
 	reg.GaugeFunc("icfg_queue_depth", "requests waiting in the queue", "", "",
 		func() float64 { return float64(len(s.queue)) })
@@ -64,6 +74,11 @@ func newMetrics(s *Server) *metrics {
 	registerStoreGauges(reg, "analysis", func() store.Stats { return s.analyses.Stats() })
 	if s.results != nil {
 		registerStoreGauges(reg, "result", func() store.Stats { return s.results.Stats() })
+	}
+	if s.units != nil {
+		registerStoreGauges(reg, "funcs", func() store.Stats { return s.units.Stats() })
+		reg.GaugeFunc("icfg_store_entries", "entries held by store", "store", "funcs",
+			func() float64 { return float64(s.units.Len()) })
 	}
 	registerCacheGauges(reg, "icfg_workload_cache", "workload generation cache",
 		func() store.Stats { return workload.CacheStats() })
@@ -79,6 +94,8 @@ func registerStoreGauges(reg *obs.Registry, name string, stats func() store.Stat
 		func() float64 { return float64(stats().Misses) })
 	reg.GaugeFunc("icfg_store_evictions", "cache evictions by store", "store", name,
 		func() float64 { return float64(stats().Evictions) })
+	reg.GaugeFunc("icfg_store_disk_hits", "artifacts warmed from disk by store", "store", name,
+		func() float64 { return float64(stats().DiskHits) })
 	reg.GaugeFunc("icfg_store_persist_failures", "failed disk persists by store", "store", name,
 		func() float64 { return float64(stats().PersistFailures) })
 }
@@ -103,6 +120,12 @@ func (m *metrics) observeServed(resp *Response) {
 	if resp.ResultHit {
 		return
 	}
+	if !resp.AnalysisHit {
+		// The analysis was freshly built for this request, so its delta
+		// split is this request's function-level work.
+		m.funcsReused.Add(uint64(resp.Metrics.FuncsReused))
+		m.funcsRecomputed.Add(uint64(resp.Metrics.FuncsRecomputed))
+	}
 	for _, st := range resp.Metrics.Stages {
 		m.stage.With(st.Name).Observe(st.Wall.Seconds())
 	}
@@ -115,6 +138,10 @@ func respPath(resp *Response) string {
 		return pathResultCache
 	case resp.AnalysisHit:
 		return pathWarmAnalysis
+	case resp.Metrics.FuncsReused > 0:
+		// Freshly built, but assembled partly from reused function
+		// units: the delta path.
+		return pathDelta
 	default:
 		return pathCold
 	}

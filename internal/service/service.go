@@ -49,6 +49,10 @@ type Config struct {
 	QueueDepth int
 	// AnalysisEntries bounds the analysis store (default: 32 entries).
 	AnalysisEntries int
+	// FuncEntries bounds the function-unit store — the delta engine's
+	// second, function-keyed cache level shared by every analysis the
+	// server runs (default: 4096 function identities; -1 disables it).
+	FuncEntries int
 	// ResultEntries bounds the request-level result cache; 0 disables
 	// it (analyses are still cached).
 	ResultEntries int
@@ -116,12 +120,18 @@ type cachedResult struct {
 type ServerStats struct {
 	Analyses store.Stats
 	Results  store.Stats
-	Served   uint64
-	Failed   uint64
-	Rejected uint64
-	Queued   int
-	QueueCap int
-	Workers  int
+	// Funcs is the function-unit store's counters: hits are per-function
+	// reuses across binary versions, misses are recomputed functions.
+	Funcs store.Stats
+	// FuncsHeld is the number of distinct function identities currently
+	// in the unit store.
+	FuncsHeld int
+	Served    uint64
+	Failed    uint64
+	Rejected  uint64
+	Queued    int
+	QueueCap  int
+	Workers   int
 	// Outcomes breaks every finished submission down by its
 	// icfg_requests_total label (ok, error, timeout, canceled,
 	// queue_full, shutdown).
@@ -134,7 +144,8 @@ func (s ServerStats) String() string {
 	fmt.Fprintf(&b, "workers=%d queued=%d/%d served=%d failed=%d rejected=%d\n",
 		s.Workers, s.Queued, s.QueueCap, s.Served, s.Failed, s.Rejected)
 	fmt.Fprintf(&b, "analysis store: %s\n", s.Analyses)
-	fmt.Fprintf(&b, "result store:   %s", s.Results)
+	fmt.Fprintf(&b, "result store:   %s\n", s.Results)
+	fmt.Fprintf(&b, "func-unit store: %s held=%d", s.Funcs, s.FuncsHeld)
 	return b.String()
 }
 
@@ -158,6 +169,7 @@ type Server struct {
 	cfg      Config
 	analyses *store.Store[AnalysisKey, *core.Analysis]
 	results  *store.Store[string, cachedResult] // nil when disabled
+	units    *core.UnitStore                    // nil when disabled
 
 	queue   chan *job
 	drain   chan struct{}
@@ -183,12 +195,18 @@ func New(cfg Config) *Server {
 	if cfg.AnalysisEntries <= 0 {
 		cfg.AnalysisEntries = 32
 	}
+	if cfg.FuncEntries == 0 {
+		cfg.FuncEntries = 4096
+	}
 	s := &Server{
 		cfg:      cfg,
 		analyses: store.New(store.Config[AnalysisKey, *core.Analysis]{MaxEntries: cfg.AnalysisEntries}),
 		queue:    make(chan *job, cfg.QueueDepth),
 		drain:    make(chan struct{}),
 		stopped:  make(chan struct{}),
+	}
+	if cfg.FuncEntries > 0 {
+		s.units = core.NewUnitStore(cfg.FuncEntries)
 	}
 	if cfg.ResultEntries > 0 {
 		s.results = store.New(store.Config[string, cachedResult]{
@@ -395,8 +413,12 @@ func (s *Server) analyzeAndPatch(ctx context.Context, req *Request) (*cachedResu
 		// The requester's trace rides into Analyze but is never part of
 		// the analysis identity; waiters sharing this single-flighted
 		// build see the cached result without the builder's spans.
+		// The function-unit store turns an analysis-store miss for a new
+		// version of a known binary into a delta: unchanged functions'
+		// units are pulled instead of recomputed.
 		return core.Analyze(req.Binary, core.AnalysisConfig{
 			Mode: req.Opts.Mode, Variant: req.Opts.Variant, Trace: req.Opts.Trace,
+			Units: s.units,
 		})
 	})
 	if err != nil {
@@ -484,14 +506,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Stats snapshots the service counters.
 func (s *Server) Stats() ServerStats {
 	st := ServerStats{
-		Analyses: s.analyses.Stats(),
-		Served:   s.served.Load(),
-		Failed:   s.failed.Load(),
-		Rejected: s.rejected.Load(),
-		Queued:   len(s.queue),
-		QueueCap: cap(s.queue),
-		Workers:  s.cfg.Workers,
-		Outcomes: s.metrics.requests.Snapshot(),
+		Analyses:  s.analyses.Stats(),
+		Funcs:     s.units.Stats(),
+		FuncsHeld: s.units.Len(),
+		Served:    s.served.Load(),
+		Failed:    s.failed.Load(),
+		Rejected:  s.rejected.Load(),
+		Queued:    len(s.queue),
+		QueueCap:  cap(s.queue),
+		Workers:   s.cfg.Workers,
+		Outcomes:  s.metrics.requests.Snapshot(),
 	}
 	if s.results != nil {
 		st.Results = s.results.Stats()

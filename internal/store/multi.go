@@ -1,0 +1,110 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Multi is the function-keyed second store level behind the delta
+// engine: a concurrent LRU map from a content-addressed key to a small
+// set of candidate values. Unlike Store, a key does not fully determine
+// its value — a function's analysis also depends on bytes outside the
+// function (jump-table data, boundary hints), so one content hash can
+// legitimately map to different analyses across binary versions. Get
+// therefore takes a validation callback and returns the first candidate
+// that passes; Put prepends a new candidate, keeping at most maxPerKey.
+type Multi[K comparable, V any] struct {
+	maxKeys   int
+	maxPerKey int
+
+	mu      sync.Mutex
+	entries map[K][]V
+	lru     *list.List // of K; front is most recently used
+	elems   map[K]*list.Element
+
+	hits, misses, evictions atomic.Uint64
+}
+
+// NewMulti creates a Multi bounding the key count and candidates per
+// key. maxKeys <= 0 means unbounded; maxPerKey <= 0 defaults to 2 (the
+// common case: the current and the previous binary version).
+func NewMulti[K comparable, V any](maxKeys, maxPerKey int) *Multi[K, V] {
+	if maxPerKey <= 0 {
+		maxPerKey = 2
+	}
+	return &Multi[K, V]{
+		maxKeys:   maxKeys,
+		maxPerKey: maxPerKey,
+		entries:   map[K][]V{},
+		lru:       list.New(),
+		elems:     map[K]*list.Element{},
+	}
+}
+
+// Get returns the first candidate for key accepted by valid (nil valid
+// accepts any). The callback runs without the store lock held — it may
+// do real work (byte comparisons, boundary queries) — against a copied
+// candidate slice, so concurrent Puts and evictions are safe.
+func (m *Multi[K, V]) Get(key K, valid func(V) bool) (V, bool) {
+	m.mu.Lock()
+	cands := m.entries[key]
+	if el := m.elems[key]; el != nil {
+		m.lru.MoveToFront(el)
+	}
+	copied := append([]V(nil), cands...)
+	m.mu.Unlock()
+	for _, v := range copied {
+		if valid == nil || valid(v) {
+			m.hits.Add(1)
+			return v, true
+		}
+	}
+	var zero V
+	m.misses.Add(1)
+	return zero, false
+}
+
+// Put adds a candidate for key, most-recent first, trimming the
+// candidate list to maxPerKey and evicting least-recently-used keys
+// beyond maxKeys.
+func (m *Multi[K, V]) Put(key K, v V) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cands := append([]V{v}, m.entries[key]...)
+	if len(cands) > m.maxPerKey {
+		cands = cands[:m.maxPerKey]
+	}
+	m.entries[key] = cands
+	if el := m.elems[key]; el != nil {
+		m.lru.MoveToFront(el)
+	} else {
+		m.elems[key] = m.lru.PushFront(key)
+	}
+	if m.maxKeys > 0 {
+		for m.lru.Len() > m.maxKeys {
+			el := m.lru.Back()
+			old := el.Value.(K)
+			m.lru.Remove(el)
+			delete(m.entries, old)
+			delete(m.elems, old)
+			m.evictions.Add(1)
+		}
+	}
+}
+
+// Len returns the number of keys currently held.
+func (m *Multi[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Stats returns a snapshot of the hit/miss/eviction counters.
+func (m *Multi[K, V]) Stats() Stats {
+	return Stats{
+		Hits:      m.hits.Load(),
+		Misses:    m.misses.Load(),
+		Evictions: m.evictions.Load(),
+	}
+}

@@ -25,12 +25,16 @@ import (
 
 // Stats is the counter shape every cache in the system reports: the
 // analysis and result stores here, and internal/workload's generation
-// cache. Hits include waiters that shared a single-flighted build and
-// artifacts reloaded from disk.
+// cache. Hits include waiters that shared a single-flighted build;
+// artifacts reloaded from disk count as DiskHits instead, so a restart
+// that serves warm-from-disk is distinguishable from true memory hits.
 type Stats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+	// DiskHits counts artifacts decoded from the persistence directory
+	// on a memory miss — disk warms, not memory hits.
+	DiskHits uint64
 	// PersistFailures counts artifacts that could not be spilled to disk.
 	// The in-memory copy stays authoritative, so a persist failure does
 	// not fail the request — but a store that silently stops persisting
@@ -40,8 +44,8 @@ type Stats struct {
 
 // String renders the counters as a stable one-line summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d evictions=%d persist-failures=%d",
-		s.Hits, s.Misses, s.Evictions, s.PersistFailures)
+	return fmt.Sprintf("hits=%d disk-hits=%d misses=%d evictions=%d persist-failures=%d",
+		s.Hits, s.DiskHits, s.Misses, s.Evictions, s.PersistFailures)
 }
 
 // Hash returns the content address of a byte string: a hex sha256,
@@ -83,7 +87,7 @@ type Store[K comparable, V any] struct {
 	entries map[K]*entry[V]
 	lru     *list.List // of K; front is most recently used
 
-	hits, misses, evictions, persistFailures atomic.Uint64
+	hits, misses, evictions, diskHits, persistFailures atomic.Uint64
 }
 
 // New creates a store. It panics if Dir is set without a complete codec
@@ -138,7 +142,7 @@ func (s *Store[K, V]) GetOrCreate(key K, build func() (V, error)) (V, bool, erro
 
 	if err == nil {
 		if fromDisk {
-			s.hits.Add(1)
+			s.diskHits.Add(1)
 			return v, true, nil
 		}
 		if perr := s.saveDisk(key, v); perr != nil {
@@ -190,17 +194,27 @@ func (s *Store[K, V]) evictLocked() {
 	}
 }
 
-// loadDisk attempts to decode a persisted artifact.
+// loadDisk attempts to decode a persisted artifact. A file that exists
+// but does not decode is corrupt — a torn write, a disk error, or a
+// format change — and is deleted so the artifact rebuilds from scratch
+// and re-persists cleanly, instead of failing this and every future
+// request for the key.
 func (s *Store[K, V]) loadDisk(key K) (V, error) {
 	var zero V
 	if s.cfg.Dir == "" {
 		return zero, os.ErrNotExist
 	}
-	data, err := os.ReadFile(filepath.Join(s.cfg.Dir, s.cfg.KeyPath(key)))
+	path := filepath.Join(s.cfg.Dir, s.cfg.KeyPath(key))
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return zero, err
 	}
-	return s.cfg.Decode(data)
+	v, err := s.cfg.Decode(data)
+	if err != nil {
+		os.Remove(path)
+		return zero, fmt.Errorf("store: corrupt artifact %v (deleted for rebuild): %w", key, err)
+	}
+	return v, nil
 }
 
 // saveDisk persists an artifact. The memory copy stays authoritative —
@@ -244,6 +258,7 @@ func (s *Store[K, V]) Stats() Stats {
 		Hits:            s.hits.Load(),
 		Misses:          s.misses.Load(),
 		Evictions:       s.evictions.Load(),
+		DiskHits:        s.diskHits.Load(),
 		PersistFailures: s.persistFailures.Load(),
 	}
 }

@@ -110,7 +110,7 @@ func TestDiskPersistence(t *testing.T) {
 	if err != nil || !hit || string(v) != "payload" {
 		t.Fatalf("disk load: v=%q hit=%v err=%v", v, hit, err)
 	}
-	if st := s2.Stats(); st.Hits != 1 || st.Misses != 0 {
+	if st := s2.Stats(); st.DiskHits != 1 || st.Hits != 0 || st.Misses != 0 {
 		t.Fatalf("disk stats = %s", st)
 	}
 }
