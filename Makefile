@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet fmt fmt-check bench fuzz-seed bench-warm bench-delta obs-guard delta-guard check
+.PHONY: build test short race vet fmt fmt-check bench fuzz-seed bench-warm bench-delta bench-patch obs-guard delta-guard patch-guard check
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,13 @@ bench-warm:
 bench-delta:
 	$(GO) test -run '^$$' -bench BenchmarkDeltaVsCold -benchtime 3x .
 
+# bench-patch smoke-tests the parallel emit pipeline: the same analysis
+# patched on a 1-worker vs 4-worker pool with the emit caches defeated,
+# asserting byte-identical output and reporting the speedup multiplier
+# (>1x needs more than one CPU).
+bench-patch:
+	$(GO) test -run '^$$' -bench BenchmarkPatchParallel -benchtime 3x .
+
 # obs-guard verifies the tracing instrumentation stays within its 2%
 # overhead budget on the warm patch path (see obs_overhead_test.go).
 obs-guard:
@@ -57,4 +64,11 @@ obs-guard:
 delta-guard:
 	$(GO) test -run TestDeltaRecomputeBound -v ./internal/core/
 
-check: fmt-check vet race fuzz-seed bench-warm bench-delta obs-guard delta-guard
+# patch-guard asserts — by counters, not timing — that a repeat Patch
+# against an unchanged analysis re-encodes nothing: every function
+# unit's emitted bytes are served from its emit cache (see
+# TestPatchReuseGuard).
+patch-guard:
+	$(GO) test -run TestPatchReuseGuard -v ./internal/core/
+
+check: fmt-check vet race fuzz-seed bench-warm bench-delta bench-patch obs-guard delta-guard patch-guard

@@ -1,9 +1,11 @@
 // Command icfg-objdump inspects a serialised binary: section layout,
-// symbols, relocations, metadata, and a full disassembly.
+// symbols, relocations, metadata, a full disassembly, and — with -plan —
+// the staged patch plan the rewriter would execute (plan and layout
+// stages only; nothing is emitted or mutated).
 //
 // Usage:
 //
-//	icfg-objdump [-d] [-funcs] [-sym func] file.icfg
+//	icfg-objdump [-d] [-funcs] [-plan [-mode m]] [-sym func] file.icfg
 package main
 
 import (
@@ -15,6 +17,8 @@ import (
 	"icfgpatch/internal/arch"
 	"icfgpatch/internal/bin"
 	"icfgpatch/internal/cfg"
+	"icfgpatch/internal/core"
+	"icfgpatch/internal/instrument"
 )
 
 // printCFG disassembles by control-flow traversal and prints each
@@ -83,6 +87,42 @@ func printFuncHashes(img *bin.Binary) {
 	}
 }
 
+// printPlan runs the rewriter's plan and layout stages — no emission,
+// no binary mutation — and dumps the laid-out PatchPlan: section moves,
+// per-unit relocation items with resolved targets and expansion states,
+// and the planned trampoline jobs. -sym restricts instrumentation to one
+// function; -mode selects the rewriting mode the plan is built for.
+func printPlan(img *bin.Binary, modeName, symSel string) {
+	var mode core.Mode
+	switch modeName {
+	case "dir":
+		mode = core.ModeDir
+	case "jt", "":
+		mode = core.ModeJT
+	case "func-ptr", "funcptr":
+		mode = core.ModeFuncPtr
+	default:
+		fmt.Fprintf(os.Stderr, "icfg-objdump: unknown mode %q\n", modeName)
+		os.Exit(2)
+	}
+	an, err := core.Analyze(img, core.AnalysisConfig{Mode: mode})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icfg-objdump:", err)
+		os.Exit(1)
+	}
+	opts := core.Options{Mode: mode, Request: instrument.Request{Where: instrument.BlockEntry, Payload: instrument.PayloadEmpty}}
+	if symSel != "" {
+		opts.Request.Funcs = []string{symSel}
+	}
+	p, err := an.PlanFor(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icfg-objdump:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	p.Dump(os.Stdout)
+}
+
 // printAddrMaps decodes the rewriter's address-map sections (.ra_map,
 // .tramp_map) entry by entry rather than leaving them as opaque bytes.
 func printAddrMaps(img *bin.Binary) {
@@ -121,10 +161,12 @@ func main() {
 	showCFG := flag.Bool("cfg", false, "print control flow graphs (blocks, edges, jump tables)")
 	ramap := flag.Bool("ramap", false, "decode .ra_map/.tramp_map sections entry by entry")
 	funcs := flag.Bool("funcs", false, "print each function's address, size, and content hash")
-	symSel := flag.String("sym", "", "disassemble only this function")
+	plan := flag.Bool("plan", false, "dump the staged patch plan (plan + layout stages, no emission)")
+	mode := flag.String("mode", "jt", "rewriting mode for -plan: dir, jt, func-ptr")
+	symSel := flag.String("sym", "", "disassemble (or with -plan, instrument) only this function")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: icfg-objdump [-d] [-cfg] [-ramap] [-funcs] [-sym name] file.icfg")
+		fmt.Fprintln(os.Stderr, "usage: icfg-objdump [-d] [-cfg] [-ramap] [-funcs] [-plan [-mode m]] [-sym name] file.icfg")
 		os.Exit(2)
 	}
 	img, err := bin.ReadFile(flag.Arg(0))
@@ -154,6 +196,10 @@ func main() {
 	fmt.Printf("\n%d symbols, %d dynamic, %d runtime relocs, %d link relocs\n",
 		len(img.Symbols), len(img.DynSymbols), len(img.Relocs), len(img.LinkRelocs))
 
+	if *plan {
+		printPlan(img, *mode, *symSel)
+		return
+	}
 	if *ramap {
 		printAddrMaps(img)
 		return

@@ -6,7 +6,7 @@
 //
 //	icfg-rewrite -mode jt [-where block|func] [-payload empty|counter]
 //	             [-funcs f1,f2] [-verify] [-check] [-metrics] [-trace]
-//	             [-gap bytes] [-remote http://host:port]
+//	             [-gap bytes] [-patch-jobs N] [-remote http://host:port]
 //	             -o out.icfg in.icfg
 //
 // With -remote the rewrite is performed by an icfg-serve daemon: the
@@ -48,6 +48,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print per-pass rewrite metrics")
 	trace := flag.Bool("trace", false, "print the rewrite's span tree (stage timings and counters)")
 	gap := flag.Uint64("gap", 0, "force a gap (bytes) before the relocated code section")
+	patchJobs := flag.Int("patch-jobs", 0, "worker pool for the local plan and emit stages (<=1: serial; output is byte-identical either way; with -remote the daemon's -patch-jobs governs)")
 	remote := flag.String("remote", "", "rewrite via an icfg-serve daemon at this base URL instead of locally")
 	out := flag.String("o", "", "output path (required)")
 	flag.Parse()
@@ -128,6 +129,7 @@ func main() {
 			cacheLine = fmt.Sprintf("cold (%.1fms server)", float64(reply.ElapsedUS)/1000)
 		}
 	} else {
+		opts.PatchJobs = *patchJobs
 		var sp *obs.Span
 		if *trace {
 			sp = obs.NewTrace("rewrite")

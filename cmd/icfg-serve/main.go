@@ -9,7 +9,7 @@
 //
 //	icfg-serve [-addr :8844] [-workers N] [-queue N]
 //	           [-analyses N] [-results N] [-funcs N] [-disk dir]
-//	           [-timeout dur]
+//	           [-timeout dur] [-patch-jobs N]
 //
 // Besides /rewrite, /stats, and /healthz, the server exposes /metrics
 // (Prometheus text: request outcomes, cache paths, per-stage latency
@@ -46,6 +46,7 @@ func main() {
 	funcs := flag.Int("funcs", 0, "function-unit store entries for delta analysis (default: 4096, -1 disables)")
 	disk := flag.String("disk", "", "persist the result cache to this directory")
 	timeout := flag.Duration("timeout", 0, "per-request processing timeout (0: none)")
+	patchJobs := flag.Int("patch-jobs", 0, "per-request plan/emit worker pool (0: serial; output is byte-identical either way)")
 	flag.Parse()
 
 	if *disk != "" && *results == 0 {
@@ -60,6 +61,7 @@ func main() {
 		FuncEntries:     *funcs,
 		Dir:             *disk,
 		Timeout:         *timeout,
+		PatchJobs:       *patchJobs,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

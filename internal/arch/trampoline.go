@@ -257,12 +257,13 @@ func (t Trampoline) Encode(a Arch) ([]byte, error) {
 	for _, ins := range t.Instrs {
 		b, err := enc.Encode(ins)
 		if err != nil {
-			return nil, fmt.Errorf("arch: encoding %s trampoline: %w", t.Class, err)
+			return nil, fmt.Errorf("arch: %s: encoding %s trampoline at %#x -> %#x: %w", a, t.Class, t.From, t.To, err)
 		}
 		out = append(out, b...)
 	}
 	if len(out) != t.Len {
-		return nil, fmt.Errorf("arch: %s trampoline length mismatch: declared %d, encoded %d", t.Class, t.Len, len(out))
+		return nil, fmt.Errorf("arch: %s: %s trampoline at %#x -> %#x length mismatch: declared %d, encoded %d",
+			a, t.Class, t.From, t.To, t.Len, len(out))
 	}
 	return out, nil
 }

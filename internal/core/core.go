@@ -92,6 +92,11 @@ type Options struct {
 	// Variant selects baseline behaviours (package baseline); the zero
 	// value is incremental CFG patching as published.
 	Variant Variant
+	// PatchJobs bounds the worker pool the plan and emit stages run
+	// their per-function work on; <= 1 runs them serially. The output is
+	// byte-identical whatever the value, so PatchJobs is deliberately
+	// excluded from every cache and result identity.
+	PatchJobs int
 	// Trace, when non-nil, receives an "analyze"/"patch" span subtree
 	// with per-stage laps and the pipeline counters. Nil disables
 	// tracing at zero cost (obs spans are nil-receiver safe).

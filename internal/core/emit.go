@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/cfg"
+)
+
+// This file is the EMIT stage of the staged patch pipeline. Each
+// function's unit is encoded independently through the per-arch
+// arch.Emitter: every input the emitter sees — resolved targets,
+// assigned addresses, expansion states — is captured in the unit's
+// items, so units encode on a bounded worker pool into disjoint windows
+// of one output buffer and the merge is deterministic whatever the
+// worker count. The same property powers patch-level reuse: a unit
+// whose fully resolved item stream hashes to the signature of its last
+// emission gets its cached bytes copied in, skipping re-encoding — the
+// delta path's analog for the patch phase.
+
+// unitEmitCache memoises one function unit's last emitted window. It
+// lives on the FuncUnit, so it survives across Patch calls on the same
+// Analysis and — through the unit store — across binary versions: an
+// unchanged function whose layout window did not move re-emits for
+// free. The signature covers every emitter input, so a hit is
+// byte-identical to re-encoding by construction.
+type unitEmitCache struct {
+	mu    sync.Mutex
+	ok    bool
+	sig   uint64
+	bytes []byte
+	ra    []bin.AddrPair
+}
+
+// fnv1a64 seeds the unit signature hash.
+const fnv1a64 = 14695981039346656037
+
+// fnvU64 folds one 64-bit value into an FNV-1a hash, byte by byte.
+func fnvU64(h, v uint64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		h ^= (v >> i) & 0xFF
+		h *= 1099511628211
+	}
+	return h
+}
+
+// unitSig hashes everything the emit stage consumes for one unit: the
+// laid-out addresses and lengths, expansion states, patch forms,
+// resolved targets, return-address contributions, and every instruction
+// field, plus the emission environment. Two equal signatures therefore
+// emit equal bytes and equal RA pairs.
+func (p *PatchPlan) unitSig(u *planUnit) uint64 {
+	h := uint64(fnv1a64)
+	if p.env.PIE {
+		h = fnvU64(h, 1)
+	} else {
+		h = fnvU64(h, 0)
+	}
+	h = fnvU64(h, p.env.TOCValue)
+	h = fnvU64(h, uint64(len(u.items)))
+	for _, it := range u.items {
+		h = fnvU64(h, it.newAddr)
+		h = fnvU64(h, uint64(it.newLen))
+		h = fnvU64(h, it.origAddr)
+		h = fnvU64(h, uint64(it.origLen))
+		h = fnvU64(h, uint64(it.tk))
+		h = fnvU64(h, uint64(it.pf))
+		h = fnvU64(h, uint64(it.ra))
+		h = fnvU64(h, uint64(it.expand))
+		h = fnvU64(h, p.resolveTarget(it))
+		ins := &it.ins
+		h = fnvU64(h, uint64(ins.Kind))
+		h = fnvU64(h, uint64(ins.Op))
+		h = fnvU64(h, uint64(ins.Cond))
+		h = fnvU64(h, uint64(ins.Rd))
+		h = fnvU64(h, uint64(ins.Rs1))
+		h = fnvU64(h, uint64(ins.Rs2))
+		h = fnvU64(h, uint64(ins.Imm))
+		h = fnvU64(h, uint64(ins.Size))
+		h = fnvU64(h, uint64(ins.Scale))
+		h = fnvU64(h, uint64(ins.Shift))
+		var flags uint64
+		if ins.Short {
+			flags |= 1
+		}
+		if ins.Signed {
+			flags |= 2
+		}
+		h = fnvU64(h, flags)
+		h = fnvU64(h, ins.Addr)
+		h = fnvU64(h, uint64(ins.EncLen))
+	}
+	return h
+}
+
+// emitUnit encodes one unit into its window of out, or copies the
+// window from the unit's emit cache when the signature matches. It
+// returns the unit's return-address pairs in item order.
+func (p *PatchPlan) emitUnit(u *planUnit, out []byte) (ra []bin.AddrPair, reused bool, err error) {
+	if len(u.items) == 0 {
+		return nil, false, nil
+	}
+	start := u.items[0].newAddr
+	last := u.items[len(u.items)-1]
+	end := last.newAddr + uint64(last.newLen)
+	sig := p.unitSig(u)
+	var cache *unitEmitCache
+	if u.fu != nil {
+		cache = &u.fu.emit
+	}
+	if cache != nil {
+		cache.mu.Lock()
+		if cache.ok && cache.sig == sig && uint64(len(cache.bytes)) == end-start {
+			copy(out[start-p.instrBase:], cache.bytes)
+			ra = cache.ra
+			cache.mu.Unlock()
+			return ra, true, nil
+		}
+		cache.mu.Unlock()
+	}
+	for _, it := range u.items {
+		eit := arch.EmitItem{
+			Ins:       it.ins,
+			HasTarget: it.tk != tkNone,
+			Form:      it.pf,
+			Target:    p.resolveTarget(it),
+			Expand:    it.expand,
+			NewAddr:   it.newAddr,
+			NewLen:    it.newLen,
+			OrigAddr:  it.origAddr,
+			OrigLen:   it.origLen,
+		}
+		off := it.newAddr - p.instrBase
+		if _, err := arch.EmitInto(p.emitter, p.env, eit, out[off:off+uint64(it.newLen)]); err != nil {
+			return nil, false, fmt.Errorf("core: emitting %s: %w", u.fn.Name, err)
+		}
+		switch it.ra {
+		case raCallRet:
+			ra = append(ra, bin.AddrPair{
+				From: it.newAddr + uint64(it.newLen),
+				To:   it.origAddr + uint64(it.origLen),
+			})
+		case raSelf:
+			ra = append(ra, bin.AddrPair{From: it.newAddr, To: it.origAddr})
+		}
+	}
+	if cache != nil {
+		bs := append([]byte(nil), out[start-p.instrBase:end-p.instrBase]...)
+		cache.mu.Lock()
+		cache.ok, cache.sig, cache.bytes, cache.ra = true, sig, bs, ra
+		cache.mu.Unlock()
+	}
+	return ra, false, nil
+}
+
+// emit produces the .instr bytes, the return-address map, and the clone
+// section contents. Units emit into disjoint windows on up to jobs
+// workers; the RA pairs and any error are merged in unit order, so the
+// result is byte-for-byte independent of the worker count.
+func (p *PatchPlan) emit(jobs int) (out, cloneData []byte, raPairs []bin.AddrPair, reusedN, reencodedN int, err error) {
+	a := p.an.Binary.Arch
+	out = make([]byte, p.instrEnd-p.instrBase)
+	arch.FillIllegal(a, out) // unreachable alignment padding must not execute silently
+	unitRA := make([][]bin.AddrPair, len(p.units))
+	unitReused := make([]bool, len(p.units))
+	errs := make([]error, len(p.units))
+	runIndexed(len(p.units), jobs, func(i int) {
+		unitRA[i], unitReused[i], errs[i] = p.emitUnit(p.units[i], out)
+	})
+	for _, e := range errs {
+		if e != nil {
+			return nil, nil, nil, 0, 0, e
+		}
+	}
+	for i, u := range p.units {
+		raPairs = append(raPairs, unitRA[i]...)
+		if len(u.items) == 0 {
+			continue
+		}
+		if unitReused[i] {
+			reusedN++
+		} else {
+			reencodedN++
+		}
+	}
+
+	// Clone contents: solve tar(x) = relocated target for each entry.
+	if len(p.clones) > 0 {
+		var base, end uint64
+		base = p.clones[0].addr
+		last := p.clones[len(p.clones)-1]
+		end = last.addr + uint64(last.newEntry*last.tbl.Count)
+		cloneData = make([]byte, end-base)
+		for _, c := range p.clones {
+			for k, origTarget := range c.tbl.Targets {
+				nt, ok := p.relocMap[origTarget]
+				if !ok {
+					return nil, nil, nil, 0, 0, fmt.Errorf("core: clone target %#x has no relocation", origTarget)
+				}
+				var x uint64
+				switch c.tbl.Kind {
+				case cfg.TarAbs:
+					x = nt
+				case cfg.TarTableRel:
+					x = nt - c.addr
+				case cfg.TarFuncRel4:
+					nf, ok := p.unitStart[c.owner.Name]
+					if !ok {
+						return nil, nil, nil, 0, 0, fmt.Errorf("core: clone owner %s has no relocated unit", c.owner.Name)
+					}
+					x = (nt - nf) / 4
+				}
+				off := c.addr - base + uint64(k*c.newEntry)
+				for i := 0; i < c.newEntry; i++ {
+					cloneData[off+uint64(i)] = byte(x >> (8 * i))
+				}
+			}
+		}
+	}
+	return out, cloneData, raPairs, reusedN, reencodedN, nil
+}

@@ -14,6 +14,7 @@ import (
 const (
 	StageCFG         = "cfg"
 	StageFuncPtr     = "funcptr-analysis"
+	StagePlan        = "plan"
 	StageLayout      = "layout"
 	StageEmit        = "emit"
 	StageTrampolines = "trampolines"
@@ -56,6 +57,11 @@ type Metrics struct {
 	// recomputes everything.
 	FuncsReused     int
 	FuncsRecomputed int
+	// PatchFuncsReused / PatchFuncsReencoded report the emit stage's work
+	// split: how many function units were copied from their emit cache
+	// versus rendered and encoded. A first Patch re-encodes everything.
+	PatchFuncsReused    int
+	PatchFuncsReencoded int
 }
 
 // lap appends a stage timing measured since *last, advances *last, and
@@ -100,6 +106,8 @@ func (m *Metrics) Add(o Metrics) {
 	m.AnalysisFailures += o.AnalysisFailures
 	m.FuncsReused += o.FuncsReused
 	m.FuncsRecomputed += o.FuncsRecomputed
+	m.PatchFuncsReused += o.PatchFuncsReused
+	m.PatchFuncsReencoded += o.PatchFuncsReencoded
 }
 
 // TotalWall sums the stage timings.
@@ -128,8 +136,9 @@ func (m Metrics) Render() string {
 		fmt.Fprintf(&b, " %s=%s", s.Name, s.Wall.Round(time.Microsecond))
 	}
 	fmt.Fprintf(&b, " total=%s\n", m.TotalWall().Round(time.Microsecond))
-	fmt.Fprintf(&b, "counters: cfl-blocks=%d scratch-blocks=%d scratch-bytes=%d (free %d) trampolines=%d tables-cloned=%d analysis-failures=%d funcs-reused=%d funcs-recomputed=%d",
+	fmt.Fprintf(&b, "counters: cfl-blocks=%d scratch-blocks=%d scratch-bytes=%d (free %d) trampolines=%d tables-cloned=%d analysis-failures=%d funcs-reused=%d funcs-recomputed=%d patch-reused=%d patch-reencoded=%d",
 		m.CFLBlocks, m.ScratchBlocks, m.ScratchBytesHarvested, m.ScratchBytesFree,
-		m.TrampolineTotal(), m.ClonedTables, m.AnalysisFailures, m.FuncsReused, m.FuncsRecomputed)
+		m.TrampolineTotal(), m.ClonedTables, m.AnalysisFailures, m.FuncsReused, m.FuncsRecomputed,
+		m.PatchFuncsReused, m.PatchFuncsReencoded)
 	return b.String()
 }

@@ -1,0 +1,151 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/core"
+	"icfgpatch/internal/workload"
+)
+
+// TestStagedPatchGolden is the staged pipeline's byte-equivalence
+// contract, checked across every arch × mode cell: a parallel emit
+// (PatchJobs=8), a serial emit against the same analysis (PatchJobs=1,
+// served entirely from the emit caches the parallel run populated), and
+// a version-2 patch reusing unchanged functions' cached bytes must all
+// be byte-identical to the serial cold Rewrite of the same binary — and
+// the reuse counters must prove each path did what it claims.
+func TestStagedPatchGolden(t *testing.T) {
+	for _, a := range []arch.Arch{arch.X64, arch.PPC, arch.A64} {
+		suite, err := workload.SPECSuiteCached(a, false)
+		if err != nil {
+			t.Fatalf("%v suite: %v", a, err)
+		}
+		v1 := suite[0].Binary
+		v2, _, err := workload.MutateVersion(v1, mutateK, 29)
+		if err != nil {
+			t.Fatalf("%v mutate: %v", a, err)
+		}
+		var gap uint64
+		if a == arch.PPC {
+			gap = ppcInstrGap
+		}
+		for _, mode := range []core.Mode{core.ModeDir, core.ModeJT, core.ModeFuncPtr} {
+			t.Run(a.String()+"/"+mode.String(), func(t *testing.T) {
+				opts := core.Options{
+					Mode:     mode,
+					Request:  instrBlockEmpty(),
+					Verify:   true,
+					InstrGap: gap,
+				}
+				serial, err := core.Rewrite(v1, opts) // PatchJobs 0: the serial seed
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := serial.Binary.Marshal()
+
+				units := core.NewUnitStore(0)
+				an, err := core.Analyze(v1, core.AnalysisConfig{Mode: mode, Units: units})
+				if err != nil {
+					t.Fatal(err)
+				}
+				par := opts
+				par.PatchJobs = 8
+				first, err := an.Patch(par)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(want, first.Binary.Marshal()) {
+					t.Fatal("parallel patch (jobs=8) differs from serial rewrite")
+				}
+				if first.Metrics.PatchFuncsReused != 0 || first.Metrics.PatchFuncsReencoded == 0 {
+					t.Fatalf("first patch reused=%d reencoded=%d, want cold encode of everything",
+						first.Metrics.PatchFuncsReused, first.Metrics.PatchFuncsReencoded)
+				}
+
+				// Same analysis, serial pool: nothing about the plan changed,
+				// so every unit must come from its emit cache.
+				one := opts
+				one.PatchJobs = 1
+				repeat, err := an.Patch(one)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(want, repeat.Binary.Marshal()) {
+					t.Fatal("repeat patch (jobs=1) differs from serial rewrite")
+				}
+				if repeat.Metrics.PatchFuncsReencoded != 0 ||
+					repeat.Metrics.PatchFuncsReused != first.Metrics.PatchFuncsReencoded {
+					t.Fatalf("repeat patch reused=%d reencoded=%d, want all %d reused",
+						repeat.Metrics.PatchFuncsReused, repeat.Metrics.PatchFuncsReencoded,
+						first.Metrics.PatchFuncsReencoded)
+				}
+
+				// Version 2 through the warmed unit store: unchanged functions
+				// arrive with their emit caches intact and — the mutation being
+				// length-stable, so their layout windows did not move — skip
+				// re-encoding, while the mutated functions re-encode. The
+				// output must still match a cold serial rewrite of version 2.
+				cold2, err := core.Rewrite(v2, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				an2, err := core.Analyze(v2, core.AnalysisConfig{Mode: mode, Units: units})
+				if err != nil {
+					t.Fatal(err)
+				}
+				delta, err := an2.Patch(par)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(cold2.Binary.Marshal(), delta.Binary.Marshal()) {
+					t.Fatal("v2 delta patch differs from v2 serial rewrite")
+				}
+				if delta.Metrics.PatchFuncsReused == 0 {
+					t.Fatalf("v2 delta patch reused=0 reencoded=%d: patch-level reuse never happened",
+						delta.Metrics.PatchFuncsReencoded)
+				}
+				if delta.Metrics.PatchFuncsReencoded == 0 {
+					t.Fatal("v2 delta patch re-encoded nothing: the mutation was invisible to the emit stage")
+				}
+			})
+		}
+	}
+}
+
+// TestPatchReuseGuard is the make-check gate: a repeat Patch against the
+// same analysis and options must re-encode NOTHING — every function
+// unit's bytes come from its emit cache — counter-verified, not
+// timing-based, and still byte-identical.
+func TestPatchReuseGuard(t *testing.T) {
+	p, err := workload.LibxulCached(arch.X64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := core.Analyze(p.Binary, core.AnalysisConfig{Mode: core.ModeJT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Mode: core.ModeJT, Request: instrBlockEmpty(), PatchJobs: 4}
+	first, err := an.Patch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := an.Patch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Metrics.PatchFuncsReencoded != 0 {
+		t.Fatalf("repeat patch re-encoded %d funcs, want 0", second.Metrics.PatchFuncsReencoded)
+	}
+	if second.Metrics.PatchFuncsReused != first.Metrics.PatchFuncsReencoded {
+		t.Fatalf("repeat patch reused %d funcs, want all %d",
+			second.Metrics.PatchFuncsReused, first.Metrics.PatchFuncsReencoded)
+	}
+	if !bytes.Equal(first.Binary.Marshal(), second.Binary.Marshal()) {
+		t.Fatal("repeat patch output diverged")
+	}
+	t.Logf("funcs=%d reencoded(first)=%d reused(second)=%d",
+		len(an.FuncUnits), first.Metrics.PatchFuncsReencoded, second.Metrics.PatchFuncsReused)
+}

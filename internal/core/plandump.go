@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// reverseUnits applies the ReverseFuncs ablation: functions relocate in
+// reverse symbol order (counter cells keep their symbol-order
+// assignment, matching the serial rewriter).
+func (p *PatchPlan) reverseUnits() {
+	for i, j := 0, len(p.units)-1; i < j; i, j = i+1, j-1 {
+		p.units[i], p.units[j] = p.units[j], p.units[i]
+	}
+}
+
+// PlanFor builds and lays out the patch plan for one request without
+// cloning or mutating the binary: the plan and layout stages run, the
+// emit stage does not. It is the inspection entry point behind
+// icfg-objdump -plan; opts must carry the mode and variant the analysis
+// was built with.
+func (an *Analysis) PlanFor(opts Options) (*PatchPlan, error) {
+	opts, err := an.preparePatch(opts)
+	if err != nil {
+		return nil, err
+	}
+	counterBase := alignUp(an.Binary.MaxLoadedAddr(), sectionGap) + sectionGap
+	p := newPatchPlan(an, opts, counterBase)
+	if opts.Variant.ReverseFuncs {
+		p.reverseUnits()
+	}
+	if err := p.layoutAll(opts); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Dump renders the laid-out plan for debugging: the section plan, every
+// unit's items with their resolved targets and expansion states, and
+// the planned trampoline jobs.
+func (p *PatchPlan) Dump(w io.Writer) {
+	b := p.an.Binary
+	fmt.Fprintf(w, "patch plan: arch=%s mode=%s units=%d clones=%d\n",
+		b.Arch, p.mode, len(p.units), len(p.clones))
+	if p.nextCell > p.counterBase {
+		fmt.Fprintf(w, "  counters      [%#x,%#x)\n", p.counterBase, p.nextCell)
+	}
+	for _, mv := range p.sections.moves {
+		fmt.Fprintf(w, "  move %-12s [%#x,%#x) -> %#x scratch=%t\n",
+			mv.name, mv.oldAddr, mv.oldEnd, mv.addr, mv.scratch)
+	}
+	if len(p.clones) > 0 {
+		fmt.Fprintf(w, "  clones        base %#x (%d bytes)\n", p.sections.cloneBase, p.cloneBytes())
+		for i, c := range p.clones {
+			fmt.Fprintf(w, "    clone %d owner=%s addr=%#x entries=%d entry-size=%d\n",
+				i, c.owner.Name, c.addr, c.tbl.Count, c.newEntry)
+		}
+	}
+	fmt.Fprintf(w, "  instr         [%#x,%#x)\n", p.instrBase, p.instrEnd)
+	for _, u := range p.units {
+		fmt.Fprintf(w, "unit %s: start %#x, %d items\n", u.fn.Name, p.unitStart[u.fn.Name], len(u.items))
+		for _, it := range u.items {
+			fmt.Fprintf(w, "  %#x len=%-2d %s", it.newAddr, it.newLen, it.ins.Kind)
+			if it.origAddr != 0 {
+				fmt.Fprintf(w, " orig=%#x", it.origAddr)
+			} else {
+				fmt.Fprintf(w, " inserted")
+			}
+			if it.tk != tkNone {
+				fmt.Fprintf(w, " %s -> %#x (%s)", it.pf, p.resolveTarget(it), targetKindName(it.tk))
+			}
+			if it.expand != 0 {
+				fmt.Fprintf(w, " expand=%s", it.expand)
+			}
+			if it.ra != raNone {
+				fmt.Fprintf(w, " ra")
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	for _, ft := range p.tramps {
+		if len(ft.jobs) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "trampolines %s: cfl=%d scratch-blocks=%d\n", ft.fn.Name, ft.cflBlocks, ft.scratchBlocks)
+		for _, job := range ft.jobs {
+			to := p.relocMap[job.sb.Start]
+			fmt.Fprintf(w, "  superblock %#x space=%d scratch=%s -> %#x\n",
+				job.sb.Start, job.sb.Space, job.scratch, to)
+		}
+	}
+}
+
+// targetKindName names a targetKind for plan dumps.
+func targetKindName(tk targetKind) string {
+	switch tk {
+	case tkAbs:
+		return "abs"
+	case tkMapped:
+		return "mapped"
+	case tkClone:
+		return "clone"
+	case tkFuncBase:
+		return "func-base"
+	default:
+		return "none"
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"icfgpatch/internal/analysis"
 	"icfgpatch/internal/arch"
 	"icfgpatch/internal/bin"
-	"icfgpatch/internal/cfg"
 	"icfgpatch/internal/instrument"
 	"icfgpatch/internal/rtlib"
 )
@@ -27,17 +26,43 @@ func Rewrite(b *bin.Binary, opts Options) (*Result, error) {
 	return an.Patch(opts)
 }
 
-// Patch applies one instrumentation request to an analysed binary: it
-// plans the new layout, relocates the instrumented functions, installs
-// trampolines, rewrites function pointers, and emits the new sections.
-// The analysis is not mutated, so concurrent Patch calls may share it;
-// opts must carry the mode and variant the analysis was built with.
-func (an *Analysis) Patch(opts Options) (*Result, error) {
+// preparePatch validates the request against the analysis configuration
+// and normalises it: arbitrary instrumentation points restrict
+// relocation to the functions that contain them (partial
+// instrumentation).
+func (an *Analysis) preparePatch(opts Options) (Options, error) {
 	if opts.Mode != an.Config.Mode {
-		return nil, fmt.Errorf("core: patch mode %s does not match analysis mode %s", opts.Mode, an.Config.Mode)
+		return opts, fmt.Errorf("core: patch mode %s does not match analysis mode %s", opts.Mode, an.Config.Mode)
 	}
 	if opts.Variant != an.Config.Variant {
-		return nil, fmt.Errorf("core: patch variant does not match analysis variant")
+		return opts, fmt.Errorf("core: patch variant does not match analysis variant")
+	}
+	if opts.Request.Where == instrument.AtAddrs && opts.Request.Funcs == nil {
+		var names []string
+		seen := map[string]bool{}
+		for _, addr := range opts.Request.Addrs {
+			if f, ok := an.Graph.FuncContaining(addr); ok && !seen[f.Name] {
+				seen[f.Name] = true
+				names = append(names, f.Name)
+			}
+		}
+		opts.Request.Funcs = names
+	}
+	return opts, nil
+}
+
+// Patch applies one instrumentation request to an analysed binary
+// through the staged pipeline — plan (target-neutral IR), layout
+// (address assignment), emit (per-arch parallel encoding) — then
+// installs trampolines, rewrites function pointers, and emits the new
+// sections. The analysis is not mutated, so concurrent Patch calls may
+// share it; opts must carry the mode and variant the analysis was built
+// with. Output bytes are identical for every Options.PatchJobs value
+// and whether or not the emit stage reused cached unit bytes.
+func (an *Analysis) Patch(opts Options) (*Result, error) {
+	opts, err := an.preparePatch(opts)
+	if err != nil {
+		return nil, err
 	}
 	b, g, ptrSites := an.Binary, an.Graph, an.PtrSites
 	mx := Metrics{
@@ -49,20 +74,6 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 	sp := opts.Trace.Start("patch")
 	defer sp.End()
 
-	// Arbitrary instrumentation points restrict relocation to the
-	// functions that contain them (partial instrumentation).
-	if opts.Request.Where == instrument.AtAddrs && opts.Request.Funcs == nil {
-		var names []string
-		seen := map[string]bool{}
-		for _, addr := range opts.Request.Addrs {
-			if f, ok := g.FuncContaining(addr); ok && !seen[f.Name] {
-				seen[f.Name] = true
-				names = append(names, f.Name)
-			}
-		}
-		opts.Request.Funcs = names
-	}
-
 	nb := b.Clone()
 	stats := Stats{
 		Trampolines:    map[arch.TrampolineClass]int{},
@@ -70,92 +81,66 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 		TotalFuncs:     len(g.Funcs),
 	}
 
-	// Plan the new layout: counters, moved dynamic sections, cloned
-	// tables, then .instr.
-	cursor := alignUp(b.MaxLoadedAddr(), sectionGap) + sectionGap
-	counterBase := cursor
-
-	r := newRelocation(b, g, opts, counterBase)
-	for _, site := range ptrSites {
-		for _, ia := range site.Instrs {
-			r.codePtrImm[ia] = site.Value
-		}
-	}
-	// Re-run unit construction so code-immediate pointer sites classify
-	// with the pointer map in place.
-	if len(r.codePtrImm) > 0 {
-		r.units = nil
-		for _, f := range g.Funcs {
-			if r.instrumented[f.Name] {
-				r.units = append(r.units, r.buildUnit(g, f))
-			}
-		}
-	}
-
+	// Stage 1: plan. Counters land directly above the loaded image; the
+	// plan allocates cells and builds every unit's relocation items.
+	counterBase := alignUp(b.MaxLoadedAddr(), sectionGap) + sectionGap
+	p := newPatchPlan(an, opts, counterBase)
 	for _, f := range g.Funcs {
-		if r.instrumented[f.Name] {
+		if p.instrumented[f.Name] {
 			stats.InstrumentedFuncs++
 		} else if f.Err != nil {
 			stats.SkippedFuncs = append(stats.SkippedFuncs, f.Name)
 		}
 	}
-
 	if opts.Variant.ReverseFuncs {
-		for i, j := 0, len(r.units)-1; i < j; i, j = i+1, j-1 {
-			r.units[i], r.units[j] = r.units[j], r.units[i]
-		}
+		p.reverseUnits()
 	}
-	cursor = alignUp(r.nextCell, sectionGap) + sectionGap
+	sp.Record(StagePlan, mx.lap(StagePlan, &clock))
 
-	// Move dynamic-linking sections, retiring the originals as scratch
-	// space (Section 3).
+	// Stage 2: layout — section plan, clone placement, address fixpoint.
+	if err := p.layoutAll(opts); err != nil {
+		return nil, err
+	}
+	stats.ClonedTables = len(p.clones)
+	sp.Record(StageLayout, mx.lap(StageLayout, &clock))
+
+	// Stage 3: emit — parallel, reuse-aware per-unit encoding.
+	instrData, cloneData, raPairs, reused, reencoded, err := p.emit(opts.PatchJobs)
+	if err != nil {
+		return nil, err
+	}
+	mx.PatchFuncsReused, mx.PatchFuncsReencoded = reused, reencoded
+	sp.Record(StageEmit, mx.lap(StageEmit, &clock))
+
+	// Apply the section plan: move dynamic-linking sections, retiring
+	// the originals as scratch space (Section 3).
 	pool := newScratchPool(b.Arch.InstrAlign())
-	for _, name := range []string{bin.SecDynSym, bin.SecDynStr, bin.SecRelaDyn} {
-		old := nb.Section(name)
-		if old == nil {
-			continue
-		}
+	for _, mv := range p.sections.moves {
+		old := nb.Section(mv.name)
 		moved := &bin.Section{
-			Name:  name,
-			Addr:  cursor,
+			Name:  mv.name,
+			Addr:  mv.addr,
 			Data:  append([]byte(nil), old.Data...),
 			Flags: old.Flags,
 			Align: old.Align,
 		}
-		old.Name = bin.OldPrefix + name
+		old.Name = bin.OldPrefix + mv.name
 		// The retired range becomes trampoline scratch space, so it must
 		// be executable from now on.
 		old.Flags |= bin.FlagExec
 		if _, err := nb.AddSection(moved); err != nil {
 			return nil, err
 		}
-		cursor = alignUp(moved.End(), sectionGap) + sectionGap
-		if old.Size() > 0 && !opts.Variant.NoScratchSections {
-			pool.add(old.Addr, old.End())
+		if mv.scratch {
+			pool.add(mv.oldAddr, mv.oldEnd)
 		}
 	}
-
-	cloneBase := cursor
-	r.placeClones(cloneBase)
-	cursor = alignUp(cloneBase+r.cloneBytes(), sectionGap) + sectionGap
-	stats.ClonedTables = len(r.clones)
-
-	instrBase := alignUp(cursor+opts.InstrGap, sectionGap)
-	if err := r.layout(instrBase); err != nil {
-		return nil, err
-	}
-	sp.Record(StageLayout, mx.lap(StageLayout, &clock))
-	instrData, cloneData, err := r.emit()
-	if err != nil {
-		return nil, err
-	}
-	sp.Record(StageEmit, mx.lap(StageEmit, &clock))
 
 	// Patch the original text: verification fill, then trampolines.
 	text := nb.Text()
 	if opts.Verify {
 		for _, f := range g.Funcs {
-			if !r.instrumented[f.Name] {
+			if !p.instrumented[f.Name] {
 				continue
 			}
 			fillTextIllegal(b.Arch, text, f)
@@ -172,28 +157,20 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 		scratch arch.Reg
 	}
 	var deferred []hopJob
-	for _, f := range g.Funcs {
-		if !r.instrumented[f.Name] || opts.Variant.NoTrampolines {
-			continue
-		}
-		pl := an.placement(f)
-		cfl := pl.cfl
-		stats.CFLBlocks += len(cfl)
-		stats.ScratchBlocks += len(f.Blocks) - len(cfl)
-		lv := pl.lv
-		sbs := pl.sbs
-		for _, sb := range sbs {
-			to, ok := r.relocMap[sb.Start]
+	for _, ft := range p.tramps {
+		stats.CFLBlocks += ft.cflBlocks
+		stats.ScratchBlocks += ft.scratchBlocks
+		for _, job := range ft.jobs {
+			to, ok := p.relocMap[job.sb.Start]
 			if !ok {
-				return nil, fmt.Errorf("core: CFL block %#x in %s has no relocated address", sb.Start, f.Name)
+				return nil, fmt.Errorf("core: CFL block %#x in %s has no relocated address", job.sb.Start, ft.fn.Name)
 			}
-			scratch := lv.DeadAt(sb.Block.Start)
-			tr, ok := directOrLong(b, sb, to, scratch)
+			tr, ok := directOrLong(b, job.sb, to, job.scratch)
 			if !ok {
-				deferred = append(deferred, hopJob{sb: sb, to: to, scratch: scratch})
+				deferred = append(deferred, hopJob{sb: job.sb, to: to, scratch: job.scratch})
 				continue
 			}
-			if err := installTrampoline(nb, text, tr, pool, sb, &stats); err != nil {
+			if err := installTrampoline(nb, text, tr, pool, job.sb, &stats); err != nil {
 				return nil, err
 			}
 		}
@@ -226,7 +203,7 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 
 	// Function pointer rewriting (data slots and relocations).
 	for _, site := range ptrSites {
-		newVal, ok := r.relocMap[site.Value]
+		newVal, ok := p.relocMap[site.Value]
 		if !ok {
 			continue // target not relocated; pointer stays valid
 		}
@@ -253,10 +230,10 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 	sp.Record(StagePointers, mx.lap(StagePointers, &clock))
 
 	// New sections.
-	if r.nextCell > counterBase {
+	if p.nextCell > counterBase {
 		if _, err := nb.AddSection(&bin.Section{
 			Name: ".icfg.counters", Addr: counterBase,
-			Data:  make([]byte, r.nextCell-counterBase),
+			Data:  make([]byte, p.nextCell-counterBase),
 			Flags: bin.FlagAlloc | bin.FlagWrite, Align: 8,
 		}); err != nil {
 			return nil, err
@@ -264,19 +241,19 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 	}
 	if len(cloneData) > 0 {
 		if _, err := nb.AddSection(&bin.Section{
-			Name: bin.SecJTClone, Addr: cloneBase, Data: cloneData,
+			Name: bin.SecJTClone, Addr: p.sections.cloneBase, Data: cloneData,
 			Flags: bin.FlagAlloc, Align: 8,
 		}); err != nil {
 			return nil, err
 		}
 	}
 	if _, err := nb.AddSection(&bin.Section{
-		Name: bin.SecInstr, Addr: instrBase, Data: instrData,
+		Name: bin.SecInstr, Addr: p.instrBase, Data: instrData,
 		Flags: bin.FlagAlloc | bin.FlagExec, Align: instrAlign,
 	}); err != nil {
 		return nil, err
 	}
-	after := alignUp(instrBase+uint64(len(instrData)), sectionGap) + sectionGap
+	after := alignUp(p.instrBase+uint64(len(instrData)), sectionGap) + sectionGap
 	if _, err := nb.AddSection(&bin.Section{
 		Name: bin.SecTrampMap, Addr: after, Data: bin.EncodeAddrMap(trapPairs),
 		Flags: bin.FlagAlloc, Align: 8,
@@ -289,12 +266,12 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 	// the stack (Section 6).
 	if (b.UsesExceptions() || b.GoRuntime()) && !opts.NoRAMap {
 		if _, err := nb.AddSection(&bin.Section{
-			Name: bin.SecRAMap, Addr: after, Data: bin.EncodeAddrMap(r.raPairs),
+			Name: bin.SecRAMap, Addr: after, Data: bin.EncodeAddrMap(raPairs),
 			Flags: bin.FlagAlloc, Align: 8,
 		}); err != nil {
 			return nil, err
 		}
-		stats.RAMapEntries = len(r.raPairs)
+		stats.RAMapEntries = len(raPairs)
 		if b.UsesExceptions() {
 			nb.Meta[rtlib.MetaWrapUnwind] = "1"
 		}
@@ -333,118 +310,13 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 		sp.SetInt("trampolines", int64(mx.TrampolineTotal()))
 		sp.SetInt("tables-cloned", int64(mx.ClonedTables))
 		sp.SetInt("analysis-failures", int64(mx.AnalysisFailures))
+		sp.SetInt("patch-jobs", int64(opts.PatchJobs))
+		sp.SetInt("patch-funcs-reused", int64(mx.PatchFuncsReused))
+		sp.SetInt("patch-funcs-reencoded", int64(mx.PatchFuncsReencoded))
 	}
-	res := &Result{Binary: nb, Stats: stats, Metrics: mx, RelocMap: r.relocMap, TrapSites: trapSites}
+	res := &Result{Binary: nb, Stats: stats, Metrics: mx, RelocMap: p.relocMap, TrapSites: trapSites}
 	if opts.Request.Payload == instrument.PayloadCounter {
-		res.CounterCells = r.counterCells
+		res.CounterCells = p.counterCells
 	}
 	return res, nil
-}
-
-// directOrLong tries the in-place trampoline forms: a single direct
-// branch, then the long sequence, within the superblock's space.
-func directOrLong(b *bin.Binary, sb superblock, to uint64, scratch arch.Reg) (arch.Trampoline, bool) {
-	a := b.Arch
-	if a == arch.X64 {
-		if sb.Space >= arch.LongTrampolineLen(a) {
-			if tr, ok := arch.NewLongTrampoline(a, sb.Start, to, scratch, 0); ok {
-				return tr, true
-			}
-		}
-		return arch.Trampoline{}, false
-	}
-	if sb.Space >= arch.ShortTrampolineLen(a) {
-		if tr, ok := arch.NewShortTrampoline(a, sb.Start, to); ok {
-			return tr, true
-		}
-	}
-	if tr, ok := arch.NewLongTrampoline(a, sb.Start, to, scratch, b.TOCValue); ok && sb.Space >= tr.Len {
-		return tr, true
-	}
-	return arch.Trampoline{}, false
-}
-
-// multiHop places a short trampoline in the block and a long one in
-// scratch space within the short form's range (Section 7's
-// multi-trampoline design).
-func multiHop(b *bin.Binary, sb superblock, to uint64, scratch arch.Reg, pool *scratchPool) (arch.Trampoline, arch.Trampoline, bool) {
-	a := b.Arch
-	if sb.Space < arch.ShortTrampolineLen(a) {
-		return arch.Trampoline{}, arch.Trampoline{}, false
-	}
-	hopLen := arch.LongTrampolineLen(a)
-	if a == arch.PPC && scratch == arch.NoReg {
-		hopLen = arch.LongSpillTrampolineLen(a)
-	}
-	if a == arch.A64 && scratch == arch.NoReg {
-		return arch.Trampoline{}, arch.Trampoline{}, false // paper: fall back to trap
-	}
-	rng := arch.ShortBranchRange(a)
-	hopAddr, ok := pool.alloc(hopLen, sb.Start, rng, rng)
-	if !ok {
-		return arch.Trampoline{}, arch.Trampoline{}, false
-	}
-	short, ok := arch.NewShortTrampoline(a, sb.Start, hopAddr)
-	if !ok {
-		return arch.Trampoline{}, arch.Trampoline{}, false
-	}
-	long, ok := arch.NewLongTrampoline(a, hopAddr, to, scratch, b.TOCValue)
-	if !ok || long.Len > hopLen {
-		return arch.Trampoline{}, arch.Trampoline{}, false
-	}
-	return short, long, true
-}
-
-// installTrampoline writes the trampoline into the text section and
-// donates the superblock's remaining space to the scratch pool.
-func installTrampoline(nb *bin.Binary, text *bin.Section, tr arch.Trampoline, pool *scratchPool, sb superblock, stats *Stats) error {
-	if err := writeTrampoline(nb, tr); err != nil {
-		return err
-	}
-	stats.Trampolines[tr.Class]++
-	leftover := sb.Start + uint64(tr.Len)
-	end := sb.Start + uint64(sb.Space)
-	if end > leftover {
-		pool.add(leftover, end)
-	}
-	_ = text
-	return nil
-}
-
-// writeTrampoline encodes and stores a trampoline's bytes.
-func writeTrampoline(nb *bin.Binary, tr arch.Trampoline) error {
-	bs, err := tr.Encode(nb.Arch)
-	if err != nil {
-		return err
-	}
-	return nb.WriteAt(tr.From, bs)
-}
-
-// fillTextIllegal overwrites an instrumented function's code bytes with
-// illegal instructions, sparing embedded data ranges — the paper's
-// strong verification: any control flow escaping the trampolines faults
-// immediately.
-func fillTextIllegal(a arch.Arch, text *bin.Section, f *cfg.Func) {
-	inData := func(addr uint64) bool {
-		for _, dr := range f.DataRanges {
-			if addr >= dr[0] && addr < dr[1] {
-				return true
-			}
-		}
-		return false
-	}
-	for addr := f.Entry; addr < f.End; addr++ {
-		if !inData(addr) && text.Contains(addr) {
-			text.Data[addr-text.Addr] = 0xFF
-		}
-	}
-}
-
-// writeU64 stores a 64-bit value at a mapped address.
-func writeU64(nb *bin.Binary, addr, v uint64) error {
-	var buf [8]byte
-	for i := range buf {
-		buf[i] = byte(v >> (8 * i))
-	}
-	return nb.WriteAt(addr, buf[:])
 }

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/cfg"
+)
+
+// Trampoline installation helpers: choosing a form that fits each
+// planned superblock (direct/long in place, multi-hop through scratch
+// space, trap as the last resort) and writing it into the original text.
+// Installation stays serial — the scratch pool is allocated in a
+// deterministic order the multi-hop pass depends on — but it consumes
+// the plan's precomputed trampoline jobs.
+
+// directOrLong tries the in-place trampoline forms: a single direct
+// branch, then the long sequence, within the superblock's space.
+func directOrLong(b *bin.Binary, sb superblock, to uint64, scratch arch.Reg) (arch.Trampoline, bool) {
+	a := b.Arch
+	if a == arch.X64 {
+		if sb.Space >= arch.LongTrampolineLen(a) {
+			if tr, ok := arch.NewLongTrampoline(a, sb.Start, to, scratch, 0); ok {
+				return tr, true
+			}
+		}
+		return arch.Trampoline{}, false
+	}
+	if sb.Space >= arch.ShortTrampolineLen(a) {
+		if tr, ok := arch.NewShortTrampoline(a, sb.Start, to); ok {
+			return tr, true
+		}
+	}
+	if tr, ok := arch.NewLongTrampoline(a, sb.Start, to, scratch, b.TOCValue); ok && sb.Space >= tr.Len {
+		return tr, true
+	}
+	return arch.Trampoline{}, false
+}
+
+// multiHop places a short trampoline in the block and a long one in
+// scratch space within the short form's range (Section 7's
+// multi-trampoline design).
+func multiHop(b *bin.Binary, sb superblock, to uint64, scratch arch.Reg, pool *scratchPool) (arch.Trampoline, arch.Trampoline, bool) {
+	a := b.Arch
+	if sb.Space < arch.ShortTrampolineLen(a) {
+		return arch.Trampoline{}, arch.Trampoline{}, false
+	}
+	hopLen := arch.LongTrampolineLen(a)
+	if a == arch.PPC && scratch == arch.NoReg {
+		hopLen = arch.LongSpillTrampolineLen(a)
+	}
+	if a == arch.A64 && scratch == arch.NoReg {
+		return arch.Trampoline{}, arch.Trampoline{}, false // paper: fall back to trap
+	}
+	rng := arch.ShortBranchRange(a)
+	hopAddr, ok := pool.alloc(hopLen, sb.Start, rng, rng)
+	if !ok {
+		return arch.Trampoline{}, arch.Trampoline{}, false
+	}
+	short, ok := arch.NewShortTrampoline(a, sb.Start, hopAddr)
+	if !ok {
+		return arch.Trampoline{}, arch.Trampoline{}, false
+	}
+	long, ok := arch.NewLongTrampoline(a, hopAddr, to, scratch, b.TOCValue)
+	if !ok || long.Len > hopLen {
+		return arch.Trampoline{}, arch.Trampoline{}, false
+	}
+	return short, long, true
+}
+
+// installTrampoline writes the trampoline into the text section and
+// donates the superblock's remaining space to the scratch pool.
+func installTrampoline(nb *bin.Binary, text *bin.Section, tr arch.Trampoline, pool *scratchPool, sb superblock, stats *Stats) error {
+	if err := writeTrampoline(nb, tr); err != nil {
+		return err
+	}
+	stats.Trampolines[tr.Class]++
+	leftover := sb.Start + uint64(tr.Len)
+	end := sb.Start + uint64(sb.Space)
+	if end > leftover {
+		pool.add(leftover, end)
+	}
+	_ = text
+	return nil
+}
+
+// writeTrampoline encodes and stores a trampoline's bytes.
+func writeTrampoline(nb *bin.Binary, tr arch.Trampoline) error {
+	bs, err := tr.Encode(nb.Arch)
+	if err != nil {
+		return err
+	}
+	return nb.WriteAt(tr.From, bs)
+}
+
+// fillTextIllegal overwrites an instrumented function's code bytes with
+// illegal instructions, sparing embedded data ranges — the paper's
+// strong verification: any control flow escaping the trampolines faults
+// immediately. Maximal runs of code bytes are filled through
+// arch.FillIllegal, the same primitive the emit stage uses for .instr
+// padding.
+func fillTextIllegal(a arch.Arch, text *bin.Section, f *cfg.Func) {
+	inData := func(addr uint64) bool {
+		for _, dr := range f.DataRanges {
+			if addr >= dr[0] && addr < dr[1] {
+				return true
+			}
+		}
+		return false
+	}
+	var run uint64
+	active := false
+	flush := func(end uint64) {
+		if active {
+			arch.FillIllegal(a, text.Data[run-text.Addr:end-text.Addr])
+			active = false
+		}
+	}
+	for addr := f.Entry; addr < f.End; addr++ {
+		if !inData(addr) && text.Contains(addr) {
+			if !active {
+				run, active = addr, true
+			}
+			continue
+		}
+		flush(addr)
+	}
+	flush(f.End)
+}
+
+// writeU64 stores a 64-bit value at a mapped address.
+func writeU64(nb *bin.Binary, addr, v uint64) error {
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = byte(v >> (8 * i))
+	}
+	return nb.WriteAt(addr, buf[:])
+}

@@ -48,6 +48,11 @@ type metrics struct {
 	// analyses did no function-level work and contribute nothing).
 	funcsReused     *obs.Counter
 	funcsRecomputed *obs.Counter
+	// patchReused / patchReencoded accumulate the emit stage's work split
+	// over every patch this server ran (result-cache replays ran no patch
+	// and contribute nothing).
+	patchReused    *obs.Counter
+	patchReencoded *obs.Counter
 }
 
 func newMetrics(s *Server) *metrics {
@@ -64,6 +69,10 @@ func newMetrics(s *Server) *metrics {
 			"function analysis units reused from the unit store"),
 		funcsRecomputed: reg.Counter("icfg_analysis_funcs_recomputed_total",
 			"function analysis units recomputed"),
+		patchReused: reg.Counter("icfg_patch_funcs_reused_total",
+			"function units whose emitted bytes were copied from the emit cache"),
+		patchReencoded: reg.Counter("icfg_patch_funcs_reencoded_total",
+			"function units rendered and encoded by the emit stage"),
 	}
 	reg.GaugeFunc("icfg_queue_depth", "requests waiting in the queue", "", "",
 		func() float64 { return float64(len(s.queue)) })
@@ -126,6 +135,10 @@ func (m *metrics) observeServed(resp *Response) {
 		m.funcsReused.Add(uint64(resp.Metrics.FuncsReused))
 		m.funcsRecomputed.Add(uint64(resp.Metrics.FuncsRecomputed))
 	}
+	// The patch stage ran for this request whether or not the analysis
+	// was cached, so its emit split is always this request's work.
+	m.patchReused.Add(uint64(resp.Metrics.PatchFuncsReused))
+	m.patchReencoded.Add(uint64(resp.Metrics.PatchFuncsReencoded))
 	for _, st := range resp.Metrics.Stages {
 		m.stage.With(st.Name).Observe(st.Wall.Seconds())
 	}

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -43,9 +44,16 @@ func TestMetricsEndpoint(t *testing.T) {
 	cl := &Client{BaseURL: ts.URL}
 
 	full := core.Options{Mode: core.ModeJT, Request: blockEmpty()}
+	// Verify changes the result fingerprint but not one emit input, so the
+	// second request patches against the cached analysis with every
+	// function unit served from its emit cache — the patch-reuse counter's
+	// deterministic source.
+	verify := full
+	verify.Verify = true
 	part := full
 	part.Request.Funcs = []string{img.FuncSymbols()[0].Name}
-	for _, opts := range []core.Options{full, full, part} { // cold, result-cache, warm-analysis
+	// cold, warm-analysis (full emit reuse), result-cache, warm-analysis.
+	for _, opts := range []core.Options{full, verify, full, part} {
 		if _, _, err := cl.Rewrite(context.Background(), raw, opts); err != nil {
 			t.Fatal(err)
 		}
@@ -69,29 +77,42 @@ func TestMetricsEndpoint(t *testing.T) {
 	text := string(body)
 
 	for _, want := range []string{
-		`icfg_requests_total{outcome="ok"} 3`,
+		`icfg_requests_total{outcome="ok"} 4`,
 		`icfg_cache_path_total{path="cold"} 1`,
 		`icfg_cache_path_total{path="result-cache"} 1`,
-		`icfg_cache_path_total{path="warm-analysis"} 1`,
-		`icfg_request_seconds_count 3`,
-		`icfg_queue_wait_seconds_count 3`,
+		`icfg_cache_path_total{path="warm-analysis"} 2`,
+		`icfg_request_seconds_count 4`,
+		`icfg_queue_wait_seconds_count 4`,
 		// Stage histograms exclude the result-cache replay: the cold and
-		// warm request each contribute one sample per stage (the warm
+		// both warm requests each contribute one sample per stage (a warm
 		// request's analysis stages replay the cached analysis's
 		// timings — see Response.Metrics).
-		`icfg_stage_seconds_bucket{stage="layout",le="+Inf"} 2`,
-		`icfg_stage_seconds_bucket{stage="cfg",le="+Inf"} 2`,
+		`icfg_stage_seconds_bucket{stage="plan",le="+Inf"} 3`,
+		`icfg_stage_seconds_bucket{stage="layout",le="+Inf"} 3`,
+		`icfg_stage_seconds_bucket{stage="emit",le="+Inf"} 3`,
+		`icfg_stage_seconds_bucket{stage="cfg",le="+Inf"} 3`,
 		`icfg_queue_depth 0`,
 		`icfg_workers 2`,
-		`icfg_store_hits{store="analysis"} 1`,
+		`icfg_store_hits{store="analysis"} 2`,
 		`icfg_store_misses{store="analysis"} 1`,
-		`icfg_store_persist_failures{store="result"} 2`,
+		`icfg_store_persist_failures{store="result"} 3`,
 		`icfg_store_persist_failures{store="analysis"} 0`,
 		"icfg_workload_cache_misses",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q", want)
 		}
+	}
+
+	// The patch-reuse split: the cold request re-encoded every unit, the
+	// verify repeat (identical plan and layout) copied every unit from the
+	// emit cache, and the partial request re-encoded against its own
+	// layout. Both sides of the split must therefore be nonzero.
+	if v := metricValue(t, text, "icfg_patch_funcs_reused_total"); v < 1 {
+		t.Errorf("icfg_patch_funcs_reused_total = %v, want >= 1", v)
+	}
+	if v := metricValue(t, text, "icfg_patch_funcs_reencoded_total"); v < 1 {
+		t.Errorf("icfg_patch_funcs_reencoded_total = %v, want >= 1", v)
 	}
 
 	// The profiling surface rides on the same mux.
@@ -103,6 +124,25 @@ func TestMetricsEndpoint(t *testing.T) {
 	if pres.StatusCode != http.StatusOK {
 		t.Errorf("/debug/pprof/cmdline status = %d", pres.StatusCode)
 	}
+}
+
+// metricValue extracts an unlabeled counter's value from a /metrics
+// scrape body.
+func metricValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("parsing %s value %q: %v", name, rest, err)
+		}
+		return v
+	}
+	t.Fatalf("/metrics missing %s", name)
+	return 0
 }
 
 // waitOutcome polls the server's outcome counters until the label
