@@ -1,6 +1,16 @@
 GO ?= go
 
-.PHONY: build test short race vet fmt fmt-check bench fuzz-seed bench-warm bench-delta bench-patch obs-guard delta-guard patch-guard check
+# BENCHGUARD wraps the bench targets so they fail loudly when the
+# benchmark run errors or the pattern matches zero benchmarks (a plain
+# `go test -bench X` exits 0 on both).
+BENCHGUARD = sh scripts/benchguard.sh
+
+# BENCH_BASELINE is the committed performance-trajectory snapshot
+# bench-compare gates against; bench-record overwrites it.
+BENCH_BASELINE ?= BENCH_6.json
+BENCH_PR ?= 6
+
+.PHONY: build test short race vet fmt fmt-check bench fuzz-seed bench-warm bench-delta bench-patch obs-guard delta-guard patch-guard alloc-guard bench-record bench-compare check
 
 build:
 	$(GO) build ./...
@@ -38,20 +48,20 @@ fuzz-seed:
 # iterations of warm Patch vs cold Rewrite, asserting byte-identical
 # output and reporting the speedup multiplier.
 bench-warm:
-	$(GO) test -run '^$$' -bench BenchmarkRewriteWarmVsCold -benchtime 3x .
+	$(BENCHGUARD) $(GO) test -run '^$$' -bench BenchmarkRewriteWarmVsCold -benchtime 3x .
 
 # bench-delta smoke-tests the function-granular delta path: v2 mutates
 # a few functions, the delta re-analysis reuses the rest, and the output
 # is asserted byte-identical to a cold v2 rewrite.
 bench-delta:
-	$(GO) test -run '^$$' -bench BenchmarkDeltaVsCold -benchtime 3x .
+	$(BENCHGUARD) $(GO) test -run '^$$' -bench BenchmarkDeltaVsCold -benchtime 3x .
 
 # bench-patch smoke-tests the parallel emit pipeline: the same analysis
 # patched on a 1-worker vs 4-worker pool with the emit caches defeated,
 # asserting byte-identical output and reporting the speedup multiplier
 # (>1x needs more than one CPU).
 bench-patch:
-	$(GO) test -run '^$$' -bench BenchmarkPatchParallel -benchtime 3x .
+	$(BENCHGUARD) $(GO) test -run '^$$' -bench BenchmarkPatchParallel -benchtime 3x .
 
 # obs-guard verifies the tracing instrumentation stays within its 2%
 # overhead budget on the warm patch path (see obs_overhead_test.go).
@@ -71,4 +81,22 @@ delta-guard:
 patch-guard:
 	$(GO) test -run TestPatchReuseGuard -v ./internal/core/
 
-check: fmt-check vet race fuzz-seed bench-warm bench-delta bench-patch obs-guard delta-guard patch-guard
+# alloc-guard asserts the hot paths stay inside the allocation budgets
+# recorded in the committed trajectory snapshot (TestAllocBudget; skips
+# itself when no BENCH_*.json exists yet).
+alloc-guard:
+	$(GO) test -run TestAllocBudget -v .
+
+# bench-record measures the current build's performance trajectory and
+# writes the snapshot this PR commits. Run it once per perf-relevant PR
+# on an idle machine; `make check` then gates against the result.
+bench-record:
+	$(GO) run ./cmd/icfg-experiments -bench-record $(BENCH_BASELINE) -bench-pr $(BENCH_PR)
+
+# bench-compare re-measures the current build and gates it against the
+# committed snapshot, failing on latency or allocs/op regressions
+# beyond the default tolerances.
+bench-compare:
+	$(GO) run ./cmd/icfg-experiments -bench-compare $(BENCH_BASELINE)
+
+check: fmt-check vet race fuzz-seed bench-warm bench-delta bench-patch obs-guard delta-guard patch-guard alloc-guard bench-compare

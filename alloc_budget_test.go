@@ -1,0 +1,85 @@
+package icfgpatch_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+
+	"icfgpatch/internal/perf"
+)
+
+// latestTrajectory finds the highest-numbered BENCH_<n>.json at the
+// repo root — the most recent PR's committed performance snapshot.
+func latestTrajectory(t *testing.T) *perf.Trajectory {
+	t.Helper()
+	matches, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+	var nums []int
+	byNum := map[int]string{}
+	for _, m := range matches {
+		if g := re.FindStringSubmatch(m); g != nil {
+			n, _ := strconv.Atoi(g[1])
+			nums = append(nums, n)
+			byNum[n] = m
+		}
+	}
+	if len(nums) == 0 {
+		t.Skip("no BENCH_*.json snapshot committed yet")
+	}
+	sort.Ints(nums)
+	path := byNum[nums[len(nums)-1]]
+	tr, err := perf.Load(path)
+	if err != nil {
+		t.Fatalf("load %s: %v", path, err)
+	}
+	return tr
+}
+
+// TestAllocBudget asserts the hot paths stay inside the allocation
+// budgets recorded in the committed trajectory snapshot. The budgets
+// carry 30% headroom over the measured allocs/op at recording time, so
+// a failure here means a real regression in allocation discipline —
+// re-examine the change, or re-record the baseline if the growth is
+// intentional (and say so in the PR).
+func TestAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("skipping allocation measurement in short mode")
+	}
+	if os.Getenv("ICFG_SKIP_ALLOC_BUDGET") != "" {
+		t.Skip("ICFG_SKIP_ALLOC_BUDGET set")
+	}
+	tr := latestTrajectory(t)
+	if len(tr.AllocBudgets) == 0 {
+		t.Fatal("snapshot has no alloc_budgets — re-record it")
+	}
+	measured, err := perf.MeasureBudgetAllocs(3)
+	if err != nil {
+		t.Fatalf("measuring: %v", err)
+	}
+	for _, key := range []string{perf.BudgetWarmPatch, perf.BudgetWarmAnalyze, perf.BudgetDeltaAnalyze} {
+		budget, ok := tr.AllocBudgets[key]
+		if !ok || budget <= 0 {
+			t.Errorf("%s: no budget in snapshot", key)
+			continue
+		}
+		got, ok := measured[key]
+		if !ok {
+			t.Errorf("%s: not measured", key)
+			continue
+		}
+		if got > budget {
+			t.Errorf("%s: %.0f allocs/op exceeds budget %.0f", key, got, budget)
+		} else {
+			t.Logf("%s: %.0f allocs/op within budget %.0f", key, got, budget)
+		}
+	}
+}

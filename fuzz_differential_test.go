@@ -1,0 +1,212 @@
+package icfgpatch_test
+
+// The differential byte-equivalence fuzzer: the repo's central
+// correctness claim is that every fast path — staged Analyze+Patch,
+// parallel emit, the per-function emit cache, and delta re-analysis via
+// the unit store — produces output byte-identical to a serial cold
+// Rewrite. The golden tests pin that claim on a handful of fixed
+// workloads; the fuzzer searches for counterexamples by generating
+// workload programs from fuzzed profile parameters and comparing the
+// marshalled images across 3 arches × 3 modes.
+//
+// Seed corpus regressions live in testdata/fuzz/FuzzDifferentialRewrite;
+// `make fuzz-seed` replays them on every `make check`. To hunt for new
+// divergences: go test -fuzz FuzzDifferentialRewrite -fuzztime 60s .
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/core"
+	"icfgpatch/internal/workload"
+)
+
+// fuzzProfile maps the fuzzer's raw int64s onto a valid workload
+// profile. Every input must map to SOME profile (clamping, not
+// rejection), or the fuzzer wastes its budget on discarded inputs.
+func fuzzProfile(seed, nfuncs, flags, pct int64) workload.Profile {
+	clamp := func(v, lo, hi int64) int {
+		if v < lo {
+			v = lo + (lo-v)%(hi-lo+1)
+		}
+		if v > hi {
+			v = lo + (v-lo)%(hi-lo+1)
+		}
+		return int(v)
+	}
+	frac := func(shift uint) float64 {
+		// Four independent 0..15 nibbles of pct become 0..0.75 fractions.
+		return float64((pct>>shift)&0xf) / 20.0
+	}
+	p := workload.Profile{
+		Name:           fmt.Sprintf("fuzz-%d", seed),
+		Seed:           seed,
+		Lang:           "c++",
+		Funcs:          clamp(nfuncs, 4, 96),
+		SwitchFrac:     frac(0),
+		SpillFrac:      frac(4),
+		OpaqueFrac:     frac(8),
+		TinyFrac:       frac(12),
+		TailCallFrac:   frac(16),
+		DispatcherFrac: frac(20),
+		Exceptions:     flags&1 != 0,
+		StackCalls:     flags&2 != 0,
+		Iters:          3,
+	}
+	if flags&4 != 0 {
+		p.DtorFuncs = clamp(flags>>8, 1, 8)
+	}
+	if flags&8 != 0 {
+		p.Lang = "go"
+		p.GoRuntime = true
+		p.SwitchFrac, p.SpillFrac, p.OpaqueFrac = 0, 0, 0
+	}
+	return p
+}
+
+// marshalAndRecycle snapshots a result's image, then recycles its
+// pooled buffers — deliberately, so the fuzzer also stresses the emit
+// pool's reuse discipline: a buffer returned too early or reused
+// without a full overwrite shows up as a byte diff on a later run.
+func marshalAndRecycle(res *core.Result) []byte {
+	img := res.Binary.Marshal()
+	res.Recycle()
+	return img
+}
+
+func diffImages(t *testing.T, label string, want, got []byte) {
+	t.Helper()
+	if bytes.Equal(want, got) {
+		return
+	}
+	n := len(want)
+	if len(got) < n {
+		n = len(got)
+	}
+	off := -1
+	for i := 0; i < n; i++ {
+		if want[i] != got[i] {
+			off = i
+			break
+		}
+	}
+	t.Fatalf("%s: image diverges from serial cold rewrite (len %d vs %d, first diff at byte %d)",
+		label, len(want), len(got), off)
+}
+
+func FuzzDifferentialRewrite(f *testing.F) {
+	// Hand-picked seeds covering the generator's feature axes: plain,
+	// switch-heavy, exceptions+stack calls, tiny/dispatcher-heavy,
+	// Go-runtime, and destructor-laden profiles.
+	f.Add(int64(1), int64(24), int64(0), int64(0x000000), int64(2))
+	f.Add(int64(7), int64(40), int64(0), int64(0x00ffff), int64(3))
+	f.Add(int64(42), int64(32), int64(3), int64(0x0f0f0f), int64(1))
+	f.Add(int64(99), int64(16), int64(0), int64(0xff00ff), int64(4))
+	f.Add(int64(1234), int64(20), int64(8), int64(0), int64(2))
+	f.Add(int64(555), int64(28), int64(0x0304), int64(0x00f000), int64(5))
+
+	f.Fuzz(func(t *testing.T, seed, nfuncs, flags, pct, k int64) {
+		prof := fuzzProfile(seed, nfuncs, flags, pct)
+		mutK := int(k%7) + 1
+		for _, a := range []arch.Arch{arch.X64, arch.PPC, arch.A64} {
+			prog, err := workload.Generate(a, flags&16 != 0, prof)
+			if err != nil {
+				// Not every fuzzed profile assembles on every arch; that is
+				// the generator's contract to report, not a rewrite bug.
+				continue
+			}
+			v2, _, err := workload.MutateVersion(prog.Binary, mutK, seed^0x5eed)
+			if err != nil {
+				continue
+			}
+			for _, mode := range []core.Mode{core.ModeDir, core.ModeJT, core.ModeFuncPtr} {
+				label := fmt.Sprintf("%s/%s", a, mode)
+				opts := core.Options{Mode: mode, Request: blockEmpty(), PatchJobs: 1}
+
+				// Baseline: serial cold rewrite.
+				coldRes, err := core.Rewrite(prog.Binary, opts)
+				if err != nil {
+					if errors.Is(err, core.ErrImpreciseFuncPtrs) {
+						continue // mode refuses the binary; nothing to compare
+					}
+					t.Fatalf("%s: cold rewrite: %v", label, err)
+				}
+				cold := marshalAndRecycle(coldRes)
+
+				// Staged path, parallel emit.
+				an, err := core.Analyze(prog.Binary, core.AnalysisConfig{Mode: mode})
+				if err != nil {
+					t.Fatalf("%s: analyze: %v", label, err)
+				}
+				par := opts
+				par.PatchJobs = 4
+				res, err := an.Patch(par)
+				if err != nil {
+					t.Fatalf("%s: parallel patch: %v", label, err)
+				}
+				diffImages(t, label+"/parallel", cold, marshalAndRecycle(res))
+
+				// Repeat patch: the emit-cache hit path.
+				res, err = an.Patch(par)
+				if err != nil {
+					t.Fatalf("%s: repeat patch: %v", label, err)
+				}
+				if res.Metrics.PatchFuncsReused == 0 && res.Metrics.PatchFuncsReencoded > 0 {
+					t.Fatalf("%s: repeat patch hit no emit cache (%d re-encoded)",
+						label, res.Metrics.PatchFuncsReencoded)
+				}
+				diffImages(t, label+"/emit-cache", cold, marshalAndRecycle(res))
+
+				// Delta path on the mutated version vs its own cold rewrite.
+				coldV2Res, err := core.Rewrite(v2, opts)
+				if err != nil {
+					if errors.Is(err, core.ErrImpreciseFuncPtrs) {
+						continue
+					}
+					t.Fatalf("%s: cold v2 rewrite: %v", label, err)
+				}
+				coldV2 := marshalAndRecycle(coldV2Res)
+				units := core.NewUnitStore(0)
+				if _, err := core.Analyze(prog.Binary, core.AnalysisConfig{Mode: mode, Units: units}); err != nil {
+					t.Fatalf("%s: seeding unit store: %v", label, err)
+				}
+				anV2, err := core.Analyze(v2, core.AnalysisConfig{Mode: mode, Units: units})
+				if err != nil {
+					t.Fatalf("%s: delta analyze: %v", label, err)
+				}
+				res, err = anV2.Patch(par)
+				if err != nil {
+					t.Fatalf("%s: delta patch: %v", label, err)
+				}
+				diffImages(t, label+"/delta", coldV2, marshalAndRecycle(res))
+			}
+		}
+	})
+}
+
+// TestFuzzProfileTotal pins the clamping contract: any int64 quadruple
+// maps to a generatable profile (no fuzzer budget burned on rejects).
+func TestFuzzProfileTotal(t *testing.T) {
+	for _, c := range [][4]int64{
+		{0, 0, 0, 0},
+		{-1, -1, -1, -1},
+		{1 << 62, -(1 << 62), 1<<63 - 1, -1 << 63},
+		{17, 1000000, 0xffff, 0x123456},
+	} {
+		p := fuzzProfile(c[0], c[1], c[2], c[3])
+		if p.Funcs < 4 || p.Funcs > 96 {
+			t.Fatalf("fuzzProfile(%v).Funcs = %d out of range", c, p.Funcs)
+		}
+		for _, fr := range []float64{p.SwitchFrac, p.SpillFrac, p.OpaqueFrac, p.TinyFrac, p.TailCallFrac, p.DispatcherFrac} {
+			if fr < 0 || fr > 0.76 {
+				t.Fatalf("fuzzProfile(%v) fraction %v out of range", c, fr)
+			}
+		}
+		if _, err := workload.Generate(arch.X64, false, p); err != nil {
+			t.Fatalf("fuzzProfile(%v) does not generate: %v", c, err)
+		}
+	}
+}

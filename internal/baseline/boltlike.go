@@ -40,8 +40,9 @@ func BOLTReorderBlocks(b *bin.Binary) (*core.Result, error) {
 		// The layout bug: the interpreter path is clobbered during
 		// section rewriting. The image builds but will not load.
 		if s := res.Binary.Section(bin.SecInterp); s != nil && len(s.Data) > 0 {
-			for i := range s.Data {
-				s.Data[i] = 0
+			data := s.MutableData() // the result may share untouched sections with the input
+			for i := range data {
+				data[i] = 0
 			}
 		}
 	}

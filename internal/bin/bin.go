@@ -12,6 +12,7 @@ package bin
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"icfgpatch/internal/arch"
 )
@@ -65,6 +66,32 @@ type Section struct {
 	Data  []byte
 	Flags SectionFlags
 	Align uint64
+
+	// shared (accessed atomically; non-zero = true) marks Data as
+	// aliased with another binary's section (see CloneShared): the
+	// bytes are read-only until own() detaches a private copy. WriteAt
+	// honours the flag; code that writes Data directly must go through
+	// MutableData first. Atomic because concurrent rewrites of one
+	// read-only binary all mark its sections shared — racing stores of
+	// the same value, but stores nonetheless.
+	shared uint32
+}
+
+// own detaches a private copy of a shared section's contents; a no-op
+// for sections that already own their bytes.
+func (s *Section) own() {
+	if atomic.LoadUint32(&s.shared) != 0 {
+		s.Data = append([]byte(nil), s.Data...)
+		atomic.StoreUint32(&s.shared, 0)
+	}
+}
+
+// MutableData returns the section's contents, detaching them from any
+// sharing binary first — the required accessor for in-place writes that
+// bypass Binary.WriteAt.
+func (s *Section) MutableData() []byte {
+	s.own()
+	return s.Data
 }
 
 // Size returns the section's size in bytes.
@@ -78,6 +105,16 @@ func (s *Section) Contains(addr uint64) bool { return addr >= s.Addr && addr < s
 
 // Loaded reports whether the section is mapped at runtime.
 func (s *Section) Loaded() bool { return s.Flags&FlagAlloc != 0 }
+
+// NewSharedSection returns a new section at addr aliasing src's current
+// contents copy-on-write: both sections are marked shared, so whichever
+// is written first (through WriteAt or MutableData) detaches its own
+// copy and the other keeps the bytes as of this call. The rewriter uses
+// this for zero-copy section moves.
+func NewSharedSection(name string, addr uint64, src *Section) *Section {
+	atomic.StoreUint32(&src.shared, 1)
+	return &Section{Name: name, Addr: addr, Data: src.Data, Flags: src.Flags, Align: src.Align, shared: 1}
+}
 
 // SymKind distinguishes symbol types.
 type SymKind uint8
@@ -232,6 +269,7 @@ func (b *Binary) WriteAt(addr uint64, data []byte) error {
 	if addr+uint64(len(data)) > s.End() {
 		return fmt.Errorf("bin: write [%#x,%#x) crosses the end of %s", addr, addr+uint64(len(data)), s.Name)
 	}
+	s.own() // copy-on-write for sections shared via CloneShared
 	copy(s.Data[addr-s.Addr:], data)
 	return nil
 }
@@ -332,6 +370,44 @@ func (b *Binary) Clone() *Binary {
 		d := make([]byte, len(s.Data))
 		copy(d, s.Data)
 		nb.Sections = append(nb.Sections, &Section{Name: s.Name, Addr: s.Addr, Data: d, Flags: s.Flags, Align: s.Align})
+	}
+	nb.Symbols = append([]Symbol(nil), b.Symbols...)
+	nb.DynSymbols = append([]Symbol(nil), b.DynSymbols...)
+	nb.Relocs = append([]Reloc(nil), b.Relocs...)
+	nb.LinkRelocs = append([]Reloc(nil), b.LinkRelocs...)
+	return nb
+}
+
+// CloneShared returns a copy of the binary whose sections share the
+// original's contents copy-on-write: metadata (headers, symbols,
+// relocations) is copied eagerly, but each section's Data is aliased
+// read-only and detached only when first written through WriteAt or
+// MutableData. The rewriter's zero-copy section assembly rests on this:
+// a multi-megabyte input whose rewrite touches only .text and a few
+// data slots clones only those sections' bytes. Callers that mutate
+// Data directly (not via WriteAt/MutableData) must use Clone instead.
+func (b *Binary) CloneShared() *Binary {
+	nb := &Binary{
+		Arch:      b.Arch,
+		PIE:       b.PIE,
+		SharedLib: b.SharedLib,
+		Entry:     b.Entry,
+		TOCValue:  b.TOCValue,
+		Meta:      make(map[string]string, len(b.Meta)),
+	}
+	for k, v := range b.Meta {
+		nb.Meta[k] = v
+	}
+	nb.Sections = make([]*Section, 0, len(b.Sections))
+	for _, s := range b.Sections {
+		// Both sides are marked shared: whichever binary writes first —
+		// through WriteAt or MutableData — detaches its own copy, so the
+		// other keeps the bytes it saw at clone time.
+		atomic.StoreUint32(&s.shared, 1)
+		nb.Sections = append(nb.Sections, &Section{
+			Name: s.Name, Addr: s.Addr, Data: s.Data, Flags: s.Flags, Align: s.Align,
+			shared: 1,
+		})
 	}
 	nb.Symbols = append([]Symbol(nil), b.Symbols...)
 	nb.DynSymbols = append([]Symbol(nil), b.DynSymbols...)

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -204,6 +205,66 @@ func TestCloneIsDeep(t *testing.T) {
 	c.Symbols[0].Name = "changed"
 	if b.Sections[0].Data[0] == 0xFF || b.Meta["lang"] == "go" || b.Symbols[0].Name == "changed" {
 		t.Error("clone shares storage with the original")
+	}
+}
+
+func TestCloneSharedCOW(t *testing.T) {
+	b := testBinary()
+	c := b.CloneShared()
+	if &c.Sections[0].Data[0] != &b.Sections[0].Data[0] {
+		t.Fatal("CloneShared copied section data eagerly")
+	}
+	orig := b.Sections[0].Data[0]
+
+	// A write through the clone detaches the clone's copy only.
+	c.Sections[0].MutableData()[0] = 0xFF
+	if b.Sections[0].Data[0] != orig {
+		t.Fatal("write through clone corrupted the source")
+	}
+	if c.Sections[0].Data[0] != 0xFF {
+		t.Fatal("write through clone lost")
+	}
+
+	// The source side is COW too: a fresh clone keeps the bytes it saw
+	// even when the SOURCE is written afterwards.
+	c2 := b.CloneShared()
+	if err := b.WriteAt(b.Sections[0].Addr, []byte{0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Sections[0].Data[0] != orig {
+		t.Fatal("write through source corrupted an existing clone")
+	}
+	if b.Sections[0].Data[0] != 0xAA {
+		t.Fatal("write through source lost")
+	}
+
+	// Metadata is deep from the start.
+	c.Meta["lang"] = "go"
+	c.Symbols[0].Name = "changed"
+	if b.Meta["lang"] == "go" || b.Symbols[0].Name == "changed" {
+		t.Error("CloneShared shares metadata storage")
+	}
+}
+
+// TestCloneSharedConcurrent pins the concurrency contract the rewrite
+// service relies on: many goroutines may CloneShared one read-only
+// binary at once (each marking the shared source sections), each
+// writing through its own clone only. Run under -race via make race.
+func TestCloneSharedConcurrent(t *testing.T) {
+	b := testBinary()
+	orig := b.Sections[0].Data[0]
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := b.CloneShared()
+			c.Sections[0].MutableData()[0] = byte(i)
+		}(i)
+	}
+	wg.Wait()
+	if b.Sections[0].Data[0] != orig {
+		t.Fatal("concurrent clone writes corrupted the source")
 	}
 }
 

@@ -200,6 +200,23 @@ type Result struct {
 	// to be installed (experiments correlate them with function kinds,
 	// e.g. library destructors).
 	TrapSites []uint64
+
+	// pooled holds the emit-stage buffers backing the result's .instr
+	// and clone sections, returnable to the emit pool via Recycle.
+	pooled [][]byte
+}
+
+// Recycle returns the result's pooled emit buffers for reuse by later
+// Patch calls. The rewritten Binary (and any slice derived from its
+// sections) must not be used after Recycle — serialise it first. The
+// steady-state service loop is the intended caller: marshal the image,
+// recycle the result. Recycle is idempotent; calling it on a result
+// whose buffers were never pooled is a no-op.
+func (r *Result) Recycle() {
+	for _, buf := range r.pooled {
+		putEmitBuf(buf)
+	}
+	r.pooled = nil
 }
 
 // Section and layout constants.

@@ -60,7 +60,8 @@ func (p *PatchPlan) unitSig(u *planUnit) uint64 {
 	}
 	h = fnvU64(h, p.env.TOCValue)
 	h = fnvU64(h, uint64(len(u.items)))
-	for _, it := range u.items {
+	for i := range u.items {
+		it := &u.items[i]
 		h = fnvU64(h, it.newAddr)
 		h = fnvU64(h, uint64(it.newLen))
 		h = fnvU64(h, it.origAddr)
@@ -103,7 +104,7 @@ func (p *PatchPlan) emitUnit(u *planUnit, out []byte) (ra []bin.AddrPair, reused
 		return nil, false, nil
 	}
 	start := u.items[0].newAddr
-	last := u.items[len(u.items)-1]
+	last := &u.items[len(u.items)-1]
 	end := last.newAddr + uint64(last.newLen)
 	sig := p.unitSig(u)
 	var cache *unitEmitCache
@@ -120,7 +121,8 @@ func (p *PatchPlan) emitUnit(u *planUnit, out []byte) (ra []bin.AddrPair, reused
 		}
 		cache.mu.Unlock()
 	}
-	for _, it := range u.items {
+	for i := range u.items {
+		it := &u.items[i]
 		eit := arch.EmitItem{
 			Ins:       it.ins,
 			HasTarget: it.tk != tkNone,
@@ -161,7 +163,10 @@ func (p *PatchPlan) emitUnit(u *planUnit, out []byte) (ra []bin.AddrPair, reused
 // result is byte-for-byte independent of the worker count.
 func (p *PatchPlan) emit(jobs int) (out, cloneData []byte, raPairs []bin.AddrPair, reusedN, reencodedN int, err error) {
 	a := p.an.Binary.Arch
-	out = make([]byte, p.instrEnd-p.instrBase)
+	// The output buffer comes from the emit pool (see pool.go); it is
+	// fully overwritten here — illegal-instruction fill end to end, then
+	// each unit's window — so recycled contents can never leak through.
+	out = getEmitBuf(int(p.instrEnd - p.instrBase))
 	arch.FillIllegal(a, out) // unreachable alignment padding must not execute silently
 	unitRA := make([][]bin.AddrPair, len(p.units))
 	unitReused := make([]bool, len(p.units))
@@ -171,6 +176,7 @@ func (p *PatchPlan) emit(jobs int) (out, cloneData []byte, raPairs []bin.AddrPai
 	})
 	for _, e := range errs {
 		if e != nil {
+			putEmitBuf(out)
 			return nil, nil, nil, 0, 0, e
 		}
 	}
@@ -192,11 +198,16 @@ func (p *PatchPlan) emit(jobs int) (out, cloneData []byte, raPairs []bin.AddrPai
 		base = p.clones[0].addr
 		last := p.clones[len(p.clones)-1]
 		end = last.addr + uint64(last.newEntry*last.tbl.Count)
-		cloneData = make([]byte, end-base)
+		// Pooled like out, but alignment gaps between clones must read
+		// as zero, so the recycled buffer is cleared first.
+		cloneData = getEmitBuf(int(end - base))
+		clear(cloneData)
 		for _, c := range p.clones {
 			for k, origTarget := range c.tbl.Targets {
 				nt, ok := p.relocMap[origTarget]
 				if !ok {
+					putEmitBuf(out)
+					putEmitBuf(cloneData)
 					return nil, nil, nil, 0, 0, fmt.Errorf("core: clone target %#x has no relocation", origTarget)
 				}
 				var x uint64
@@ -208,6 +219,8 @@ func (p *PatchPlan) emit(jobs int) (out, cloneData []byte, raPairs []bin.AddrPai
 				case cfg.TarFuncRel4:
 					nf, ok := p.unitStart[c.owner.Name]
 					if !ok {
+						putEmitBuf(out)
+						putEmitBuf(cloneData)
 						return nil, nil, nil, 0, 0, fmt.Errorf("core: clone owner %s has no relocated unit", c.owner.Name)
 					}
 					x = (nt - nf) / 4

@@ -111,18 +111,33 @@ func (p *PatchPlan) resolveTarget(it *planItem) uint64 {
 }
 
 // layout iterates address assignment and range checking to a fixpoint,
-// growing items into islands/pairs/veneers as needed.
+// growing items into islands/pairs/veneers as needed. The relocation
+// and unit-start maps are allocated once, presized from the plan, and
+// cleared between iterations — the fixpoint typically runs two or three
+// times, and rebuilding a many-thousand-entry map each round was a
+// measurable share of the warm Patch path's allocations.
 func (p *PatchPlan) layout(instrBase uint64) error {
 	p.instrBase = instrBase
 	a := p.an.Binary.Arch
+	mapped := 0
+	for _, u := range p.units {
+		for i := range u.items {
+			if u.items[i].mapAddr != 0 {
+				mapped++
+			}
+		}
+	}
+	p.relocMap = make(map[uint64]uint64, mapped)
+	p.unitStart = make(map[string]uint64, len(p.units))
 	for iter := 0; iter < 24; iter++ {
 		addr := instrBase
-		p.relocMap = map[uint64]uint64{}
-		p.unitStart = map[string]uint64{}
+		clear(p.relocMap)
+		clear(p.unitStart)
 		for _, u := range p.units {
 			addr = alignUp(addr, instrAlign)
 			p.unitStart[u.fn.Name] = addr
-			for _, it := range u.items {
+			for i := range u.items {
+				it := &u.items[i]
 				it.newAddr = addr
 				it.newLen = p.emitter.ExpandedLen(p.env, it.ins, it.expand)
 				if it.mapAddr != 0 {
@@ -137,7 +152,8 @@ func (p *PatchPlan) layout(instrBase uint64) error {
 
 		changed := false
 		for _, u := range p.units {
-			for _, it := range u.items {
+			for i := range u.items {
+				it := &u.items[i]
 				if it.expand == arch.ExpandEmulCall && a.FixedWidth() {
 					t := p.resolveTarget(it)
 					if abs64(int64(t-it.newAddr)) > arch.DirectBranchRange(a) {

@@ -61,11 +61,14 @@ type planItem struct {
 
 // planUnit is one relocated function's plan. fu is the function's
 // analysis unit, which carries the emit-reuse cache across Patch calls
-// and binary versions.
+// and binary versions. items is a value slab — one allocation per unit
+// instead of one per instruction, recycled across Patch calls through
+// itemSlabPool (pool.go) — so stages address items by index, never by
+// retained pointer.
 type planUnit struct {
 	fn    *cfg.Func
 	fu    *FuncUnit
-	items []*planItem
+	items []planItem
 }
 
 // cloneInfo is one jump table selected for cloning.
@@ -145,7 +148,7 @@ func newPatchPlan(an *Analysis, opts Options, counterBase uint64) *PatchPlan {
 		funcSite:     map[uint64]int{},
 		widenLoad:    map[uint64]int{},
 		codePtrImm:   map[uint64]uint64{},
-		instrumented: map[string]bool{},
+		instrumented: make(map[string]bool, len(g.Funcs)),
 		counterCells: map[uint64]uint64{},
 		counterBase:  counterBase,
 		nextCell:     counterBase,
@@ -258,8 +261,19 @@ func (p *PatchPlan) countPoints(f *cfg.Func) int {
 // plan's counterCells (merged sequentially to stay deterministic).
 func (p *PatchPlan) buildUnit(g *cfg.Graph, f *cfg.Func, cell uint64) (*planUnit, map[uint64]uint64) {
 	u := &planUnit{fn: f, fu: p.an.unitOf[f]}
+	// Size the item slab up front: one item per instruction plus room
+	// for inserted snippets and fall-through branches. Underestimates
+	// just regrow the slab (the grown one is what gets recycled).
+	est := 0
+	for _, blk := range f.Blocks {
+		est += len(blk.Instrs) + 1
+	}
+	if p.req.Payload == instrument.PayloadCounter {
+		est += 4 * p.countPoints(f)
+	}
+	u.items = getItemSlab(est)
 	cells := map[uint64]uint64{}
-	add := func(it *planItem) { u.items = append(u.items, it) }
+	add := func(it planItem) { u.items = append(u.items, it) }
 	blocks := f.Blocks
 	if p.variant.ReverseBlocks {
 		blocks = make([]*cfg.Block, len(f.Blocks))
@@ -276,9 +290,9 @@ func (p *PatchPlan) buildUnit(g *cfg.Graph, f *cfg.Func, cell uint64) (*planUnit
 			if p.req.WantsAddr(ins.Addr) {
 				p.addSnippet(u, ins.Addr, &cell, cells)
 			}
-			it := &planItem{ins: ins, origAddr: ins.Addr, origLen: ins.EncLen, mapAddr: ins.Addr}
+			it := planItem{ins: ins, origAddr: ins.Addr, origLen: ins.EncLen, mapAddr: ins.Addr}
 			it.ins.Short = false // relocated branches use the long form
-			p.classify(g, f, it)
+			p.classify(g, f, &it)
 			add(it)
 		}
 		// Reordered blocks whose successor was reached by falling
@@ -286,8 +300,7 @@ func (p *PatchPlan) buildUnit(g *cfg.Graph, f *cfg.Func, cell uint64) (*planUnit
 		if last := blk.Last(); last.FallsThrough() && blk.End < f.End {
 			needBranch := p.variant.ReverseBlocks && (bi+1 >= len(blocks) || blocks[bi+1].Start != blk.End)
 			if needBranch {
-				it := &planItem{ins: arch.Instr{Kind: arch.Branch}, tk: tkMapped, pf: arch.FormPCRel, target: blk.End}
-				add(it)
+				add(planItem{ins: arch.Instr{Kind: arch.Branch}, tk: tkMapped, pf: arch.FormPCRel, target: blk.End})
 			}
 		}
 	}
@@ -307,7 +320,7 @@ func (p *PatchPlan) addSnippet(u *planUnit, origAddr uint64, cell *uint64, cells
 	b := p.an.Binary
 	seq := instrument.CounterSnippet(b.Arch, b.PIE, c)
 	for k, ins := range seq {
-		it := &planItem{ins: ins}
+		it := planItem{ins: ins}
 		if k == 0 {
 			it.mapAddr = origAddr
 		}

@@ -59,7 +59,8 @@ func (p *PatchPlan) Dump(w io.Writer) {
 	fmt.Fprintf(w, "  instr         [%#x,%#x)\n", p.instrBase, p.instrEnd)
 	for _, u := range p.units {
 		fmt.Fprintf(w, "unit %s: start %#x, %d items\n", u.fn.Name, p.unitStart[u.fn.Name], len(u.items))
-		for _, it := range u.items {
+		for i := range u.items {
+			it := &u.items[i]
 			fmt.Fprintf(w, "  %#x len=%-2d %s", it.newAddr, it.newLen, it.ins.Kind)
 			if it.origAddr != 0 {
 				fmt.Fprintf(w, " orig=%#x", it.origAddr)

@@ -74,7 +74,11 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 	sp := opts.Trace.Start("patch")
 	defer sp.End()
 
-	nb := b.Clone()
+	// Copy-on-write clone: section contents stay shared with the input
+	// until a write detaches them, so a patch that touches only .text
+	// and a few pointer slots never copies the rest of the image
+	// (DESIGN.md §11's zero-copy section assembly).
+	nb := b.CloneShared()
 	stats := Stats{
 		Trampolines:    map[arch.TrampolineClass]int{},
 		OrigLoadedSize: b.LoadedSize(),
@@ -110,6 +114,9 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 		return nil, err
 	}
 	mx.PatchFuncsReused, mx.PatchFuncsReencoded = reused, reencoded
+	// Nothing after the emit stage reads plan items; recycle the slabs
+	// for the next Patch (the emit caches hold their own byte copies).
+	p.release()
 	sp.Record(StageEmit, mx.lap(StageEmit, &clock))
 
 	// Apply the section plan: move dynamic-linking sections, retiring
@@ -117,13 +124,13 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 	pool := newScratchPool(b.Arch.InstrAlign())
 	for _, mv := range p.sections.moves {
 		old := nb.Section(mv.name)
-		moved := &bin.Section{
-			Name:  mv.name,
-			Addr:  mv.addr,
-			Data:  append([]byte(nil), old.Data...),
-			Flags: old.Flags,
-			Align: old.Align,
-		}
+		// Zero-copy move: the relocated section aliases the retired
+		// range's current (original) bytes. When the retired range is
+		// later written as trampoline scratch, WriteAt's copy-on-write
+		// detaches the old section's copy and this alias keeps the
+		// pristine contents — the layout window permits sharing exactly
+		// because moves happen before any scratch write.
+		moved := bin.NewSharedSection(mv.name, mv.addr, old)
 		old.Name = bin.OldPrefix + mv.name
 		// The retired range becomes trampoline scratch space, so it must
 		// be executable from now on.
@@ -315,6 +322,10 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 		sp.SetInt("patch-funcs-reencoded", int64(mx.PatchFuncsReencoded))
 	}
 	res := &Result{Binary: nb, Stats: stats, Metrics: mx, RelocMap: p.relocMap, TrapSites: trapSites}
+	res.pooled = append(res.pooled, instrData)
+	if len(cloneData) > 0 {
+		res.pooled = append(res.pooled, cloneData)
+	}
 	if opts.Request.Payload == instrument.PayloadCounter {
 		res.CounterCells = p.counterCells
 	}

@@ -99,6 +99,7 @@ func writeTrampoline(nb *bin.Binary, tr arch.Trampoline) error {
 // arch.FillIllegal, the same primitive the emit stage uses for .instr
 // padding.
 func fillTextIllegal(a arch.Arch, text *bin.Section, f *cfg.Func) {
+	data := text.MutableData() // text may still be shared with the input binary
 	inData := func(addr uint64) bool {
 		for _, dr := range f.DataRanges {
 			if addr >= dr[0] && addr < dr[1] {
@@ -111,7 +112,7 @@ func fillTextIllegal(a arch.Arch, text *bin.Section, f *cfg.Func) {
 	active := false
 	flush := func(end uint64) {
 		if active {
-			arch.FillIllegal(a, text.Data[run-text.Addr:end-text.Addr])
+			arch.FillIllegal(a, data[run-text.Addr:end-text.Addr])
 			active = false
 		}
 	}

@@ -1,0 +1,559 @@
+// Package perf records and compares the repo's performance trajectory.
+//
+// Every PR that touches a hot path appends a machine-readable snapshot
+// (BENCH_<n>.json at the repo root) produced by Record: cold/warm/delta
+// rewrite latency, emit throughput, allocations per operation on the
+// steady-state paths, and rewrite-service tail latency under concurrent
+// load. Compare is the regression gate `make bench-compare` runs against
+// the committed snapshot — it fails loudly when a candidate run regresses
+// latency or allocations beyond the configured tolerances, and errors
+// (rather than silently passing) when a baseline field is missing or
+// zero, so a truncated or hand-edited baseline cannot neuter the gate.
+//
+// Measurements run in-process rather than via `go test -bench` so the
+// gate needs no subprocess plumbing and the binary under test is the
+// same build that serves requests. Latency fields are medians over
+// Iters runs; allocation fields are measured with the world pinned to
+// one proc (the same discipline as testing.AllocsPerRun) on the serial
+// patch path, which is the deterministic one — parallel workers add a
+// scheduler-dependent handful of allocations that would make the budget
+// guard flaky.
+package perf
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/core"
+	"icfgpatch/internal/instrument"
+	"icfgpatch/internal/service"
+	"icfgpatch/internal/store"
+	"icfgpatch/internal/workload"
+)
+
+// Schema is the trajectory file format identifier. Compare refuses
+// files with a different schema so stale formats fail loudly.
+const Schema = "icfgpatch-bench/v1"
+
+// Trajectory is one PR's performance snapshot. All latency fields are
+// nanoseconds (medians over the recording's iterations); allocation
+// fields are per-operation as measured with GOMAXPROCS(1).
+type Trajectory struct {
+	Schema   string `json:"schema"`
+	PR       int    `json:"pr"`
+	GOOS     string `json:"goos"`
+	GOARCH   string `json:"goarch"`
+	CPUs     int    `json:"cpus"`
+	Workload string `json:"workload"`
+
+	// ColdRewriteNs is a full Rewrite (analysis + patch) of the workload.
+	ColdRewriteNs float64 `json:"cold_rewrite_ns"`
+	// WarmPatchNs is Patch against a cached Analysis — the service's
+	// analysis-store hit path.
+	WarmPatchNs float64 `json:"warm_patch_ns"`
+	// DeltaRewriteNs is Analyze+Patch of a mutated version with the
+	// previous version's function units in the unit store.
+	DeltaRewriteNs float64 `json:"delta_rewrite_ns"`
+	// EmitThroughputMBps is emitted .instr bytes over the emit stage's
+	// wall time on a cold rewrite.
+	EmitThroughputMBps float64 `json:"emit_throughput_mbps"`
+
+	WarmPatchAllocsPerOp    float64 `json:"warm_patch_allocs_per_op"`
+	WarmPatchBytesPerOp     float64 `json:"warm_patch_bytes_per_op"`
+	WarmAnalyzeAllocsPerOp  float64 `json:"warm_analyze_allocs_per_op"`
+	DeltaAnalyzeAllocsPerOp float64 `json:"delta_analyze_allocs_per_op"`
+
+	// ServiceP50Ns/ServiceP99Ns are per-request latency quantiles of
+	// ServiceRequests concurrent submissions to an in-process server.
+	ServiceP50Ns    float64 `json:"service_p50_ns"`
+	ServiceP99Ns    float64 `json:"service_p99_ns"`
+	ServiceRequests int     `json:"service_requests"`
+
+	// AllocBudgets are the ceilings TestAllocBudget asserts: the
+	// measured allocs/op at recording time with headroom baked in.
+	AllocBudgets map[string]float64 `json:"alloc_budgets"`
+}
+
+// RecordOptions tune Record. Zero values select the defaults.
+type RecordOptions struct {
+	// PR stamps the snapshot with its PR number.
+	PR int
+	// Iters is the timing-loop iteration count (default 5; medians are
+	// reported).
+	Iters int
+	// AllocRuns is the allocation-measurement run count (default 5).
+	AllocRuns int
+	// ServiceRequests is the concurrent-load request count (default 64).
+	ServiceRequests int
+	// BudgetHeadroom scales measured allocs/op into AllocBudgets
+	// (default 1.3).
+	BudgetHeadroom float64
+}
+
+func (o *RecordOptions) defaults() {
+	if o.Iters <= 0 {
+		o.Iters = 5
+	}
+	if o.AllocRuns <= 0 {
+		o.AllocRuns = 5
+	}
+	if o.ServiceRequests <= 0 {
+		o.ServiceRequests = 64
+	}
+	if o.BudgetHeadroom <= 0 {
+		o.BudgetHeadroom = 1.3
+	}
+}
+
+// Budget keys, shared with the TestAllocBudget guard.
+const (
+	BudgetWarmPatch    = "warm_patch_allocs"
+	BudgetWarmAnalyze  = "warm_analyze_allocs"
+	BudgetDeltaAnalyze = "delta_analyze_allocs"
+)
+
+// benchRequest is the Table-3 instrumentation request every measurement
+// uses: empty payload at block entries on the libxul workload, ModeJT.
+func benchRequest() instrument.Request {
+	return instrument.Request{Where: instrument.BlockEntry, Payload: instrument.PayloadEmpty}
+}
+
+// Record measures the current build's performance trajectory on the
+// libxul/X64/jt/block-entry workload and returns the snapshot.
+func Record(opts RecordOptions) (*Trajectory, error) {
+	opts.defaults()
+	prog, err := workload.LibxulCached(arch.X64)
+	if err != nil {
+		return nil, fmt.Errorf("perf: workload: %w", err)
+	}
+	t := &Trajectory{
+		Schema:       Schema,
+		PR:           opts.PR,
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		CPUs:         runtime.NumCPU(),
+		Workload:     "libxul-x64-jt-blockentry",
+		AllocBudgets: map[string]float64{},
+	}
+	req := benchRequest()
+	patchOpts := core.Options{Mode: core.ModeJT, Request: req}
+
+	// Cold rewrite latency + emit throughput (from the same runs).
+	var emitMBps []float64
+	cold, err := medianNs(opts.Iters, func() error {
+		res, err := core.Rewrite(prog.Binary, patchOpts)
+		if err != nil {
+			return err
+		}
+		if mbps, ok := emitThroughput(res); ok {
+			emitMBps = append(emitMBps, mbps)
+		}
+		res.Recycle()
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("perf: cold rewrite: %w", err)
+	}
+	t.ColdRewriteNs = cold
+	if len(emitMBps) == 0 {
+		return nil, errors.New("perf: cold rewrite recorded no emit-stage timing")
+	}
+	sort.Float64s(emitMBps)
+	t.EmitThroughputMBps = emitMBps[len(emitMBps)/2]
+
+	// Warm patch latency: one Analysis, repeated Patch.
+	an, err := core.Analyze(prog.Binary, core.AnalysisConfig{Mode: core.ModeJT})
+	if err != nil {
+		return nil, fmt.Errorf("perf: analyze: %w", err)
+	}
+	warm, err := medianNs(opts.Iters, func() error {
+		res, err := an.Patch(patchOpts)
+		if err != nil {
+			return err
+		}
+		res.Recycle()
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("perf: warm patch: %w", err)
+	}
+	t.WarmPatchNs = warm
+
+	// Delta rewrite latency: per run, a fresh unit store seeded with v1
+	// (untimed), then Analyze+Patch of the mutated v2 (timed). Reusing
+	// one store would deposit v2's units on the first run and turn every
+	// later run into a full-reuse measurement of a different path.
+	v2, _, err := workload.MutateVersion(prog.Binary, 3, 17)
+	if err != nil {
+		return nil, fmt.Errorf("perf: mutate: %w", err)
+	}
+	delta, err := medianNsSetup(opts.Iters,
+		func() (*core.UnitStore, error) {
+			units := core.NewUnitStore(0)
+			if _, err := core.Analyze(prog.Binary, core.AnalysisConfig{Mode: core.ModeJT, Units: units}); err != nil {
+				return nil, err
+			}
+			return units, nil
+		},
+		func(units *core.UnitStore) error {
+			an, err := core.Analyze(v2, core.AnalysisConfig{Mode: core.ModeJT, Units: units})
+			if err != nil {
+				return err
+			}
+			res, err := an.Patch(patchOpts)
+			if err != nil {
+				return err
+			}
+			res.Recycle()
+			return nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("perf: delta rewrite: %w", err)
+	}
+	t.DeltaRewriteNs = delta
+
+	// Allocation discipline, serial path, world pinned to one proc.
+	measured, warmPatchBytes, err := budgetAllocs(prog.Binary, v2, an, patchOpts, opts.AllocRuns)
+	if err != nil {
+		return nil, err
+	}
+	t.WarmPatchAllocsPerOp = measured[BudgetWarmPatch]
+	t.WarmPatchBytesPerOp = warmPatchBytes
+	t.WarmAnalyzeAllocsPerOp = measured[BudgetWarmAnalyze]
+	t.DeltaAnalyzeAllocsPerOp = measured[BudgetDeltaAnalyze]
+
+	t.AllocBudgets[BudgetWarmPatch] = math.Ceil(t.WarmPatchAllocsPerOp * opts.BudgetHeadroom)
+	t.AllocBudgets[BudgetWarmAnalyze] = math.Ceil(t.WarmAnalyzeAllocsPerOp * opts.BudgetHeadroom)
+	t.AllocBudgets[BudgetDeltaAnalyze] = math.Ceil(t.DeltaAnalyzeAllocsPerOp * opts.BudgetHeadroom)
+
+	// Service tail latency under concurrent load.
+	p50, p99, n, err := serviceQuantiles(prog.Binary, patchOpts, opts.ServiceRequests)
+	if err != nil {
+		return nil, fmt.Errorf("perf: service load: %w", err)
+	}
+	t.ServiceP50Ns, t.ServiceP99Ns, t.ServiceRequests = p50, p99, n
+	return t, nil
+}
+
+// MeasureBudgetAllocs measures the three budgeted allocation counts
+// (warm Patch, warm Analyze, delta Analyze) on the standard workload.
+// The TestAllocBudget guard compares its result against the committed
+// snapshot's AllocBudgets — sharing this code path with Record
+// guarantees the guard measures exactly what the budget was set from.
+func MeasureBudgetAllocs(runs int) (map[string]float64, error) {
+	if runs <= 0 {
+		runs = 5
+	}
+	prog, err := workload.LibxulCached(arch.X64)
+	if err != nil {
+		return nil, fmt.Errorf("perf: workload: %w", err)
+	}
+	v2, _, err := workload.MutateVersion(prog.Binary, 3, 17)
+	if err != nil {
+		return nil, fmt.Errorf("perf: mutate: %w", err)
+	}
+	an, err := core.Analyze(prog.Binary, core.AnalysisConfig{Mode: core.ModeJT})
+	if err != nil {
+		return nil, fmt.Errorf("perf: analyze: %w", err)
+	}
+	measured, _, err := budgetAllocs(prog.Binary, v2, an, core.Options{Mode: core.ModeJT, Request: benchRequest()}, runs)
+	return measured, err
+}
+
+// budgetAllocs measures allocs/op for the three budgeted paths; it also
+// reports warm-Patch bytes/op for the trajectory snapshot.
+func budgetAllocs(v1, v2 *bin.Binary, an *core.Analysis, patchOpts core.Options, runs int) (map[string]float64, float64, error) {
+	measured := map[string]float64{}
+	allocs, bytes, err := measureAllocs(runs, true, nil, func(any) error {
+		res, err := an.Patch(patchOpts)
+		if err != nil {
+			return err
+		}
+		res.Recycle()
+		return nil
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("perf: warm patch allocs: %w", err)
+	}
+	measured[BudgetWarmPatch] = allocs
+	warmPatchBytes := bytes
+
+	allocs, _, err = measureAllocs(runs, true, nil, func(any) error {
+		_, err := core.Analyze(v1, core.AnalysisConfig{Mode: patchOpts.Mode})
+		return err
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("perf: warm analyze allocs: %w", err)
+	}
+	measured[BudgetWarmAnalyze] = allocs
+
+	// Delta analyze allocs: the first delta IS the measurement, so no
+	// warm-up call — each run gets a fresh store seeded with v1.
+	allocs, _, err = measureAllocs(runs, false,
+		func() (any, error) {
+			units := core.NewUnitStore(0)
+			if _, err := core.Analyze(v1, core.AnalysisConfig{Mode: patchOpts.Mode, Units: units}); err != nil {
+				return nil, err
+			}
+			return units, nil
+		},
+		func(state any) error {
+			_, err := core.Analyze(v2, core.AnalysisConfig{Mode: patchOpts.Mode, Units: state.(*core.UnitStore)})
+			return err
+		})
+	if err != nil {
+		return nil, 0, fmt.Errorf("perf: delta analyze allocs: %w", err)
+	}
+	measured[BudgetDeltaAnalyze] = allocs
+	return measured, warmPatchBytes, nil
+}
+
+// emitThroughput derives MB/s from a cold result's .instr size and its
+// emit-stage wall time.
+func emitThroughput(res *core.Result) (float64, bool) {
+	sec := res.Binary.Section(bin.SecInstr)
+	if sec == nil || len(sec.Data) == 0 {
+		return 0, false
+	}
+	for _, s := range res.Metrics.Stages {
+		if s.Name == core.StageEmit && s.Wall > 0 {
+			return float64(len(sec.Data)) / s.Wall.Seconds() / 1e6, true
+		}
+	}
+	return 0, false
+}
+
+// medianNs times fn iters times and returns the median in nanoseconds.
+func medianNs(iters int, fn func() error) (float64, error) {
+	return medianNsSetup(iters, func() (struct{}, error) { return struct{}{}, nil },
+		func(struct{}) error { return fn() })
+}
+
+// medianNsSetup is medianNs with untimed per-iteration setup. The GC
+// runs between setup and the timed window so the measurement does not
+// pay the setup's collection debt — on a single-proc box an untimed
+// whole-binary analysis can otherwise double the timed delta.
+func medianNsSetup[S any](iters int, setup func() (S, error), fn func(S) error) (float64, error) {
+	samples := make([]float64, 0, iters)
+	for i := 0; i < iters; i++ {
+		state, err := setup()
+		if err != nil {
+			return 0, err
+		}
+		runtime.GC()
+		start := time.Now()
+		if err := fn(state); err != nil {
+			return 0, err
+		}
+		samples = append(samples, float64(time.Since(start).Nanoseconds()))
+	}
+	sort.Float64s(samples)
+	return samples[len(samples)/2], nil
+}
+
+// measureAllocs reports mean allocations and bytes per run of fn, with
+// the world pinned to one proc (the testing.AllocsPerRun discipline).
+// warmup runs fn once, unmeasured, so one-time lazy initialisation does
+// not pollute the steady state; setup (optional) produces fresh
+// per-run state outside the measured window.
+func measureAllocs(runs int, warmup bool, setup func() (any, error), fn func(any) error) (allocs, bytes float64, err error) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	newState := func() (any, error) {
+		if setup == nil {
+			return nil, nil
+		}
+		return setup()
+	}
+	if warmup {
+		st, err := newState()
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := fn(st); err != nil {
+			return 0, 0, err
+		}
+	}
+	var totalMallocs, totalBytes uint64
+	for i := 0; i < runs; i++ {
+		st, err := newState()
+		if err != nil {
+			return 0, 0, err
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		if err := fn(st); err != nil {
+			return 0, 0, err
+		}
+		runtime.ReadMemStats(&after)
+		totalMallocs += after.Mallocs - before.Mallocs
+		totalBytes += after.TotalAlloc - before.TotalAlloc
+	}
+	return float64(totalMallocs) / float64(runs), float64(totalBytes) / float64(runs), nil
+}
+
+// serviceQuantiles submits n concurrent rewrites of the same binary to
+// an in-process server (result cache disabled, so every request does
+// real patch work against the shared analysis) and reports per-request
+// p50/p99 latency.
+func serviceQuantiles(b *bin.Binary, opts core.Options, n int) (p50, p99 float64, served int, err error) {
+	raw := b.Marshal()
+	hash := store.Hash(raw)
+	srv := service.New(service.Config{Workers: 4, QueueDepth: n + 8, ResultEntries: 0})
+	defer srv.Shutdown(context.Background())
+
+	// Prime the analysis store so the measured requests exercise the
+	// steady-state warm path rather than racing one cold analysis.
+	if _, err := srv.Submit(context.Background(), service.Request{Binary: b, Hash: hash, Opts: opts}); err != nil {
+		return 0, 0, 0, err
+	}
+
+	lat := make([]float64, n)
+	errs := make(chan error, n)
+	const workers = 8
+	sem := make(chan struct{}, workers)
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem }()
+			start := time.Now()
+			_, err := srv.Submit(context.Background(), service.Request{Binary: b, Hash: hash, Opts: opts})
+			lat[i] = float64(time.Since(start).Nanoseconds())
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if e := <-errs; e != nil {
+			return 0, 0, 0, e
+		}
+	}
+	sort.Float64s(lat)
+	return quantile(lat, 0.50), quantile(lat, 0.99), n, nil
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Tolerances bound how far a candidate may drift from the baseline
+// before Compare reports a regression. Percentages; zero values select
+// the defaults. Latency tolerance is deliberately loose — CI machines
+// vary — while the allocation tolerance is tight: allocs/op is
+// deterministic on the serial path, so any real growth is a code change.
+type Tolerances struct {
+	LatencyPct float64 // default 75
+	AllocsPct  float64 // default 20
+}
+
+func (t *Tolerances) defaults() {
+	if t.LatencyPct <= 0 {
+		t.LatencyPct = 75
+	}
+	if t.AllocsPct <= 0 {
+		t.AllocsPct = 20
+	}
+}
+
+// Regression is one gate violation.
+type Regression struct {
+	Field    string
+	Base     float64
+	Cand     float64
+	DeltaPct float64
+	LimitPct float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.0f -> %.0f (%+.1f%%, limit %.0f%%)", r.Field, r.Base, r.Cand, r.DeltaPct, r.LimitPct)
+}
+
+// Compare gates cand against base. It returns the list of regressions
+// (empty means the gate passes) or an error when either snapshot is
+// unusable — wrong schema, or a compared field that is zero or missing,
+// which would otherwise make the gate silently vacuous.
+func Compare(base, cand *Trajectory, tol Tolerances) ([]Regression, error) {
+	tol.defaults()
+	if base.Schema != Schema {
+		return nil, fmt.Errorf("perf: baseline schema %q, want %q", base.Schema, Schema)
+	}
+	if cand.Schema != Schema {
+		return nil, fmt.Errorf("perf: candidate schema %q, want %q", cand.Schema, Schema)
+	}
+	type field struct {
+		name       string
+		base, cand float64
+		limit      float64
+		// lowerIsBad flips the comparison for throughput-like fields.
+		lowerIsBad bool
+	}
+	fields := []field{
+		{"cold_rewrite_ns", base.ColdRewriteNs, cand.ColdRewriteNs, tol.LatencyPct, false},
+		{"warm_patch_ns", base.WarmPatchNs, cand.WarmPatchNs, tol.LatencyPct, false},
+		{"delta_rewrite_ns", base.DeltaRewriteNs, cand.DeltaRewriteNs, tol.LatencyPct, false},
+		{"service_p50_ns", base.ServiceP50Ns, cand.ServiceP50Ns, tol.LatencyPct, false},
+		{"service_p99_ns", base.ServiceP99Ns, cand.ServiceP99Ns, tol.LatencyPct, false},
+		{"emit_throughput_mbps", base.EmitThroughputMBps, cand.EmitThroughputMBps, tol.LatencyPct, true},
+		{"warm_patch_allocs_per_op", base.WarmPatchAllocsPerOp, cand.WarmPatchAllocsPerOp, tol.AllocsPct, false},
+		{"warm_analyze_allocs_per_op", base.WarmAnalyzeAllocsPerOp, cand.WarmAnalyzeAllocsPerOp, tol.AllocsPct, false},
+		{"delta_analyze_allocs_per_op", base.DeltaAnalyzeAllocsPerOp, cand.DeltaAnalyzeAllocsPerOp, tol.AllocsPct, false},
+	}
+	var regs []Regression
+	for _, f := range fields {
+		if f.base <= 0 {
+			return nil, fmt.Errorf("perf: baseline field %s is zero or missing — re-record the baseline", f.name)
+		}
+		if f.cand <= 0 {
+			return nil, fmt.Errorf("perf: candidate field %s is zero or missing", f.name)
+		}
+		deltaPct := (f.cand/f.base - 1) * 100
+		bad := deltaPct > f.limit
+		if f.lowerIsBad {
+			bad = deltaPct < -f.limit
+		}
+		if bad {
+			regs = append(regs, Regression{Field: f.name, Base: f.base, Cand: f.cand, DeltaPct: deltaPct, LimitPct: f.limit})
+		}
+	}
+	return regs, nil
+}
+
+// Load reads a trajectory snapshot from path.
+func Load(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t Trajectory
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	return &t, nil
+}
+
+// Save writes the snapshot to path as indented JSON.
+func (t *Trajectory) Save(path string) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,146 @@
+package perf
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sample() *Trajectory {
+	return &Trajectory{
+		Schema:                  Schema,
+		PR:                      6,
+		GOOS:                    "linux",
+		GOARCH:                  "amd64",
+		CPUs:                    8,
+		Workload:                "libxul-x64-jt-blockentry",
+		ColdRewriteNs:           30e6,
+		WarmPatchNs:             7e6,
+		DeltaRewriteNs:          12e6,
+		EmitThroughputMBps:      120,
+		WarmPatchAllocsPerOp:    4000,
+		WarmPatchBytesPerOp:     1.6e6,
+		WarmAnalyzeAllocsPerOp:  60000,
+		DeltaAnalyzeAllocsPerOp: 20000,
+		ServiceP50Ns:            9e6,
+		ServiceP99Ns:            25e6,
+		ServiceRequests:         64,
+		AllocBudgets: map[string]float64{
+			BudgetWarmPatch:    5200,
+			BudgetWarmAnalyze:  78000,
+			BudgetDeltaAnalyze: 26000,
+		},
+	}
+}
+
+func TestComparePassesWithinTolerance(t *testing.T) {
+	base, cand := sample(), sample()
+	cand.WarmPatchNs *= 1.5          // within the 75% latency tolerance
+	cand.WarmPatchAllocsPerOp *= 1.1 // within the 20% allocs tolerance
+	regs, err := Compare(base, cand, Tolerances{})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	cases := []struct {
+		name  string
+		mutil func(*Trajectory)
+		field string
+	}{
+		{"latency", func(c *Trajectory) { c.WarmPatchNs *= 2 }, "warm_patch_ns"},
+		{"allocs", func(c *Trajectory) { c.WarmPatchAllocsPerOp *= 1.5 }, "warm_patch_allocs_per_op"},
+		{"tail", func(c *Trajectory) { c.ServiceP99Ns *= 3 }, "service_p99_ns"},
+		{"throughput-drop", func(c *Trajectory) { c.EmitThroughputMBps /= 10 }, "emit_throughput_mbps"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base, cand := sample(), sample()
+			tc.mutil(cand)
+			regs, err := Compare(base, cand, Tolerances{})
+			if err != nil {
+				t.Fatalf("Compare: %v", err)
+			}
+			if len(regs) != 1 || regs[0].Field != tc.field {
+				t.Fatalf("want one regression on %s, got %v", tc.field, regs)
+			}
+		})
+	}
+}
+
+func TestCompareImprovementIsNotRegression(t *testing.T) {
+	base, cand := sample(), sample()
+	cand.WarmPatchNs /= 4
+	cand.WarmPatchAllocsPerOp /= 4
+	cand.EmitThroughputMBps *= 4
+	regs, err := Compare(base, cand, Tolerances{})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}
+
+func TestCompareRejectsZeroOrMissingFields(t *testing.T) {
+	base, cand := sample(), sample()
+	base.DeltaRewriteNs = 0
+	if _, err := Compare(base, cand, Tolerances{}); err == nil {
+		t.Fatal("zero baseline field must error, not silently pass")
+	}
+	base, cand = sample(), sample()
+	cand.ServiceP50Ns = 0
+	if _, err := Compare(base, cand, Tolerances{}); err == nil {
+		t.Fatal("zero candidate field must error")
+	}
+}
+
+func TestCompareRejectsBadSchema(t *testing.T) {
+	base, cand := sample(), sample()
+	base.Schema = "icfgpatch-bench/v0"
+	if _, err := Compare(base, cand, Tolerances{}); err == nil {
+		t.Fatal("schema mismatch must error")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := sample()
+	if err := want.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRecordSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recording is slow")
+	}
+	tr, err := Record(RecordOptions{PR: 6, Iters: 1, AllocRuns: 1, ServiceRequests: 8})
+	if err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	// Every gated field must be populated — Compare refuses zeros, so a
+	// snapshot with holes would break the gate for the next PR.
+	if _, err := Compare(tr, tr, Tolerances{}); err != nil {
+		t.Fatalf("self-compare of a fresh recording failed: %v", err)
+	}
+	for _, k := range []string{BudgetWarmPatch, BudgetWarmAnalyze, BudgetDeltaAnalyze} {
+		if tr.AllocBudgets[k] <= 0 {
+			t.Fatalf("budget %s missing from recording", k)
+		}
+	}
+	if tr.ServiceRequests != 8 {
+		t.Fatalf("service requests = %d, want 8", tr.ServiceRequests)
+	}
+}

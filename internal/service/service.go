@@ -447,7 +447,12 @@ func (s *Server) analyzeAndPatch(ctx context.Context, req *Request) (*cachedResu
 	if err := ctx.Err(); err != nil {
 		return nil, hit, err
 	}
-	return &cachedResult{Image: res.Binary.Marshal(), Stats: res.Stats, Metrics: res.Metrics}, hit, nil
+	image := res.Binary.Marshal()
+	// The serialised image is the response; the rewritten binary object
+	// is dead, so its pooled emit buffers go back for the next request —
+	// the steady-state loop the emit pool exists for.
+	res.Recycle()
+	return &cachedResult{Image: image, Stats: res.Stats, Metrics: res.Metrics}, hit, nil
 }
 
 // resultFingerprint extends the content address with the full

@@ -67,7 +67,20 @@ type Config[K comparable, V any] struct {
 	KeyPath func(K) string
 	Encode  func(V) ([]byte, error)
 	Decode  func([]byte) (V, error)
+	// MaxArtifactBytes caps the size of a persisted artifact the store
+	// will read back from Dir; 0 selects DefaultMaxArtifactBytes. An
+	// oversized file cannot be a sane artifact — it is a corrupted or
+	// hostile write into the persistence directory — so it takes the
+	// corrupt-artifact path: deleted, and the artifact rebuilt, instead
+	// of being slurped into memory whole before Decode can object.
+	MaxArtifactBytes int64
 }
+
+// DefaultMaxArtifactBytes bounds persisted-artifact reads when
+// Config.MaxArtifactBytes is zero. Real analysis artifacts for the
+// largest workloads are tens of megabytes; 1GiB is far above any sane
+// artifact while still refusing a runaway or malicious file.
+const DefaultMaxArtifactBytes = 1 << 30
 
 // entry is one keyed slot. ready closes when the value (or error) is
 // final; val/err must not be read before that.
@@ -198,16 +211,35 @@ func (s *Store[K, V]) evictLocked() {
 // but does not decode is corrupt — a torn write, a disk error, or a
 // format change — and is deleted so the artifact rebuilds from scratch
 // and re-persists cleanly, instead of failing this and every future
-// request for the key.
+// request for the key. Size is validated before the read: an artifact
+// over the configured cap is treated exactly like one that fails
+// Decode, without first allocating its full length.
 func (s *Store[K, V]) loadDisk(key K) (V, error) {
 	var zero V
 	if s.cfg.Dir == "" {
 		return zero, os.ErrNotExist
 	}
+	maxBytes := s.cfg.MaxArtifactBytes
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxArtifactBytes
+	}
 	path := filepath.Join(s.cfg.Dir, s.cfg.KeyPath(key))
+	fi, err := os.Stat(path)
+	if err != nil {
+		return zero, err
+	}
+	if fi.Size() > maxBytes {
+		os.Remove(path)
+		return zero, fmt.Errorf("store: corrupt artifact %v (deleted for rebuild): %d bytes exceeds cap %d", key, fi.Size(), maxBytes)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return zero, err
+	}
+	if int64(len(data)) > maxBytes {
+		// The file grew between Stat and read — still over the cap.
+		os.Remove(path)
+		return zero, fmt.Errorf("store: corrupt artifact %v (deleted for rebuild): %d bytes exceeds cap %d", key, len(data), maxBytes)
 	}
 	v, err := s.cfg.Decode(data)
 	if err != nil {

@@ -115,6 +115,66 @@ func TestDiskPersistence(t *testing.T) {
 	}
 }
 
+func TestOversizedArtifactRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	cfg := byteConfig(0, dir)
+	cfg.MaxArtifactBytes = 64
+	// Plant an oversized file where the artifact would persist, as a
+	// torn multi-write or a hostile tenant of the directory would.
+	if err := os.WriteFile(filepath.Join(dir, "k"), make([]byte, 65), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(cfg)
+	v, hit, err := s.GetOrCreate("k", func() ([]byte, error) { return []byte("rebuilt"), nil })
+	if err != nil || hit || string(v) != "rebuilt" {
+		t.Fatalf("oversized artifact not rebuilt: v=%q hit=%v err=%v", v, hit, err)
+	}
+	// The corrupt-artifact path re-persists the rebuilt value; the file
+	// on disk must now be the sane one, not the oversized original.
+	data, err := os.ReadFile(filepath.Join(dir, "k"))
+	if err != nil || string(data) != "rebuilt" {
+		t.Fatalf("oversized file not replaced: data=%q err=%v", data, err)
+	}
+
+	// At exactly the cap, the artifact loads normally.
+	at := make([]byte, 64)
+	if err := os.WriteFile(filepath.Join(dir, "cap"), at, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v, hit, err = New(cfg).GetOrCreate("cap", func() ([]byte, error) { return nil, errors.New("must not rebuild") })
+	if err != nil || !hit || len(v) != 64 {
+		t.Fatalf("at-cap artifact rejected: len=%d hit=%v err=%v", len(v), hit, err)
+	}
+}
+
+func TestTruncatedArtifactRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	cfg := byteConfig(0, dir)
+	// A decoder with a real format: 8-byte length prefix. Truncation —
+	// the torn-write case — fails Decode and must take the
+	// delete-and-rebuild path.
+	cfg.Encode = func(v []byte) ([]byte, error) {
+		out := make([]byte, 8+len(v))
+		out[0] = byte(len(v))
+		copy(out[8:], v)
+		return out, nil
+	}
+	cfg.Decode = func(d []byte) ([]byte, error) {
+		if len(d) < 8 || int(d[0]) != len(d)-8 {
+			return nil, errors.New("truncated")
+		}
+		return d[8:], nil
+	}
+	if err := os.WriteFile(filepath.Join(dir, "k"), []byte{9, 0, 0}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(cfg)
+	v, hit, err := s.GetOrCreate("k", func() ([]byte, error) { return []byte("rebuilt"), nil })
+	if err != nil || hit || string(v) != "rebuilt" {
+		t.Fatalf("truncated artifact not rebuilt: v=%q hit=%v err=%v", v, hit, err)
+	}
+}
+
 func TestPersistFailureCountedNotFatal(t *testing.T) {
 	// Dir is an existing regular file, so MkdirAll fails on every
 	// persist. The request must still be served from memory, and the
