@@ -10,7 +10,7 @@ BENCHGUARD = sh scripts/benchguard.sh
 BENCH_BASELINE ?= BENCH_6.json
 BENCH_PR ?= 6
 
-.PHONY: build test short race vet fmt fmt-check bench fuzz-seed bench-warm bench-delta bench-patch obs-guard delta-guard patch-guard alloc-guard bench-record bench-compare check
+.PHONY: build test short race vet fmt fmt-check bench fuzz-seed bench-warm bench-delta bench-patch obs-guard delta-guard patch-guard alloc-guard cluster-guard bench-record bench-compare check
 
 build:
 	$(GO) build ./...
@@ -87,6 +87,15 @@ patch-guard:
 alloc-guard:
 	$(GO) test -run TestAllocBudget -v .
 
+# cluster-guard spins up the in-process 3-node cluster under -race and
+# asserts byte-identical output from every node and the gateway across
+# all arches and modes, including with the owning peer killed
+# mid-workload, plus the peer warm path and cluster metrics. Wrapped in
+# benchguard with GUARD_MATCH so a renamed test cannot silently turn
+# this into a no-op.
+cluster-guard:
+	GUARD_MATCH='^=== RUN' $(BENCHGUARD) $(GO) test -race -run 'TestCluster' -v ./internal/cluster/
+
 # bench-record measures the current build's performance trajectory and
 # writes the snapshot this PR commits. Run it once per perf-relevant PR
 # on an idle machine; `make check` then gates against the result.
@@ -99,4 +108,4 @@ bench-record:
 bench-compare:
 	$(GO) run ./cmd/icfg-experiments -bench-compare $(BENCH_BASELINE)
 
-check: fmt-check vet race fuzz-seed bench-warm bench-delta bench-patch obs-guard delta-guard patch-guard alloc-guard bench-compare
+check: fmt-check vet race fuzz-seed bench-warm bench-delta bench-patch obs-guard delta-guard patch-guard alloc-guard cluster-guard bench-compare

@@ -1,0 +1,85 @@
+// Command icfg-gateway is the rewrite cluster's front door: a thin
+// stateless proxy that hashes each POSTed binary and forwards the
+// request to the icfg-serve node that owns it on the consistent-hash
+// ring, failing over through the replica set when the owner is down.
+// Clients talk to one address; cache locality and failover happen
+// behind it. The gateway holds no caches and no rewrite machinery, so
+// any number of them can front the same peer set.
+//
+// Usage:
+//
+//	icfg-gateway -peers http://n1:8844,http://n2:8844,http://n3:8844
+//	             [-addr :8840] [-replicas N] [-probe dur]
+//
+// -replicas (and the nodes' -funcs/-analyses sizing) should match the
+// peers' own settings so the gateway's failover candidates are exactly
+// the nodes holding the caches. /metrics exposes
+// icfg_cluster_forwards_total and icfg_cluster_peers_healthy; /cluster
+// reports the membership view.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"icfgpatch/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", ":8840", "listen address")
+	peers := flag.String("peers", "", "comma-separated base URLs of the icfg-serve nodes (required)")
+	replicas := flag.Int("replicas", 0, "replication factor, matching the nodes' setting (default 2)")
+	probe := flag.Duration("probe", 5*time.Second, "active /healthz probe interval (0: passive health only)")
+	flag.Parse()
+
+	if *peers == "" {
+		fatal(errors.New("-peers is required"))
+	}
+	gw, err := cluster.NewGateway(cluster.GatewayConfig{
+		Peers:    strings.Split(*peers, ","),
+		Replicas: *replicas,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *probe > 0 {
+		probeCtx, stopProbes := context.WithCancel(context.Background())
+		defer stopProbes()
+		gw.StartProbes(probeCtx, *probe)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: gw.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Printf("icfg-gateway: listening on %s, fronting %s\n", ln.Addr(), *peers)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("icfg-gateway: %s, shutting down\n", sig)
+	case err := <-errc:
+		fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "icfg-gateway:", err)
+	os.Exit(1)
+}

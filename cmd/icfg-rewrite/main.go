@@ -7,7 +7,7 @@
 //	icfg-rewrite -mode jt [-where block|func] [-payload empty|counter]
 //	             [-funcs f1,f2] [-verify] [-check] [-metrics] [-trace]
 //	             [-gap bytes] [-patch-jobs N] [-remote http://host:port]
-//	             -o out.icfg in.icfg
+//	             [-retries N] -o out.icfg in.icfg
 //
 // With -remote the rewrite is performed by an icfg-serve daemon: the
 // serialised binary is POSTed to the service, which caches analyses by
@@ -50,6 +50,7 @@ func main() {
 	gap := flag.Uint64("gap", 0, "force a gap (bytes) before the relocated code section")
 	patchJobs := flag.Int("patch-jobs", 0, "worker pool for the local plan and emit stages (<=1: serial; output is byte-identical either way; with -remote the daemon's -patch-jobs governs)")
 	remote := flag.String("remote", "", "rewrite via an icfg-serve daemon at this base URL instead of locally")
+	retries := flag.Int("retries", 2, "with -remote: retries for transient connection failures (refused/reset/EOF before headers)")
 	out := flag.String("o", "", "output path (required)")
 	flag.Parse()
 
@@ -103,7 +104,7 @@ func main() {
 		cacheLine   string
 	)
 	if *remote != "" {
-		cl := &service.Client{BaseURL: *remote, Trace: *trace}
+		cl := &service.Client{BaseURL: *remote, Trace: *trace, Retries: *retries}
 		image, reply, err := cl.Rewrite(context.Background(), raw, opts)
 		if err != nil {
 			fatal(err)

@@ -10,12 +10,21 @@
 //	icfg-serve [-addr :8844] [-workers N] [-queue N]
 //	           [-analyses N] [-results N] [-funcs N] [-disk dir]
 //	           [-timeout dur] [-patch-jobs N]
+//	           [-self URL -peers URL,URL,...] [-replicas N]
+//	           [-peer-timeout dur] [-probe dur]
 //
 // Besides /rewrite, /stats, and /healthz, the server exposes /metrics
 // (Prometheus text: request outcomes, cache paths, per-stage latency
 // histograms, queue and store gauges) and /debug/pprof for profiling a
 // live daemon. Clients can add trace=1 to /rewrite for a span tree of
 // their request.
+//
+// With -self and -peers the daemon joins a rewrite cluster
+// (internal/cluster): requests route by binary content hash over a
+// consistent-hash ring, non-owned requests forward to a healthy owner,
+// and analysis misses first ask the owning peer for its cached function
+// units (the warm path) before recomputing. Front the peer set with
+// icfg-gateway for a single client-facing address.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight rewrites complete, queued
 // requests are rejected with 503, and the final cache statistics are
@@ -31,9 +40,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"icfgpatch/internal/cluster"
 	"icfgpatch/internal/service"
 )
 
@@ -47,10 +58,18 @@ func main() {
 	disk := flag.String("disk", "", "persist the result cache to this directory")
 	timeout := flag.Duration("timeout", 0, "per-request processing timeout (0: none)")
 	patchJobs := flag.Int("patch-jobs", 0, "per-request plan/emit worker pool (0: serial; output is byte-identical either way)")
+	self := flag.String("self", "", "cluster: this node's base URL as listed in -peers")
+	peers := flag.String("peers", "", "cluster: comma-separated base URLs of all nodes, self included")
+	replicas := flag.Int("replicas", 0, "cluster: replication factor (default 2)")
+	peerTimeout := flag.Duration("peer-timeout", 0, "cluster: budget for warm-path unit fetches from peers (default 2s)")
+	probe := flag.Duration("probe", 0, "cluster: active /healthz probe interval (0: passive health only)")
 	flag.Parse()
 
 	if *disk != "" && *results == 0 {
 		fatal(errors.New("-disk requires -results > 0"))
+	}
+	if (*self == "") != (*peers == "") {
+		fatal(errors.New("-self and -peers must be set together"))
 	}
 
 	s := service.New(service.Config{
@@ -64,11 +83,31 @@ func main() {
 		PatchJobs:       *patchJobs,
 	})
 
+	handler := s.Handler()
+	if *self != "" {
+		node, err := cluster.NewNode(s, cluster.Config{
+			Self:        *self,
+			Peers:       strings.Split(*peers, ","),
+			Replicas:    *replicas,
+			PeerTimeout: *peerTimeout,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		handler = node.Handler()
+		if *probe > 0 {
+			probeCtx, stopProbes := context.WithCancel(context.Background())
+			defer stopProbes()
+			node.StartProbes(probeCtx, *probe)
+		}
+		fmt.Printf("icfg-serve: cluster member %s (%d peers)\n", *self, len(strings.Split(*peers, ",")))
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
-	srv := &http.Server{Handler: s.Handler()}
+	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	fmt.Printf("icfg-serve: listening on %s\n", ln.Addr())

@@ -170,6 +170,17 @@ func (f *Func) BlockAt(addr uint64) (*Block, bool) {
 	return b, ok
 }
 
+// Reindex rebuilds the function's internal block index from Blocks.
+// Deserialised graphs need it: the index is unexported, so any codec
+// (gob drops unexported fields) delivers a Func whose BlockAt answers
+// nothing until Reindex runs.
+func (f *Func) Reindex() {
+	f.byStart = make(map[uint64]*Block, len(f.Blocks))
+	for _, blk := range f.Blocks {
+		f.byStart[blk.Start] = blk
+	}
+}
+
 // BlockContaining returns the block whose range covers addr.
 func (f *Func) BlockContaining(addr uint64) (*Block, bool) {
 	i := sort.Search(len(f.Blocks), func(i int) bool { return f.Blocks[i].Start > addr })

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"icfgpatch/internal/obs"
+	"icfgpatch/internal/store"
+)
+
+// GatewayConfig configures a Gateway.
+type GatewayConfig struct {
+	// Peers is the cluster membership the gateway balances onto.
+	Peers []string
+	// Replicas must match the nodes' replication factor so the gateway's
+	// failover candidates are exactly the peers that hold the caches.
+	Replicas int
+	// VNodes must match the nodes' setting (default DefaultVNodes).
+	VNodes int
+	// DownTTL is how long a failed peer stays marked down (default
+	// DefaultDownTTL).
+	DownTTL time.Duration
+	// HTTPClient overrides http.DefaultClient for forwards and probes.
+	HTTPClient *http.Client
+}
+
+// Gateway is the cluster's thin stateless front door: it hashes each
+// request's binary, forwards to the owning node (failing over through
+// the replica set on transport death), and relays the response
+// verbatim. It holds no caches and no rewrite machinery — kill it,
+// restart it, run several; nothing is lost.
+type Gateway struct {
+	router
+	reg *obs.Registry
+}
+
+// NewGateway builds a gateway over the peer set.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	ring, err := NewRing(cfg.Peers, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = DefaultReplicas
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	g := &Gateway{
+		router: router{ring: ring, health: NewHealth(cfg.DownTTL), hc: hc, replicas: cfg.Replicas},
+		reg:    obs.NewRegistry(),
+	}
+	g.forwards = g.reg.Counter("icfg_cluster_forwards_total",
+		"rewrite requests forwarded to an owning peer")
+	g.reg.GaugeFunc("icfg_cluster_peers_healthy", "cluster peers currently believed reachable", "", "",
+		func() float64 { return float64(g.health.CountHealthy(g.ring.peers)) })
+	return g, nil
+}
+
+// StartProbes runs active /healthz sweeps every interval until ctx
+// ends.
+func (g *Gateway) StartProbes(ctx context.Context, interval time.Duration) {
+	go g.health.ProbeLoop(ctx, g.hc, g.ring.peers, "", interval)
+}
+
+// Handler returns the gateway's HTTP surface: /rewrite (routed),
+// /healthz, /metrics, and /cluster.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/rewrite", g.handleRewrite)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/metrics", g.reg.Handler())
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(Info{
+			Peers:    g.ring.Peers(),
+			Healthy:  g.health.CountHealthy(g.ring.peers),
+			Replicas: g.replicas,
+		})
+	})
+	return mux
+}
+
+func (g *Gateway) handleRewrite(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	owners := g.ring.Owners(store.Hash(raw), g.replicas)
+	// No routed-by marker: the target is an owner under the shared ring
+	// config, and if views skew it may re-route exactly once itself.
+	if g.tryOwners(w, r, raw, owners, "", "") {
+		return
+	}
+	http.Error(w, "cluster: no owning peer reachable", http.StatusBadGateway)
+}

@@ -1,0 +1,371 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/core"
+	"icfgpatch/internal/obs"
+	"icfgpatch/internal/service"
+	"icfgpatch/internal/store"
+)
+
+// RoutedHeader marks a request that has already been routed once. A
+// node receiving it serves locally unconditionally, so disagreeing ring
+// views (mid-rollout config skew) degrade to one extra hop, never a
+// forwarding loop.
+const RoutedHeader = "X-Icfg-Routed"
+
+// maxUnitsPayload bounds a peer's unit payload (the same defensive cap
+// idea as wire.MaxReplyHeader, sized for unit bundles).
+const maxUnitsPayload = 256 << 20
+
+// DefaultPeerTimeout bounds the warm path's peer fetch. The whole point
+// of asking a peer is to beat recomputation, so a slow peer is treated
+// as a miss quickly.
+const DefaultPeerTimeout = 2 * time.Second
+
+// router is the routing core Node and Gateway share: ring + health +
+// the forwarding loop.
+type router struct {
+	ring     *Ring
+	health   *Health
+	hc       *http.Client
+	replicas int
+	forwards *obs.Counter
+}
+
+// forwardRewrite proxies one already-read /rewrite to target. It
+// returns an error only if the target never answered (hc.Do failed);
+// once a response arrives — any status — it is relayed and the routing
+// decision is final.
+func (rt *router) forwardRewrite(w http.ResponseWriter, r *http.Request, target string, raw []byte, routedBy string) error {
+	u := strings.TrimSuffix(target, "/") + r.URL.RequestURI()
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, u, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if routedBy != "" {
+		req.Header.Set(RoutedHeader, routedBy)
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return nil
+}
+
+// tryOwners walks the replica set looking for a peer that answers:
+// healthy owners first in replica order, then — because a health mark
+// is a belief, not a fact — one second pass over the owners the first
+// pass skipped. Transient failures mark the peer down and fail over;
+// an answered request (any status) ends the search. Returns false if
+// no owner answered.
+func (rt *router) tryOwners(w http.ResponseWriter, r *http.Request, raw []byte, owners []string, self, routedBy string) bool {
+	try := func(o string) (answered bool) {
+		if err := rt.forwardRewrite(w, r, o, raw, routedBy); err != nil {
+			if service.Transient(err) {
+				rt.health.MarkDown(o)
+			}
+			return false
+		}
+		rt.health.MarkUp(o)
+		rt.forwards.Inc()
+		return true
+	}
+	tried := make(map[string]bool, len(owners))
+	for _, o := range owners {
+		if o == self || !rt.health.Healthy(o) {
+			continue
+		}
+		tried[o] = true
+		if try(o) {
+			return true
+		}
+	}
+	for _, o := range owners {
+		if o == self || tried[o] {
+			continue
+		}
+		if try(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// Config configures a Node.
+type Config struct {
+	// Self is this node's base URL exactly as it appears in Peers.
+	Self string
+	// Peers is the full cluster membership, self included. Every member
+	// must agree on this set (and VNodes) for routing to agree.
+	Peers []string
+	// Replicas is the replication factor: how many distinct peers own
+	// each content hash (default DefaultReplicas).
+	Replicas int
+	// VNodes is the per-peer virtual node count (default DefaultVNodes).
+	VNodes int
+	// PeerTimeout bounds the warm path's unit fetch from the owning peer
+	// (default DefaultPeerTimeout). On expiry the analysis recomputes —
+	// the warm path is strictly best-effort.
+	PeerTimeout time.Duration
+	// DownTTL is how long a failed peer stays marked down (default
+	// DefaultDownTTL).
+	DownTTL time.Duration
+	// HTTPClient overrides http.DefaultClient for forwards, peer
+	// fetches, and probes.
+	HTTPClient *http.Client
+}
+
+// Node wraps one service.Server with cluster routing: requests whose
+// content hash this node owns (or that arrive pre-routed) are served
+// locally; the rest forward to a healthy owner with failover. On a
+// local analysis miss the node asks the owning peer for its cached
+// function units before recomputing (the warm path), installed via the
+// server's WarmUnits hook.
+type Node struct {
+	router
+	cfg        Config
+	srv        *service.Server
+	peerHits   *obs.Counter
+	peerMisses *obs.Counter
+}
+
+// NewNode builds the node around srv, registers the cluster metrics on
+// srv's registry, and installs the peer warm path.
+func NewNode(srv *service.Server, cfg Config) (*Node, error) {
+	ring, err := NewRing(cfg.Peers, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	found := false
+	for _, p := range cfg.Peers {
+		if p == cfg.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer set", cfg.Self)
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = DefaultReplicas
+	}
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = DefaultPeerTimeout
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	n := &Node{
+		router: router{ring: ring, health: NewHealth(cfg.DownTTL), hc: hc, replicas: cfg.Replicas},
+		cfg:    cfg,
+		srv:    srv,
+	}
+	reg := srv.Registry()
+	n.peerHits = reg.Counter("icfg_cluster_peer_hits_total",
+		"analysis misses warmed with function units fetched from the owning peer")
+	n.peerMisses = reg.Counter("icfg_cluster_peer_misses_total",
+		"analysis misses no peer could warm (recomputed locally)")
+	n.forwards = reg.Counter("icfg_cluster_forwards_total",
+		"rewrite requests forwarded to an owning peer")
+	reg.GaugeFunc("icfg_cluster_peers_healthy", "cluster peers currently believed reachable", "", "",
+		func() float64 { return float64(n.health.CountHealthy(n.ring.peers)) })
+	srv.SetWarmUnits(n.warmUnits)
+	return n, nil
+}
+
+// Self returns this node's peer URL.
+func (n *Node) Self() string { return n.cfg.Self }
+
+// Owners returns the replica set for a content hash, owner first.
+func (n *Node) Owners(hash string) []string { return n.ring.Owners(hash, n.cfg.Replicas) }
+
+// StartProbes runs active /healthz sweeps every interval until ctx
+// ends, complementing the passive mark-downs from failed forwards.
+func (n *Node) StartProbes(ctx context.Context, interval time.Duration) {
+	go n.health.ProbeLoop(ctx, n.hc, n.ring.peers, n.cfg.Self, interval)
+}
+
+// Handler wraps the service's HTTP surface with the cluster endpoints:
+// /rewrite gains routing, /peer/units serves the warm path, /cluster
+// reports membership; everything else (/stats, /healthz, /metrics,
+// pprof) passes through to the service handler.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/rewrite", n.handleRewrite)
+	mux.HandleFunc("/peer/units", n.handlePeerUnits)
+	mux.HandleFunc("/cluster", n.handleInfo)
+	mux.Handle("/", n.srv.Handler())
+	return mux
+}
+
+func (n *Node) handleRewrite(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Pre-routed requests are served unconditionally (no loops); so are
+	// requests this node owns.
+	if r.Header.Get(RoutedHeader) != "" {
+		n.srv.ServeRewrite(w, r, raw)
+		return
+	}
+	owners := n.ring.Owners(store.Hash(raw), n.cfg.Replicas)
+	for _, o := range owners {
+		if o == n.cfg.Self {
+			n.srv.ServeRewrite(w, r, raw)
+			return
+		}
+	}
+	if n.tryOwners(w, r, raw, owners, n.cfg.Self, n.cfg.Self) {
+		return
+	}
+	// Every owner is unreachable: serve locally rather than fail. The
+	// output is byte-identical anywhere — routing is a cache-locality
+	// policy, and availability wins when the policy can't be satisfied.
+	n.srv.ServeRewrite(w, r, raw)
+}
+
+// handlePeerUnits is the warm path's owner side: GET
+// /peer/units?hash=H&arch=A&mode=M returns the gob unit bundle of the
+// matching completed analysis, 404 when this node has none. The read
+// is side-effect-free (store.Peek underneath) so peer traffic never
+// perturbs local cache behaviour.
+func (n *Node) handlePeerUnits(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	hash := q.Get("hash")
+	if hash == "" {
+		http.Error(w, "missing hash", http.StatusBadRequest)
+		return
+	}
+	archN, err := strconv.ParseUint(q.Get("arch"), 10, 8)
+	if err != nil {
+		http.Error(w, "bad arch", http.StatusBadRequest)
+		return
+	}
+	modeN, err := strconv.ParseUint(q.Get("mode"), 10, 8)
+	if err != nil {
+		http.Error(w, "bad mode", http.StatusBadRequest)
+		return
+	}
+	key := service.AnalysisKey{Hash: hash, Arch: arch.Arch(archN), Mode: core.Mode(modeN)}
+	units := n.srv.Stores().CachedUnits(key)
+	if len(units) == 0 {
+		http.Error(w, "no cached analysis", http.StatusNotFound)
+		return
+	}
+	data, err := core.MarshalUnits(units)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+// warmUnits is the warm path's receiver side, installed as the
+// service's WarmUnits hook: on an analysis-store miss, ask the owning
+// peers (in replica order) for their cached units and seed whatever
+// arrives into the unit store. Strictly best-effort under PeerTimeout;
+// the seeded units still face Analyze's full validation, so a stale
+// peer answer costs a recompute, never a wrong reuse.
+func (n *Node) warmUnits(ctx context.Context, key service.AnalysisKey) {
+	if key.Variant != (core.Variant{}) {
+		return // variants are in-process-only and never peer-cached
+	}
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.PeerTimeout)
+	defer cancel()
+	for _, o := range n.ring.Owners(key.Hash, n.cfg.Replicas) {
+		if o == n.cfg.Self || !n.health.Healthy(o) {
+			continue
+		}
+		units, err := n.fetchUnits(ctx, o, key)
+		if err != nil {
+			if service.Transient(err) {
+				n.health.MarkDown(o)
+			}
+			continue
+		}
+		if len(units) == 0 {
+			continue // peer answered but has nothing for this key
+		}
+		if n.srv.Stores().SeedUnits(units) > 0 {
+			n.peerHits.Inc()
+			return
+		}
+	}
+	n.peerMisses.Inc()
+}
+
+// fetchUnits asks one peer for its cached units. A 404 is a clean
+// "don't have it" (nil, nil); transport errors propagate for health
+// accounting.
+func (n *Node) fetchUnits(ctx context.Context, owner string, key service.AnalysisKey) ([]*core.FuncUnit, error) {
+	u := fmt.Sprintf("%s/peer/units?hash=%s&arch=%d&mode=%d",
+		strings.TrimSuffix(owner, "/"), url.QueryEscape(key.Hash), key.Arch, key.Mode)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: peer units: %s", resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxUnitsPayload))
+	if err != nil {
+		return nil, err
+	}
+	return core.UnmarshalUnits(data)
+}
+
+// Info is the /cluster endpoint's JSON body.
+type Info struct {
+	Self     string   `json:"self,omitempty"`
+	Peers    []string `json:"peers"`
+	Healthy  int      `json:"healthy"`
+	Replicas int      `json:"replicas"`
+}
+
+func (n *Node) handleInfo(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(Info{
+		Self:     n.cfg.Self,
+		Peers:    n.ring.Peers(),
+		Healthy:  n.health.CountHealthy(n.ring.peers),
+		Replicas: n.cfg.Replicas,
+	})
+}

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnersDistinctAndDeterministic(t *testing.T) {
+	peers := []string{"http://a", "http://b", "http://c", "http://d"}
+	r1, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second ring from the same peers in a different order must agree
+	// on every routing decision — the cluster's core invariant.
+	r2, err := NewRing([]string{"http://d", "http://b", "http://a", "http://c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("hash-%d", i)
+		o1 := r1.Owners(key, 3)
+		o2 := r2.Owners(key, 3)
+		if len(o1) != 3 {
+			t.Fatalf("Owners(%q, 3) returned %d peers", key, len(o1))
+		}
+		seen := map[string]bool{}
+		for j, p := range o1 {
+			if seen[p] {
+				t.Fatalf("Owners(%q) repeated peer %s", key, p)
+			}
+			seen[p] = true
+			if o2[j] != p {
+				t.Fatalf("rings disagree on %q: %v vs %v", key, o1, o2)
+			}
+		}
+	}
+}
+
+func TestRingOwnersClamp(t *testing.T) {
+	r, err := NewRing([]string{"http://a", "http://b"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Owners("k", 5); len(got) != 2 {
+		t.Fatalf("Owners clamped to %d, want 2", len(got))
+	}
+	if got := r.Owners("k", 0); len(got) != 1 {
+		t.Fatalf("Owners(k, 0) = %d peers, want 1", len(got))
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	peers := []string{"http://a", "http://b", "http://c"}
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Owners(fmt.Sprintf("key-%d", i), 1)[0]]++
+	}
+	for p, c := range counts {
+		frac := float64(c) / keys
+		// With 128 vnodes the split stays well inside [1/6, 1/2] for
+		// three peers; a gross imbalance means the vnode hashing
+		// regressed.
+		if frac < 1.0/6 || frac > 0.5 {
+			t.Errorf("peer %s owns %.1f%% of keys", p, 100*frac)
+		}
+	}
+}
+
+func TestRingRejectsBadConfig(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty peer set accepted")
+	}
+	if _, err := NewRing([]string{"http://a", "http://a"}, 0); err == nil {
+		t.Error("duplicate peer accepted")
+	}
+}

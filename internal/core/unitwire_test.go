@@ -1,0 +1,104 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/core"
+	"icfgpatch/internal/instrument"
+	"icfgpatch/internal/workload"
+)
+
+// TestUnitWireRoundTrip is the peer warm path's correctness core, with
+// the network removed: units computed by one "node" (an Analyze into a
+// unit store), shipped through the wire codec, and seeded into a second
+// node's empty store must let that node's Analyze reuse every function
+// — FuncsRecomputed == 0 — and patch to bytes identical to a cold
+// rewrite. Covered per arch because the graphs being serialised differ
+// structurally (variable-length vs fixed-width ISAs, in-text tables on
+// PPC).
+func TestUnitWireRoundTrip(t *testing.T) {
+	profile := workload.Profile{
+		Name: "unitwire", Seed: 11, Lang: "c++",
+		Funcs: 16, SwitchFrac: 0.4, SpillFrac: 0.2,
+		TinyFrac: 0.1, Exceptions: true, StackCalls: true, Iters: 4,
+	}
+	req := instrument.Request{Where: instrument.BlockEntry, Payload: instrument.PayloadEmpty}
+
+	for _, a := range []arch.Arch{arch.X64, arch.PPC, arch.A64} {
+		t.Run(a.String(), func(t *testing.T) {
+			p, err := workload.Generate(a, false, profile)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := p.Binary
+			opts := core.Options{Mode: core.ModeJT, Request: req}
+
+			cold, err := core.Rewrite(b, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := cold.Binary.Marshal()
+
+			// Node A: cold analyze, units deposited.
+			unitsA := core.NewUnitStore(0)
+			anA, err := core.Analyze(b, core.AnalysisConfig{Mode: core.ModeJT, Units: unitsA})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The wire: marshal A's units, unmarshal into B's world.
+			data, err := core.MarshalUnits(anA.FuncUnits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := core.UnmarshalUnits(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(decoded) != len(anA.FuncUnits) {
+				t.Fatalf("round trip lost units: %d -> %d", len(anA.FuncUnits), len(decoded))
+			}
+
+			// Node B: empty store seeded from the wire; analysis must be
+			// a pure delta.
+			unitsB := core.NewUnitStore(0)
+			if n := unitsB.Seed(decoded); n != len(decoded) {
+				t.Fatalf("seeded %d of %d units", n, len(decoded))
+			}
+			if st := unitsB.Stats(); st.PeerHits != uint64(len(decoded)) {
+				t.Fatalf("Stats.PeerHits = %d, want %d", st.PeerHits, len(decoded))
+			}
+			anB, err := core.Analyze(b, core.AnalysisConfig{Mode: core.ModeJT, Units: unitsB})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if anB.Delta.Recomputed != 0 {
+				t.Fatalf("seeded analysis recomputed %d funcs (%v), want 0",
+					anB.Delta.Recomputed, anB.Delta.RecomputedNames)
+			}
+			if anB.Delta.Reused != len(decoded) {
+				t.Fatalf("seeded analysis reused %d of %d units", anB.Delta.Reused, len(decoded))
+			}
+
+			res, err := anB.Patch(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := res.Binary.Marshal(); !bytes.Equal(got, want) {
+				t.Fatalf("peer-seeded rewrite diverged from cold: %d vs %d bytes", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestUnitWireGarbage pins the decoder's rejection paths: truncated or
+// arbitrary bytes must error, never panic.
+func TestUnitWireGarbage(t *testing.T) {
+	for _, data := range [][]byte{nil, {}, {0x01}, []byte("not a gob stream"), bytes.Repeat([]byte{0xff}, 64)} {
+		if us, err := core.UnmarshalUnits(data); err == nil && len(us) > 0 {
+			t.Errorf("UnmarshalUnits(%d garbage bytes) decoded %d units without error", len(data), len(us))
+		}
+	}
+}

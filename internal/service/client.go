@@ -3,18 +3,23 @@ package service
 import (
 	"bytes"
 	"context"
-	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"strings"
+	"syscall"
+	"time"
 
 	"icfgpatch/internal/core"
+	"icfgpatch/internal/service/wire"
 )
 
-// Client drives a remote icfg-serve instance over the /rewrite wire
-// format. The zero value is not usable; set BaseURL.
+// Client drives a remote icfg-serve instance (or an icfg-gateway) over
+// the /rewrite wire format. The zero value is not usable; set BaseURL.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8844".
 	BaseURL string
@@ -23,16 +28,88 @@ type Client struct {
 	// Trace asks the server for the request's span tree; it comes back
 	// in Reply.TraceText.
 	Trace bool
+	// Retries is how many times a transiently-failed request is retried
+	// (0 = no retries). Only connection-level failures — refused or
+	// reset connections, EOF before response headers — are retried;
+	// anything the server actually answered, including 5xx, is not,
+	// because the request may have executed. Retries back off
+	// exponentially from RetryBase with jitter, capped at RetryMax.
+	Retries int
+	// RetryBase is the first retry's backoff (default 50ms).
+	RetryBase time.Duration
+	// RetryMax caps the per-attempt backoff (default 2s).
+	RetryMax time.Duration
 }
 
-// maxReplyHeader bounds the JSON header a client will accept, keeping a
-// corrupt or hostile length prefix from driving a huge allocation.
-const maxReplyHeader = 16 << 20
+// Transient reports whether a request failed in a way that proves
+// the server never answered: connection refused (nothing listening —
+// e.g. a node mid-restart behind a gateway), connection reset or torn
+// down mid-write, or EOF before response headers. These are the
+// cluster's routine failover signals and safe to retry even for
+// non-idempotent work — an incomplete request body cannot have been
+// processed. net.ErrClosed covers the transport's own teardown: its
+// read loop sees the peer's reset and closes the connection while the
+// write is still in flight, so the write reports a local close.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// do issues req's round trip with the client's retry policy. attempt
+// builds a fresh *http.Request each time so the body reader is rewound.
+func (c *Client) do(ctx context.Context, attempt func() (*http.Request, error)) (*http.Response, error) {
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	base := c.RetryBase
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := c.RetryMax
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	var lastErr error
+	for try := 0; ; try++ {
+		req, err := attempt()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := hc.Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if try >= c.Retries || !Transient(err) || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		backoff := base << uint(try)
+		if backoff > max {
+			backoff = max
+		}
+		// Full jitter: sleep a uniform fraction of the backoff so a herd
+		// of clients retrying a restarted node doesn't re-synchronise.
+		d := time.Duration(rand.Int63n(int64(backoff) + 1))
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
 
 // Rewrite submits a serialised binary with the given options and
 // returns the rewritten image plus the server's reply metadata.
 func (c *Client) Rewrite(ctx context.Context, raw []byte, opts core.Options) ([]byte, *Reply, error) {
-	params, err := EncodeOptions(opts)
+	params, err := wire.EncodeOptions(opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -40,16 +117,14 @@ func (c *Client) Rewrite(ctx context.Context, raw []byte, opts core.Options) ([]
 		params.Set("trace", "1")
 	}
 	u := strings.TrimSuffix(c.BaseURL, "/") + "/rewrite?" + params.Encode()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(raw))
-	if err != nil {
-		return nil, nil, err
-	}
-	req.Header.Set("Content-Type", "application/octet-stream")
-	hc := c.HTTPClient
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	resp, err := hc.Do(req)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(raw))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		return req, nil
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -59,41 +134,19 @@ func (c *Client) Rewrite(ctx context.Context, raw []byte, opts core.Options) ([]
 		return nil, nil, fmt.Errorf("service: remote rewrite failed (%s): %s",
 			resp.Status, strings.TrimSpace(string(msg)))
 	}
-	var hdr [8]byte
-	if _, err := io.ReadFull(resp.Body, hdr[:]); err != nil {
-		return nil, nil, fmt.Errorf("service: truncated reply header: %w", err)
-	}
-	n := binary.LittleEndian.Uint64(hdr[:])
-	if n > maxReplyHeader {
-		return nil, nil, fmt.Errorf("service: reply header declares %d bytes", n)
-	}
-	jr := make([]byte, n)
-	if _, err := io.ReadFull(resp.Body, jr); err != nil {
-		return nil, nil, fmt.Errorf("service: truncated reply: %w", err)
-	}
-	var reply Reply
-	if err := json.Unmarshal(jr, &reply); err != nil {
-		return nil, nil, fmt.Errorf("service: bad reply JSON: %w", err)
-	}
-	image, err := io.ReadAll(resp.Body)
+	reply, image, err := wire.ReadFrame(resp.Body)
 	if err != nil {
-		return nil, nil, fmt.Errorf("service: truncated image: %w", err)
+		return nil, nil, fmt.Errorf("service: %w", err)
 	}
-	return image, &reply, nil
+	return image, reply, nil
 }
 
 // Stats fetches the server's counters.
 func (c *Client) Stats(ctx context.Context) (*ServerStats, error) {
 	u := strings.TrimSuffix(c.BaseURL, "/") + "/stats"
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return nil, err
-	}
-	hc := c.HTTPClient
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	resp, err := hc.Do(req)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,138 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"icfgpatch/internal/core"
+)
+
+// flakyListener fronts a real HTTP server but kills the first n
+// accepted connections before a byte is exchanged — the client sees
+// connection resets / EOFs exactly as it would from a cluster node
+// dying mid-restart behind a gateway.
+func flakyServer(t *testing.T, failFirst int, h http.Handler) (*Client, *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var killed atomic.Int64
+	srv := &http.Server{Handler: h}
+	go srv.Serve(&flakyListener{Listener: ln, failFirst: int64(failFirst), killed: &killed})
+	t.Cleanup(func() { srv.Close() })
+	return &Client{BaseURL: "http://" + ln.Addr().String(),
+		Retries: 4, RetryBase: time.Millisecond, RetryMax: 5 * time.Millisecond}, &killed
+}
+
+type flakyListener struct {
+	net.Listener
+	failFirst int64
+	killed    *atomic.Int64
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.killed.Add(1) <= l.failFirst {
+			// SO_LINGER 0 turns Close into a RST, so the client observes a
+			// reset (or an EOF, depending on timing) rather than a FIN that
+			// keep-alive machinery might paper over.
+			if tc, ok := c.(*net.TCPConn); ok {
+				tc.SetLinger(0)
+			}
+			c.Close()
+			continue
+		}
+		return c, nil
+	}
+}
+
+// TestClientRetriesTransient: a server whose first connections die
+// before any HTTP exchange is reached on a later attempt; the caller
+// sees one successful round trip.
+func TestClientRetriesTransient(t *testing.T) {
+	raw := testBinaryRaw(t)
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	c, killed := flakyServer(t, 3, s.Handler())
+
+	image, reply, err := c.Rewrite(context.Background(), raw,
+		core.Options{Mode: core.ModeJT, Request: blockEmpty()})
+	if err != nil {
+		t.Fatalf("rewrite through flaky server: %v", err)
+	}
+	if len(image) == 0 || reply == nil {
+		t.Fatal("empty success")
+	}
+	if k := killed.Load(); k < 4 {
+		t.Fatalf("server killed %d connections; retries never exercised", k)
+	}
+}
+
+// TestClientRetriesExhausted: with fewer retries than failures the
+// transient error surfaces to the caller.
+func TestClientRetriesExhausted(t *testing.T) {
+	raw := testBinaryRaw(t)
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	c, _ := flakyServer(t, 100, s.Handler())
+	c.Retries = 2
+
+	_, _, err := c.Rewrite(context.Background(), raw,
+		core.Options{Mode: core.ModeJT, Request: blockEmpty()})
+	if err == nil {
+		t.Fatal("rewrite succeeded through a dead server")
+	}
+	if !Transient(errors.Unwrap(err)) && !Transient(err) {
+		t.Fatalf("exhausted retries surfaced a non-transient error: %v", err)
+	}
+}
+
+// TestClientNoRetryOnHTTPError: a served response — even a failure
+// status — must not be retried: the server may have executed the
+// request, and the status is the answer.
+func TestClientNoRetryOnHTTPError(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+		http.Error(w, "rewrite failed", http.StatusUnprocessableEntity)
+	}))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL, Retries: 5, RetryBase: time.Millisecond}
+	_, _, err := c.Rewrite(context.Background(), []byte("x"),
+		core.Options{Mode: core.ModeJT, Request: blockEmpty()})
+	if err == nil {
+		t.Fatal("422 did not surface as an error")
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server hit %d times for a non-transient failure, want 1", n)
+	}
+}
+
+// TestTransientErrClassifier pins which failures are retry-safe.
+func TestTransientErrClassifier(t *testing.T) {
+	for _, err := range []error{syscall.ECONNREFUSED, syscall.ECONNRESET, io.EOF, io.ErrUnexpectedEOF} {
+		if !Transient(err) {
+			t.Errorf("Transient(%v) = false, want true", err)
+		}
+	}
+	for _, err := range []error{nil, context.Canceled, context.DeadlineExceeded, errors.New("boom")} {
+		if Transient(err) {
+			t.Errorf("Transient(%v) = true, want false", err)
+		}
+	}
+}

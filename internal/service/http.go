@@ -1,12 +1,7 @@
-// HTTP transport: the wire format shared by cmd/icfg-serve and
-// cmd/icfg-rewrite -remote.
+// HTTP transport: the service's mux over the wire format defined in
+// internal/service/wire (see that package for the /rewrite frame).
 //
-//	POST /rewrite?mode=jt&where=block&payload=empty[&funcs=a,b][&verify=1][&gap=N]
-//	  body: serialised input binary (.icfg bytes)
-//	  200 body: 8-byte little-endian JSON length, a JSON Reply, then
-//	            the serialised rewritten binary
-//	  errors: 400 bad request/options, 422 rewrite failure,
-//	          429 queue full, 503 shutting down, 504 deadline exceeded
+//	POST /rewrite — one rewrite (wire frame in the 200 body)
 //	GET /stats   — JSON ServerStats
 //	GET /healthz — 200 "ok"
 //	GET /metrics — Prometheus text exposition (internal/obs registry)
@@ -18,7 +13,6 @@ package service
 
 import (
 	"context"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,110 +20,20 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"net/url"
-	"strconv"
-	"strings"
 
 	"icfgpatch/internal/core"
-	"icfgpatch/internal/instrument"
+	"icfgpatch/internal/service/wire"
 )
 
-// Reply is the JSON half of a /rewrite response.
-type Reply struct {
-	Stats       core.Stats `json:"stats"`
-	MetricsText string     `json:"metrics"`
-	AnalysisHit bool       `json:"analysisHit"`
-	ResultHit   bool       `json:"resultHit"`
-	// FuncsReused / FuncsRecomputed expose the delta engine's work split
-	// for the analysis behind this response: how many function units were
-	// pulled unchanged from the unit store versus recomputed. On cache
-	// hits they describe the run that originally built the artifact.
-	FuncsReused     int   `json:"funcsReused"`
-	FuncsRecomputed int   `json:"funcsRecomputed"`
-	ElapsedUS       int64 `json:"elapsedUs"`
-	// TraceText is the rendered span tree (trace=1 requests only).
-	TraceText string `json:"trace,omitempty"`
-}
+// Reply is the JSON half of a /rewrite response; see wire.Reply.
+type Reply = wire.Reply
 
 // EncodeOptions renders the CLI-expressible rewrite options as query
-// parameters. Options outside the wire surface (instrumentation at raw
-// addresses, baseline variants) are rejected: they are in-process-only.
-func EncodeOptions(o core.Options) (url.Values, error) {
-	v := url.Values{}
-	v.Set("mode", o.Mode.String())
-	switch o.Request.Where {
-	case instrument.BlockEntry:
-		v.Set("where", "block")
-	case instrument.FuncEntry:
-		v.Set("where", "func")
-	default:
-		return nil, fmt.Errorf("service: instrumentation point %d not expressible on the wire", o.Request.Where)
-	}
-	switch o.Request.Payload {
-	case instrument.PayloadEmpty:
-		v.Set("payload", "empty")
-	case instrument.PayloadCounter:
-		v.Set("payload", "counter")
-	default:
-		return nil, fmt.Errorf("service: payload %d not expressible on the wire", o.Request.Payload)
-	}
-	if len(o.Request.Funcs) > 0 {
-		v.Set("funcs", strings.Join(o.Request.Funcs, ","))
-	}
-	if o.Verify {
-		v.Set("verify", "1")
-	}
-	if o.InstrGap > 0 {
-		v.Set("gap", strconv.FormatUint(o.InstrGap, 10))
-	}
-	if o.Variant != (core.Variant{}) {
-		return nil, errors.New("service: baseline variants are not expressible on the wire")
-	}
-	return v, nil
-}
+// parameters; see wire.EncodeOptions.
+func EncodeOptions(o core.Options) (url.Values, error) { return wire.EncodeOptions(o) }
 
-// ParseOptions is EncodeOptions' inverse, also used by the CLIs to turn
-// their flags into core.Options.
-func ParseOptions(v url.Values) (core.Options, error) {
-	var o core.Options
-	switch m := v.Get("mode"); m {
-	case "dir":
-		o.Mode = core.ModeDir
-	case "jt", "":
-		o.Mode = core.ModeJT
-	case "func-ptr", "funcptr":
-		o.Mode = core.ModeFuncPtr
-	default:
-		return o, fmt.Errorf("unknown mode %q", m)
-	}
-	switch w := v.Get("where"); w {
-	case "block", "":
-		o.Request.Where = instrument.BlockEntry
-	case "func":
-		o.Request.Where = instrument.FuncEntry
-	default:
-		return o, fmt.Errorf("unknown instrumentation point %q", w)
-	}
-	switch p := v.Get("payload"); p {
-	case "empty", "":
-		o.Request.Payload = instrument.PayloadEmpty
-	case "counter":
-		o.Request.Payload = instrument.PayloadCounter
-	default:
-		return o, fmt.Errorf("unknown payload %q", p)
-	}
-	if f := v.Get("funcs"); f != "" {
-		o.Request.Funcs = strings.Split(f, ",")
-	}
-	o.Verify = v.Get("verify") == "1" || v.Get("verify") == "true"
-	if g := v.Get("gap"); g != "" {
-		gap, err := strconv.ParseUint(g, 10, 64)
-		if err != nil {
-			return o, fmt.Errorf("bad gap %q: %v", g, err)
-		}
-		o.InstrGap = gap
-	}
-	return o, nil
-}
+// ParseOptions is EncodeOptions' inverse; see wire.ParseOptions.
+func ParseOptions(v url.Values) (core.Options, error) { return wire.ParseOptions(v) }
 
 // Handler returns the HTTP interface to the service, including the
 // observability endpoints: /metrics for the Prometheus registry and the
@@ -156,24 +60,33 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	opts, err := ParseOptions(r.URL.Query())
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
 	raw, err := io.ReadAll(r.Body)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	s.ServeRewrite(w, r, raw)
+}
+
+// ServeRewrite serves one rewrite whose body has already been read —
+// the seam the cluster node uses to serve a request it decided to
+// handle locally (it must read the body first to route by content
+// hash). Options and trace flag come from r's query string; the frame
+// goes to w.
+func (s *Server) ServeRewrite(w http.ResponseWriter, r *http.Request, raw []byte) {
 	q := r.URL.Query()
+	opts, err := wire.ParseOptions(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	trace := q.Get("trace") == "1" || q.Get("trace") == "true"
 	resp, err := s.Submit(r.Context(), Request{Raw: raw, Opts: opts, Trace: trace})
 	if err != nil {
 		http.Error(w, err.Error(), statusFor(err))
 		return
 	}
-	reply, err := json.Marshal(Reply{
+	reply := &wire.Reply{
 		Stats:           resp.Stats,
 		MetricsText:     resp.Metrics.Render(),
 		AnalysisHit:     resp.AnalysisHit,
@@ -182,17 +95,9 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		FuncsRecomputed: resp.Metrics.FuncsRecomputed,
 		ElapsedUS:       resp.Elapsed.Microseconds(),
 		TraceText:       resp.Trace.Render(),
-	})
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
 	}
-	var hdr [8]byte
-	binary.LittleEndian.PutUint64(hdr[:], uint64(len(reply)))
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Write(hdr[:])
-	w.Write(reply)
-	w.Write(resp.Image)
+	wire.WriteFrame(w, reply, resp.Image)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -75,19 +75,20 @@ func newMetrics(s *Server) *metrics {
 			"function units rendered and encoded by the emit stage"),
 	}
 	reg.GaugeFunc("icfg_queue_depth", "requests waiting in the queue", "", "",
-		func() float64 { return float64(len(s.queue)) })
+		func() float64 { return float64(s.pool.Queued()) })
 	reg.GaugeFunc("icfg_queue_capacity", "request queue capacity", "", "",
-		func() float64 { return float64(cap(s.queue)) })
+		func() float64 { return float64(s.pool.QueueCap()) })
 	reg.GaugeFunc("icfg_workers", "rewrite worker count", "", "",
-		func() float64 { return float64(s.cfg.Workers) })
-	registerStoreGauges(reg, "analysis", func() store.Stats { return s.analyses.Stats() })
-	if s.results != nil {
-		registerStoreGauges(reg, "result", func() store.Stats { return s.results.Stats() })
+		func() float64 { return float64(s.pool.Workers()) })
+	registerStoreGauges(reg, "analysis", func() store.Stats { return s.stores.Analyses.Stats() })
+	if s.stores.Results != nil {
+		registerStoreGauges(reg, "result", func() store.Stats { return s.stores.Results.Stats() })
 	}
-	if s.units != nil {
-		registerStoreGauges(reg, "funcs", func() store.Stats { return s.units.Stats() })
+	if s.stores.Units != nil {
+		units := s.stores.Units
+		registerStoreGauges(reg, "funcs", func() store.Stats { return units.Stats() })
 		reg.GaugeFunc("icfg_store_entries", "entries held by store", "store", "funcs",
-			func() float64 { return float64(s.units.Len()) })
+			func() float64 { return float64(units.Len()) })
 	}
 	registerCacheGauges(reg, "icfg_workload_cache", "workload generation cache",
 		func() store.Stats { return workload.CacheStats() })
@@ -105,6 +106,8 @@ func registerStoreGauges(reg *obs.Registry, name string, stats func() store.Stat
 		func() float64 { return float64(stats().Evictions) })
 	reg.GaugeFunc("icfg_store_disk_hits", "artifacts warmed from disk by store", "store", name,
 		func() float64 { return float64(stats().DiskHits) })
+	reg.GaugeFunc("icfg_store_peer_hits", "artifacts seeded from cluster peers by store", "store", name,
+		func() float64 { return float64(stats().PeerHits) })
 	reg.GaugeFunc("icfg_store_persist_failures", "failed disk persists by store", "store", name,
 		func() float64 { return float64(stats().PersistFailures) })
 }

@@ -186,7 +186,7 @@ func TestTimeoutMidPipelineCountsTimeout(t *testing.T) {
 	key := AnalysisKey{Hash: store.Hash(raw), Arch: img.Arch, Mode: core.ModeJT}
 	started := make(chan struct{})
 	gate := make(chan struct{})
-	go s.analyses.GetOrCreate(key, func() (*core.Analysis, error) {
+	go s.stores.Analyses.GetOrCreate(key, func() (*core.Analysis, error) {
 		close(started)
 		<-gate
 		return core.Analyze(img, core.AnalysisConfig{Mode: core.ModeJT})
@@ -239,7 +239,7 @@ func TestDisconnectDuringQueueWaitCountsCanceled(t *testing.T) {
 	key := AnalysisKey{Hash: store.Hash(raw), Arch: img.Arch, Mode: core.ModeJT}
 	started := make(chan struct{})
 	gate := make(chan struct{})
-	go s.analyses.GetOrCreate(key, func() (*core.Analysis, error) {
+	go s.stores.Analyses.GetOrCreate(key, func() (*core.Analysis, error) {
 		close(started)
 		<-gate
 		return core.Analyze(img, core.AnalysisConfig{Mode: core.ModeJT})

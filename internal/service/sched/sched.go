@@ -1,0 +1,226 @@
+// Package sched is the rewrite service's scheduling layer: a bounded
+// worker pool consuming a backpressured task queue, with a graceful
+// drain. It knows nothing about rewriting, caching, or HTTP — the
+// layering split that lets the cluster plug new transports and storage
+// behaviour into the service without touching how work is queued and
+// drained.
+//
+// Semantics carried over from the original in-service pool, verbatim:
+//
+//   - Do rejects immediately with ErrQueueFull when the queue is at
+//     capacity (the caller owns the retry policy) and with
+//     ErrShuttingDown once Shutdown has begun.
+//   - A caller whose context dies while its task is queued gets the
+//     context error; the task stays queued, and the worker that later
+//     dequeues it is expected to observe the dead context and abandon
+//     cheaply (the task receives its submitter's context).
+//   - Shutdown stops the workers after at most one in-flight task each,
+//     then fails every still-queued task with ErrDrained.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Sentinel errors for the pool's rejection paths.
+var (
+	// ErrQueueFull is returned by Do when the queue is at capacity.
+	ErrQueueFull = errors.New("service: request queue full")
+	// ErrShuttingDown is returned for tasks submitted after Shutdown
+	// began.
+	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrDrained is returned for tasks that were queued when Shutdown
+	// began. It wraps ErrShuttingDown, so errors.Is(err, ErrShuttingDown)
+	// holds for both rejection flavours; the distinction lets the
+	// service count at-the-door rejections and drained tasks separately.
+	ErrDrained = fmt.Errorf("%w (drained from queue)", ErrShuttingDown)
+)
+
+// Config configures a Pool. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the worker goroutine count (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the pending task queue (default: 64).
+	QueueDepth int
+	// QueueWait, when set, observes each task's enqueue→dequeue wait.
+	QueueWait func(time.Duration)
+	// Dequeue, when set, runs as a worker picks up a task — test
+	// instrumentation for deterministic scheduling assertions.
+	Dequeue func()
+	// Dropped, when set, runs once per task drained during Shutdown
+	// (the task's Do call also returns ErrDrained).
+	Dropped func()
+}
+
+type task struct {
+	ctx      context.Context
+	run      func(ctx context.Context) error
+	err      error
+	done     chan struct{}
+	enqueued time.Time
+}
+
+// Pool is the bounded worker pool. Create with New, submit with Do,
+// stop with Shutdown.
+type Pool struct {
+	cfg     Config
+	queue   chan *task
+	drain   chan struct{}
+	workers sync.WaitGroup
+
+	stateMu  sync.RWMutex
+	draining bool
+	stopped  chan struct{}
+}
+
+// New creates a Pool and starts its workers.
+func New(cfg Config) *Pool {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	p := &Pool{
+		cfg:     cfg,
+		queue:   make(chan *task, cfg.QueueDepth),
+		drain:   make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		p.workers.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Do enqueues run and waits for it. run executes exactly once on a
+// worker goroutine with the submitter's context, unless the pool is
+// draining (ErrShuttingDown / ErrDrained) or the queue is full
+// (ErrQueueFull). If ctx dies while the task is queued, Do returns
+// ctx's error and the task is abandoned at dequeue by contract of run
+// observing its context.
+func (p *Pool) Do(ctx context.Context, run func(ctx context.Context) error) error {
+	t := &task{ctx: ctx, run: run, done: make(chan struct{}), enqueued: time.Now()}
+
+	// The state lock pairs the draining check with the (non-blocking)
+	// enqueue, so Shutdown's queue drain cannot miss a racing Do.
+	p.stateMu.RLock()
+	if p.draining {
+		p.stateMu.RUnlock()
+		return ErrShuttingDown
+	}
+	select {
+	case p.queue <- t:
+		p.stateMu.RUnlock()
+	default:
+		p.stateMu.RUnlock()
+		return ErrQueueFull
+	}
+
+	select {
+	case <-t.done:
+		return t.err
+	case <-ctx.Done():
+		// The task stays queued; the worker that dequeues it observes
+		// the dead context and abandons it at the first seam.
+		return ctx.Err()
+	}
+}
+
+// worker is one pool goroutine: it prefers the drain signal over new
+// work, so Shutdown stops the pool after at most the in-flight task per
+// worker.
+func (p *Pool) worker() {
+	defer p.workers.Done()
+	for {
+		select {
+		case <-p.drain:
+			return
+		default:
+		}
+		select {
+		case <-p.drain:
+			return
+		case t := <-p.queue:
+			if p.cfg.Dequeue != nil {
+				p.cfg.Dequeue()
+			}
+			if p.cfg.QueueWait != nil {
+				p.cfg.QueueWait(time.Since(t.enqueued))
+			}
+			t.err = t.run(t.ctx)
+			close(t.done)
+		}
+	}
+}
+
+// Shutdown drains the pool: new submissions are rejected, workers
+// finish their in-flight tasks and stop, and every task still queued
+// fails with ErrDrained. It returns ctx's error if the in-flight work
+// outlives the context.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.stateMu.Lock()
+	already := p.draining
+	p.draining = true
+	p.stateMu.Unlock()
+	if already {
+		select {
+		case <-p.stopped:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	close(p.drain)
+
+	finished := make(chan struct{})
+	go func() {
+		p.workers.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+
+	// With the state lock held once more, no Do can still be enqueueing:
+	// everything left in the queue is drainable.
+	p.stateMu.Lock()
+	for {
+		select {
+		case t := <-p.queue:
+			if p.cfg.Dropped != nil {
+				p.cfg.Dropped()
+			}
+			t.err = ErrDrained
+			close(t.done)
+			continue
+		default:
+		}
+		break
+	}
+	p.stateMu.Unlock()
+	close(p.stopped)
+	return nil
+}
+
+// Drain returns a channel closed when Shutdown begins — the signal
+// workers prefer over new work. Exposed so embedders (and tests) can
+// sequence against the start of a drain.
+func (p *Pool) Drain() <-chan struct{} { return p.drain }
+
+// Queued returns the number of tasks waiting in the queue.
+func (p *Pool) Queued() int { return len(p.queue) }
+
+// QueueCap returns the queue's capacity.
+func (p *Pool) QueueCap() int { return cap(p.queue) }
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.cfg.Workers }

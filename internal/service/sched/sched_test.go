@@ -1,0 +1,140 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolRejections pins the three rejection paths: queue full at the
+// door, shutting down at the door, and drained from the queue — with
+// the Dropped hook firing exactly once per drained task.
+func TestPoolRejections(t *testing.T) {
+	var dropped atomic.Int64
+	p := New(Config{Workers: 1, QueueDepth: 2, Dropped: func() { dropped.Add(1) }})
+
+	// Wedge the single worker.
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Do(context.Background(), func(context.Context) error {
+			close(running)
+			<-gate
+			return nil
+		})
+	}()
+	<-running
+
+	// Fill the queue behind it.
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- p.Do(context.Background(), func(context.Context) error { return nil })
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Queued() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: %d queued", p.Queued())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := p.Do(context.Background(), func(context.Context) error { return nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("full-queue Do: err = %v, want ErrQueueFull", err)
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- p.Shutdown(context.Background()) }()
+	<-p.Drain()
+	if err := p.Do(context.Background(), func(context.Context) error { return nil }); err != ErrShuttingDown {
+		t.Fatalf("at-door Do: err = %v, want ErrShuttingDown exactly", err)
+	}
+	close(gate)
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+
+	for i := 0; i < 2; i++ {
+		err := <-errs
+		if !errors.Is(err, ErrDrained) || !errors.Is(err, ErrShuttingDown) {
+			t.Fatalf("queued Do: err = %v, want ErrDrained wrapping ErrShuttingDown", err)
+		}
+	}
+	if n := dropped.Load(); n != 2 {
+		t.Fatalf("Dropped hook ran %d times, want 2", n)
+	}
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("repeat shutdown: %v", err)
+	}
+}
+
+// TestPoolContextWhileQueued: the submitter's dead context unblocks Do
+// while the task stays queued; the task later runs with that dead
+// context (the worker-side abandon contract).
+func TestPoolContextWhileQueued(t *testing.T) {
+	p := New(Config{Workers: 1, QueueDepth: 4})
+	defer p.Shutdown(context.Background())
+
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	go p.Do(context.Background(), func(context.Context) error {
+		close(running)
+		<-gate
+		return nil
+	})
+	<-running
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sawDead := make(chan bool, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Do(ctx, func(c context.Context) error {
+			sawDead <- c.Err() != nil
+			return c.Err()
+		})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("task never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do after cancel: err = %v, want context.Canceled", err)
+	}
+	close(gate)
+	if !<-sawDead {
+		t.Fatal("abandoned task ran with a live context")
+	}
+}
+
+// TestPoolHooks: QueueWait and Dequeue observe each executed task.
+func TestPoolHooks(t *testing.T) {
+	var dequeues, waits atomic.Int64
+	p := New(Config{
+		Workers: 2, QueueDepth: 4,
+		Dequeue:   func() { dequeues.Add(1) },
+		QueueWait: func(d time.Duration) { waits.Add(1) },
+	})
+	defer p.Shutdown(context.Background())
+	for i := 0; i < 5; i++ {
+		if err := p.Do(context.Background(), func(context.Context) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dequeues.Load() != 5 || waits.Load() != 5 {
+		t.Fatalf("hooks: dequeues=%d waits=%d, want 5/5", dequeues.Load(), waits.Load())
+	}
+}

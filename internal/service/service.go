@@ -1,6 +1,12 @@
-// Package service turns the rewriter into a daemon: a bounded worker
-// pool consuming a backpressured request queue, with warm-path caching
-// through the content-addressed analysis store (internal/store).
+// Package service turns the rewriter into a daemon. It is deliberately
+// thin: three layers compose here and each lives in its own package —
+//
+//   - internal/service/sched — the bounded worker pool and
+//     backpressured queue (knows nothing about rewriting);
+//   - internal/service/storage — the analysis / function-unit / result
+//     cache bundle and its key vocabulary;
+//   - internal/service/wire — the /rewrite option encoding and reply
+//     frame shared by servers, clients, gateways, and peers.
 //
 // The paper's incremental pitch is operational here: rewriting the same
 // binary with different instrumentation sets (the Diogenes §9 loop)
@@ -9,36 +15,45 @@
 // request. An optional second-level result cache — keyed additionally
 // by the full instrumentation request, persistable to disk — serves
 // byte-identical repeat requests without patching at all.
+//
+// The cluster (internal/cluster) plugs into the storage layer through
+// Stores and the WarmUnits hook — a node that misses its analysis store
+// can fetch the owning peer's cached function units before recomputing
+// — and into the transport layer through ServeRewrite and Registry,
+// without touching scheduling.
 package service
 
 import (
-	"bytes"
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
-	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"icfgpatch/internal/arch"
 	"icfgpatch/internal/bin"
 	"icfgpatch/internal/core"
 	"icfgpatch/internal/obs"
+	"icfgpatch/internal/service/sched"
+	"icfgpatch/internal/service/storage"
 	"icfgpatch/internal/store"
 )
 
-// Sentinel errors for the service's rejection paths.
+// Sentinel errors for the service's rejection paths — the scheduling
+// layer's sentinels re-exported so callers keep matching against the
+// service package.
 var (
 	// ErrQueueFull is returned by Submit when the request queue is at
 	// capacity — the backpressure signal; clients should retry later.
-	ErrQueueFull = errors.New("service: request queue full")
+	ErrQueueFull = sched.ErrQueueFull
 	// ErrShuttingDown is returned for requests submitted after Shutdown
-	// began, and for queued requests drained during Shutdown.
-	ErrShuttingDown = errors.New("service: shutting down")
+	// began, and (wrapped) for queued requests drained during Shutdown.
+	ErrShuttingDown = sched.ErrShuttingDown
 )
+
+// AnalysisKey addresses one cached analysis; see storage.AnalysisKey.
+type AnalysisKey = storage.AnalysisKey
 
 // Config configures a Server. Zero values select the documented
 // defaults.
@@ -67,6 +82,13 @@ type Config struct {
 	// Timeout bounds each request's processing time, measured from
 	// dequeue; 0 means no server-side limit.
 	Timeout time.Duration
+	// WarmUnits, when set, runs on an analysis-store miss before
+	// core.Analyze, with the missing key. The cluster installs the peer
+	// warm path here: fetch the owning peer's cached function units and
+	// seed them into the unit store so the analysis becomes a pure delta.
+	// The hook must be best-effort — failures mean a cold analysis, not
+	// a failed request. SetWarmUnits installs it after construction.
+	WarmUnits func(ctx context.Context, key AnalysisKey)
 }
 
 // Request is one rewrite submission. Either Binary or Raw (a serialised
@@ -106,28 +128,13 @@ type Response struct {
 	Trace *obs.Span
 }
 
-// AnalysisKey addresses one cached analysis: the content hash of the
-// serialised input binary plus everything core.Analyze consumes.
-type AnalysisKey struct {
-	Hash    string
-	Arch    arch.Arch
-	Mode    core.Mode
-	Variant core.Variant
-}
-
-// cachedResult is the result cache's artifact (gob-encoded on disk).
-type cachedResult struct {
-	Image   []byte
-	Stats   core.Stats
-	Metrics core.Metrics
-}
-
 // ServerStats is a snapshot of the service's counters.
 type ServerStats struct {
 	Analyses store.Stats
 	Results  store.Stats
 	// Funcs is the function-unit store's counters: hits are per-function
-	// reuses across binary versions, misses are recomputed functions.
+	// reuses across binary versions, misses are recomputed functions,
+	// peer-hits are units seeded from cluster peers.
 	Funcs store.Stats
 	// FuncsHeld is the number of distinct function identities currently
 	// in the unit store.
@@ -155,35 +162,15 @@ func (s ServerStats) String() string {
 	return b.String()
 }
 
-type job struct {
-	ctx      context.Context
-	req      *Request
-	resp     *Response
-	err      error
-	done     chan struct{}
-	enqueued time.Time
-}
-
-func (j *job) finish(resp *Response, err error) {
-	j.resp, j.err = resp, err
-	close(j.done)
-}
-
 // Server is the rewrite daemon. Create with New, submit with Submit
 // (or the HTTP handler), stop with Shutdown.
 type Server struct {
-	cfg      Config
-	analyses *store.Store[AnalysisKey, *core.Analysis]
-	results  *store.Store[string, cachedResult] // nil when disabled
-	units    *core.UnitStore                    // nil when disabled
+	cfg    Config
+	stores *storage.Stores
+	pool   *sched.Pool
 
-	queue   chan *job
-	drain   chan struct{}
-	workers sync.WaitGroup
-
-	stateMu  sync.RWMutex
-	draining bool
-	stopped  chan struct{}
+	warmMu    sync.RWMutex
+	warmUnits func(ctx context.Context, key AnalysisKey)
 
 	served, failed, rejected atomic.Uint64
 
@@ -192,57 +179,57 @@ type Server struct {
 
 // New creates a Server and starts its workers.
 func New(cfg Config) *Server {
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
-	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = 64
-	}
-	if cfg.AnalysisEntries <= 0 {
-		cfg.AnalysisEntries = 32
-	}
-	if cfg.FuncEntries == 0 {
-		cfg.FuncEntries = 4096
-	}
-	s := &Server{
-		cfg:      cfg,
-		analyses: store.New(store.Config[AnalysisKey, *core.Analysis]{MaxEntries: cfg.AnalysisEntries}),
-		queue:    make(chan *job, cfg.QueueDepth),
-		drain:    make(chan struct{}),
-		stopped:  make(chan struct{}),
-	}
-	if cfg.FuncEntries > 0 {
-		s.units = core.NewUnitStore(cfg.FuncEntries)
-	}
-	if cfg.ResultEntries > 0 {
-		s.results = store.New(store.Config[string, cachedResult]{
-			MaxEntries: cfg.ResultEntries,
-			Dir:        cfg.Dir,
-			KeyPath:    func(k string) string { return k + ".res" },
-			Encode:     encodeResult,
-			Decode:     decodeResult,
-		})
-	}
+	s := &Server{cfg: cfg, warmUnits: cfg.WarmUnits}
+	s.stores = storage.New(storage.Config{
+		AnalysisEntries: cfg.AnalysisEntries,
+		FuncEntries:     cfg.FuncEntries,
+		ResultEntries:   cfg.ResultEntries,
+		Dir:             cfg.Dir,
+	})
+	// The pool's hooks close over s; none can fire before New returns
+	// (workers idle until the first Do), so s.metrics is always set by
+	// the time they run.
+	s.pool = sched.New(sched.Config{
+		Workers:    cfg.Workers,
+		QueueDepth: cfg.QueueDepth,
+		QueueWait:  func(d time.Duration) { s.metrics.queueWait.Observe(d.Seconds()) },
+		Dequeue: func() {
+			if testHookDequeue != nil {
+				testHookDequeue()
+			}
+		},
+		Dropped: func() {
+			s.rejected.Add(1)
+			s.metrics.requests.With(outcomeShutdown).Inc()
+		},
+	})
 	s.metrics = newMetrics(s)
-	for i := 0; i < cfg.Workers; i++ {
-		s.workers.Add(1)
-		go s.worker()
-	}
 	return s
 }
 
-func encodeResult(v cachedResult) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+// Stores exposes the cache bundle — the seam the cluster's federated
+// unit store reads from (CachedUnits) and writes into (SeedUnits).
+func (s *Server) Stores() *storage.Stores { return s.stores }
+
+// Registry exposes the server's metrics registry so embedders (the
+// cluster node) can register their own series on the same /metrics
+// endpoint.
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
+
+// SetWarmUnits installs (or clears) the analysis-miss warm hook after
+// construction — the cluster needs the server to exist before it can
+// build the peering that the hook consults.
+func (s *Server) SetWarmUnits(fn func(ctx context.Context, key AnalysisKey)) {
+	s.warmMu.Lock()
+	s.warmUnits = fn
+	s.warmMu.Unlock()
 }
 
-func decodeResult(data []byte) (cachedResult, error) {
-	var v cachedResult
-	err := gob.NewDecoder(bytes.NewReader(data)).Decode(&v)
-	return v, err
+func (s *Server) warmHook() func(ctx context.Context, key AnalysisKey) {
+	s.warmMu.RLock()
+	fn := s.warmUnits
+	s.warmMu.RUnlock()
+	return fn
 }
 
 // Submit enqueues one request and waits for its response. It returns
@@ -253,34 +240,28 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 	if err := normalize(&req); err != nil {
 		return nil, err
 	}
-	j := &job{ctx: ctx, req: &req, done: make(chan struct{}), enqueued: time.Now()}
-
-	// The state lock pairs the draining check with the (non-blocking)
-	// enqueue, so Shutdown's queue drain cannot miss a racing Submit.
-	s.stateMu.RLock()
-	if s.draining {
-		s.stateMu.RUnlock()
-		s.metrics.requests.With(outcomeShutdown).Inc()
-		return nil, ErrShuttingDown
-	}
-	select {
-	case s.queue <- j:
-		s.stateMu.RUnlock()
-	default:
-		s.stateMu.RUnlock()
+	var resp *Response
+	err := s.pool.Do(ctx, func(ctx context.Context) error {
+		r, err := s.process(ctx, &req)
+		if err != nil {
+			return err
+		}
+		resp = r
+		return nil
+	})
+	switch {
+	case err == nil:
+		return resp, nil
+	case errors.Is(err, ErrQueueFull):
 		s.rejected.Add(1)
 		s.metrics.requests.With(outcomeQueueFull).Inc()
-		return nil, ErrQueueFull
+	case err == ErrShuttingDown:
+		// At-the-door rejection. Drained-from-queue tasks are counted by
+		// the pool's Dropped hook instead, so each rejection is counted
+		// exactly once whether or not its submitter is still waiting.
+		s.metrics.requests.With(outcomeShutdown).Inc()
 	}
-
-	select {
-	case <-j.done:
-		return j.resp, j.err
-	case <-ctx.Done():
-		// The job stays queued; the worker that dequeues it observes the
-		// dead context and abandons it at the first seam.
-		return nil, ctx.Err()
-	}
+	return nil, err
 }
 
 // normalize fills the request's derived fields.
@@ -305,57 +286,31 @@ func normalize(req *Request) error {
 	return nil
 }
 
-// worker is one pool goroutine: it prefers the drain signal over new
-// work, so Shutdown stops the pool after at most the in-flight request
-// per worker.
-func (s *Server) worker() {
-	defer s.workers.Done()
-	for {
-		select {
-		case <-s.drain:
-			return
-		default:
-		}
-		select {
-		case <-s.drain:
-			return
-		case j := <-s.queue:
-			s.process(j)
-		}
-	}
-}
-
 // testHookDequeue, when non-nil, runs as a worker picks up a job —
 // test instrumentation for deterministic scheduling assertions.
 var testHookDequeue func()
 
-// process runs one dequeued job under the server-side timeout.
-func (s *Server) process(j *job) {
-	if testHookDequeue != nil {
-		testHookDequeue()
-	}
-	s.metrics.queueWait.Observe(time.Since(j.enqueued).Seconds())
-	ctx := j.ctx
+// process runs one dequeued request under the server-side timeout.
+func (s *Server) process(ctx context.Context, req *Request) (*Response, error) {
 	if s.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
 		defer cancel()
 	}
-	sp := traceFor(j.req)
-	j.req.Opts.Trace = sp
+	sp := traceFor(req)
+	req.Opts.Trace = sp
 	start := time.Now()
-	resp, err := s.handle(ctx, j.req)
+	resp, err := s.handle(ctx, req)
 	if err != nil {
 		s.failed.Add(1)
 		s.metrics.observeFailed(err)
-		j.finish(nil, err)
-		return
+		return nil, err
 	}
 	resp.Elapsed = time.Since(start)
 	finishTrace(sp, resp)
 	s.served.Add(1)
 	s.metrics.observeServed(resp)
-	j.finish(resp, nil)
+	return resp, nil
 }
 
 // handle serves one request through the cache hierarchy. A single
@@ -384,7 +339,7 @@ func (s *Server) rewriteOnce(ctx context.Context, req *Request) (*Response, erro
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if s.results == nil {
+	if s.stores.Results == nil {
 		res, analysisHit, err := s.analyzeAndPatch(ctx, req)
 		if err != nil {
 			return nil, err
@@ -392,11 +347,11 @@ func (s *Server) rewriteOnce(ctx context.Context, req *Request) (*Response, erro
 		return &Response{Image: res.Image, Stats: res.Stats, Metrics: res.Metrics, AnalysisHit: analysisHit}, nil
 	}
 	var analysisHit bool
-	key := resultFingerprint(req.Hash, req.Opts)
-	v, hit, err := s.results.GetOrCreate(key, func() (cachedResult, error) {
+	key := storage.Fingerprint(req.Hash, req.Opts)
+	v, hit, err := s.stores.Results.GetOrCreate(key, func() (storage.CachedResult, error) {
 		res, ah, err := s.analyzeAndPatch(ctx, req)
 		if err != nil {
-			return cachedResult{}, err
+			return storage.CachedResult{}, err
 		}
 		analysisHit = ah
 		return *res, nil
@@ -413,9 +368,16 @@ func (s *Server) rewriteOnce(ctx context.Context, req *Request) (*Response, erro
 // analyzeAndPatch is the warm path's seam: analysis through the
 // content-addressed store (single-flighted across concurrent requests
 // for the same binary), then a per-request patch.
-func (s *Server) analyzeAndPatch(ctx context.Context, req *Request) (*cachedResult, bool, error) {
+func (s *Server) analyzeAndPatch(ctx context.Context, req *Request) (*storage.CachedResult, bool, error) {
 	key := AnalysisKey{Hash: req.Hash, Arch: req.Binary.Arch, Mode: req.Opts.Mode, Variant: req.Opts.Variant}
-	an, hit, err := s.analyses.GetOrCreate(key, func() (*core.Analysis, error) {
+	an, hit, err := s.stores.Analyses.GetOrCreate(key, func() (*core.Analysis, error) {
+		// An analysis-store miss is the cluster's warm-path moment: ask
+		// the owning peer for this binary's cached function units before
+		// recomputing. Best-effort by contract — on any failure the
+		// analysis below simply runs colder.
+		if warm := s.warmHook(); warm != nil {
+			warm(ctx, key)
+		}
 		// The requester's trace rides into Analyze but is never part of
 		// the analysis identity; waiters sharing this single-flighted
 		// build see the cached result without the builder's spans.
@@ -424,7 +386,7 @@ func (s *Server) analyzeAndPatch(ctx context.Context, req *Request) (*cachedResu
 		// units are pulled instead of recomputed.
 		return core.Analyze(req.Binary, core.AnalysisConfig{
 			Mode: req.Opts.Mode, Variant: req.Opts.Variant, Trace: req.Opts.Trace,
-			Units: s.units,
+			Units: s.stores.Units,
 		})
 	})
 	if err != nil {
@@ -452,21 +414,7 @@ func (s *Server) analyzeAndPatch(ctx context.Context, req *Request) (*cachedResu
 	// is dead, so its pooled emit buffers go back for the next request —
 	// the steady-state loop the emit pool exists for.
 	res.Recycle()
-	return &cachedResult{Image: image, Stats: res.Stats, Metrics: res.Metrics}, hit, nil
-}
-
-// resultFingerprint extends the content address with the full
-// instrumentation request, canonically rendered.
-func resultFingerprint(hash string, o core.Options) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s|m%d|w%d|p%d|v%t|g%d|nr%t|%+v|f:%s|a:",
-		hash, o.Mode, o.Request.Where, o.Request.Payload,
-		o.Verify, o.InstrGap, o.NoRAMap, o.Variant,
-		strings.Join(o.Request.Funcs, ","))
-	for _, a := range o.Request.Addrs {
-		fmt.Fprintf(&b, "%x,", a)
-	}
-	return store.Hash([]byte(b.String()))
+	return &storage.CachedResult{Image: image, Stats: res.Stats, Metrics: res.Metrics}, hit, nil
 }
 
 // Shutdown drains the service: new submissions are rejected, workers
@@ -474,66 +422,25 @@ func resultFingerprint(hash string, o core.Options) string {
 // queued fails with ErrShuttingDown. It returns ctx's error if the
 // in-flight work outlives the context.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.stateMu.Lock()
-	already := s.draining
-	s.draining = true
-	s.stateMu.Unlock()
-	if already {
-		select {
-		case <-s.stopped:
-			return nil
-		case <-ctx.Done():
-			return ctx.Err()
-		}
-	}
-	close(s.drain)
-
-	finished := make(chan struct{})
-	go func() {
-		s.workers.Wait()
-		close(finished)
-	}()
-	select {
-	case <-finished:
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-
-	// With the state lock held once more, no Submit can still be
-	// enqueueing: everything left in the queue is drainable.
-	s.stateMu.Lock()
-	for {
-		select {
-		case j := <-s.queue:
-			s.rejected.Add(1)
-			s.metrics.requests.With(outcomeShutdown).Inc()
-			j.finish(nil, ErrShuttingDown)
-			continue
-		default:
-		}
-		break
-	}
-	s.stateMu.Unlock()
-	close(s.stopped)
-	return nil
+	return s.pool.Shutdown(ctx)
 }
 
 // Stats snapshots the service counters.
 func (s *Server) Stats() ServerStats {
 	st := ServerStats{
-		Analyses:  s.analyses.Stats(),
-		Funcs:     s.units.Stats(),
-		FuncsHeld: s.units.Len(),
+		Analyses:  s.stores.Analyses.Stats(),
+		Funcs:     s.stores.Units.Stats(),
+		FuncsHeld: s.stores.Units.Len(),
 		Served:    s.served.Load(),
 		Failed:    s.failed.Load(),
 		Rejected:  s.rejected.Load(),
-		Queued:    len(s.queue),
-		QueueCap:  cap(s.queue),
-		Workers:   s.cfg.Workers,
+		Queued:    s.pool.Queued(),
+		QueueCap:  s.pool.QueueCap(),
+		Workers:   s.pool.Workers(),
 		Outcomes:  s.metrics.requests.Snapshot(),
 	}
-	if s.results != nil {
-		st.Results = s.results.Stats()
+	if s.stores.Results != nil {
+		st.Results = s.stores.Results.Stats()
 	}
 	return st
 }

@@ -135,7 +135,7 @@ func TestQueueFullRejection(t *testing.T) {
 	key := AnalysisKey{Hash: store.Hash(raw), Arch: img.Arch, Mode: core.ModeJT}
 	started := make(chan struct{})
 	gate := make(chan struct{})
-	go s.analyses.GetOrCreate(key, func() (*core.Analysis, error) {
+	go s.stores.Analyses.GetOrCreate(key, func() (*core.Analysis, error) {
 		close(started)
 		<-gate
 		return core.Analyze(img, core.AnalysisConfig{Mode: core.ModeJT})
@@ -210,7 +210,7 @@ func TestGracefulShutdown(t *testing.T) {
 	buildDone := make(chan struct{})
 	go func() {
 		defer close(buildDone)
-		_, _, err := s.analyses.GetOrCreate(key, func() (*core.Analysis, error) {
+		_, _, err := s.stores.Analyses.GetOrCreate(key, func() (*core.Analysis, error) {
 			close(started)
 			<-gate
 			return core.Analyze(img, core.AnalysisConfig{Mode: core.ModeJT})
@@ -260,7 +260,7 @@ func TestGracefulShutdown(t *testing.T) {
 	shutdownErr := make(chan error, 1)
 	go func() { shutdownErr <- s.Shutdown(context.Background()) }()
 	select {
-	case <-s.drain:
+	case <-s.pool.Drain():
 	case <-time.After(5 * time.Second):
 		t.Fatal("shutdown never signalled the drain")
 	}

@@ -1,0 +1,187 @@
+// Package wire is the rewrite service's transport contract: the
+// /rewrite option encoding, the reply frame, and nothing else. It is
+// the one vocabulary every process in a deployment shares — icfg-serve
+// nodes, the icfg-gateway front door, icfg-rewrite -remote, and the
+// cluster's peer-to-peer endpoints — split out of the service so that
+// transports (HTTP handlers, clients, proxies) can speak the format
+// without dragging in scheduling or storage.
+//
+// The /rewrite frame:
+//
+//	POST /rewrite?mode=jt&where=block&payload=empty[&funcs=a,b][&verify=1][&gap=N]
+//	  body: serialised input binary (.icfg bytes)
+//	  200 body: 8-byte little-endian JSON length, a JSON Reply, then
+//	            the serialised rewritten binary
+//	  errors: 400 bad request/options, 422 rewrite failure,
+//	          429 queue full, 503 shutting down, 504 deadline exceeded
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"icfgpatch/internal/core"
+	"icfgpatch/internal/instrument"
+)
+
+// Reply is the JSON half of a /rewrite response.
+type Reply struct {
+	Stats       core.Stats `json:"stats"`
+	MetricsText string     `json:"metrics"`
+	AnalysisHit bool       `json:"analysisHit"`
+	ResultHit   bool       `json:"resultHit"`
+	// FuncsReused / FuncsRecomputed expose the delta engine's work split
+	// for the analysis behind this response: how many function units were
+	// pulled unchanged from the unit store versus recomputed. On cache
+	// hits they describe the run that originally built the artifact.
+	FuncsReused     int   `json:"funcsReused"`
+	FuncsRecomputed int   `json:"funcsRecomputed"`
+	ElapsedUS       int64 `json:"elapsedUs"`
+	// TraceText is the rendered span tree (trace=1 requests only).
+	TraceText string `json:"trace,omitempty"`
+}
+
+// MaxReplyHeader bounds the JSON header a reader will accept, keeping a
+// corrupt or hostile length prefix from driving a huge allocation.
+const MaxReplyHeader = 16 << 20
+
+// WriteFrame writes one /rewrite response frame: length-prefixed JSON
+// reply, then the image bytes.
+func WriteFrame(w io.Writer, reply *Reply, image []byte) error {
+	jr, err := json.Marshal(reply)
+	if err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(jr)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(jr); err != nil {
+		return err
+	}
+	_, err = w.Write(image)
+	return err
+}
+
+// ReadFrame reads one /rewrite response frame, returning the reply and
+// the image bytes.
+func ReadFrame(r io.Reader) (*Reply, []byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("wire: truncated reply header: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(hdr[:])
+	if n > MaxReplyHeader {
+		return nil, nil, fmt.Errorf("wire: reply header declares %d bytes", n)
+	}
+	jr := make([]byte, n)
+	if _, err := io.ReadFull(r, jr); err != nil {
+		return nil, nil, fmt.Errorf("wire: truncated reply: %w", err)
+	}
+	var reply Reply
+	if err := json.Unmarshal(jr, &reply); err != nil {
+		return nil, nil, fmt.Errorf("wire: bad reply JSON: %w", err)
+	}
+	image, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wire: truncated image: %w", err)
+	}
+	return &reply, image, nil
+}
+
+// EncodeOptions renders the CLI-expressible rewrite options as query
+// parameters. Options outside the wire surface (instrumentation at raw
+// addresses, baseline variants) are rejected: they are in-process-only.
+func EncodeOptions(o core.Options) (url.Values, error) {
+	v := url.Values{}
+	v.Set("mode", o.Mode.String())
+	switch o.Request.Where {
+	case instrument.BlockEntry:
+		v.Set("where", "block")
+	case instrument.FuncEntry:
+		v.Set("where", "func")
+	default:
+		return nil, fmt.Errorf("wire: instrumentation point %d not expressible on the wire", o.Request.Where)
+	}
+	switch o.Request.Payload {
+	case instrument.PayloadEmpty:
+		v.Set("payload", "empty")
+	case instrument.PayloadCounter:
+		v.Set("payload", "counter")
+	default:
+		return nil, fmt.Errorf("wire: payload %d not expressible on the wire", o.Request.Payload)
+	}
+	if len(o.Request.Funcs) > 0 {
+		v.Set("funcs", strings.Join(o.Request.Funcs, ","))
+	}
+	if o.Verify {
+		v.Set("verify", "1")
+	}
+	if o.InstrGap > 0 {
+		v.Set("gap", strconv.FormatUint(o.InstrGap, 10))
+	}
+	if o.Variant != (core.Variant{}) {
+		return nil, errors.New("wire: baseline variants are not expressible on the wire")
+	}
+	return v, nil
+}
+
+// ParseMode parses a wire mode string; "" selects the default (jt).
+func ParseMode(m string) (core.Mode, error) {
+	switch m {
+	case "dir":
+		return core.ModeDir, nil
+	case "jt", "":
+		return core.ModeJT, nil
+	case "func-ptr", "funcptr":
+		return core.ModeFuncPtr, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", m)
+	}
+}
+
+// ParseOptions is EncodeOptions' inverse, also used by the CLIs to turn
+// their flags into core.Options.
+func ParseOptions(v url.Values) (core.Options, error) {
+	var o core.Options
+	mode, err := ParseMode(v.Get("mode"))
+	if err != nil {
+		return o, err
+	}
+	o.Mode = mode
+	switch w := v.Get("where"); w {
+	case "block", "":
+		o.Request.Where = instrument.BlockEntry
+	case "func":
+		o.Request.Where = instrument.FuncEntry
+	default:
+		return o, fmt.Errorf("unknown instrumentation point %q", w)
+	}
+	switch p := v.Get("payload"); p {
+	case "empty", "":
+		o.Request.Payload = instrument.PayloadEmpty
+	case "counter":
+		o.Request.Payload = instrument.PayloadCounter
+	default:
+		return o, fmt.Errorf("unknown payload %q", p)
+	}
+	if f := v.Get("funcs"); f != "" {
+		o.Request.Funcs = strings.Split(f, ",")
+	}
+	o.Verify = v.Get("verify") == "1" || v.Get("verify") == "true"
+	if g := v.Get("gap"); g != "" {
+		gap, err := strconv.ParseUint(g, 10, 64)
+		if err != nil {
+			return o, fmt.Errorf("bad gap %q: %v", g, err)
+		}
+		o.InstrGap = gap
+	}
+	return o, nil
+}

@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"icfgpatch/internal/core"
+	"icfgpatch/internal/instrument"
+)
+
+// TestFrameRoundTrip: WriteFrame's output parses back to the same reply
+// and image through ReadFrame.
+func TestFrameRoundTrip(t *testing.T) {
+	in := &Reply{FuncsReused: 3, FuncsRecomputed: 1, AnalysisHit: true, ElapsedUS: 1234}
+	image := []byte("not really a binary, but the frame does not care")
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, in, image); err != nil {
+		t.Fatal(err)
+	}
+	out, gotImage, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FuncsReused != in.FuncsReused || out.FuncsRecomputed != in.FuncsRecomputed ||
+		out.AnalysisHit != in.AnalysisHit || out.ElapsedUS != in.ElapsedUS {
+		t.Fatalf("reply round trip: got %+v, want %+v", out, in)
+	}
+	if !bytes.Equal(gotImage, image) {
+		t.Fatalf("image round trip: got %q", gotImage)
+	}
+}
+
+// TestReadFrameRejects pins the reader's defence: truncated streams and
+// hostile length prefixes error out instead of allocating or hanging.
+func TestReadFrameRejects(t *testing.T) {
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{1, 2, 3})); err == nil || !strings.Contains(err.Error(), "truncated reply header") {
+		t.Fatalf("short header: err = %v", err)
+	}
+	var hostile [8]byte
+	binary.LittleEndian.PutUint64(hostile[:], MaxReplyHeader+1)
+	if _, _, err := ReadFrame(bytes.NewReader(hostile[:])); err == nil || !strings.Contains(err.Error(), "declares") {
+		t.Fatalf("hostile prefix: err = %v", err)
+	}
+	var short [8]byte
+	binary.LittleEndian.PutUint64(short[:], 100)
+	if _, _, err := ReadFrame(bytes.NewReader(append(short[:], []byte("{}")...))); err == nil || !strings.Contains(err.Error(), "truncated reply") {
+		t.Fatalf("short body: err = %v", err)
+	}
+}
+
+// TestParseMode covers the mode vocabulary including the default.
+func TestParseMode(t *testing.T) {
+	cases := map[string]core.Mode{"dir": core.ModeDir, "jt": core.ModeJT, "": core.ModeJT,
+		"func-ptr": core.ModeFuncPtr, "funcptr": core.ModeFuncPtr}
+	for in, want := range cases {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseMode("nonsense"); err == nil {
+		t.Error("ParseMode accepted nonsense")
+	}
+}
+
+// TestEncodeOptionsRejectsNonWire: in-process-only options must not
+// silently drop on the floor.
+func TestEncodeOptionsRejectsNonWire(t *testing.T) {
+	if _, err := EncodeOptions(core.Options{Request: instrument.Request{Where: instrument.Point(99)}}); err == nil {
+		t.Error("EncodeOptions accepted an unknown instrumentation point")
+	}
+	if _, err := EncodeOptions(core.Options{
+		Request: instrument.Request{Where: instrument.BlockEntry},
+		Variant: core.Variant{NoTrampolines: true},
+	}); err == nil {
+		t.Error("EncodeOptions accepted a baseline variant")
+	}
+}

@@ -1,0 +1,205 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func stringCodec() (func(string) string, func(string) ([]byte, error), func([]byte) (string, error)) {
+	keyPath := func(k string) string { return k + ".art" }
+	enc := func(v string) ([]byte, error) { return []byte(v), nil }
+	dec := func(data []byte) (string, error) {
+		if !strings.HasPrefix(string(data), "val:") {
+			return "", fmt.Errorf("corrupt artifact %q", data)
+		}
+		return string(data), nil
+	}
+	return keyPath, enc, dec
+}
+
+// TestEvictDiskRace hammers the eviction/single-flight seam under
+// -race: a tiny LRU with disk pruning enabled, many goroutines mixing
+// GetOrCreate, side-effect-free Peek, and plain Get over a key space
+// several times the store's capacity, so evictions (and their disk
+// unlinks) constantly race in-flight loads, builds, and persists.
+//
+// The regression being pinned: an eviction's disk delete must never be
+// observable as a torn or wrongly missing artifact. Concretely, every
+// GetOrCreate must return the key's correct value (rebuilt if its file
+// was pruned — never an error, never another key's bytes), and at
+// quiescence the persistence directory must contain exactly the
+// in-memory entries' files, all decodable: no orphan from a stale evict
+// racing a fresh persist, no missing file for a live entry, no .tmp
+// debris.
+func TestEvictDiskRace(t *testing.T) {
+	dir := t.TempDir()
+	keyPath, enc, dec := stringCodec()
+	s := New(Config[string, string]{
+		MaxEntries: 4,
+		Dir:        dir,
+		KeyPath:    keyPath,
+		Encode:     enc,
+		Decode:     dec,
+		EvictDisk:  true,
+	})
+
+	const (
+		workers = 16
+		keys    = 24
+		iters   = 300
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := fmt.Sprintf("k%02d", (w*7+i)%keys)
+				want := "val:" + k
+				switch i % 3 {
+				case 0:
+					v, _, err := s.GetOrCreate(k, func() (string, error) { return want, nil })
+					if err != nil {
+						t.Errorf("GetOrCreate(%s): %v", k, err)
+						return
+					}
+					if v != want {
+						t.Errorf("GetOrCreate(%s) = %q, want %q", k, v, want)
+						return
+					}
+				case 1:
+					if v, ok := s.Get(k); ok && v != want {
+						t.Errorf("Get(%s) = %q, want %q", k, v, want)
+						return
+					}
+				default:
+					if v, ok := s.Peek(k); ok && v != want {
+						t.Errorf("Peek(%s) = %q, want %q", k, v, want)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Quiescent invariant: disk ≡ memory. Every live entry has a
+	// decodable artifact; every artifact has a live entry (bounded disk
+	// — the stale-evict leak would show up as extra files here).
+	onDisk := map[string]bool{}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if strings.HasSuffix(f.Name(), ".tmp") {
+			t.Errorf("persistence debris left behind: %s", f.Name())
+			continue
+		}
+		k := strings.TrimSuffix(f.Name(), ".art")
+		onDisk[k] = true
+		data, err := os.ReadFile(filepath.Join(dir, f.Name()))
+		if err != nil {
+			t.Fatalf("read %s: %v", f.Name(), err)
+		}
+		if _, err := dec(data); err != nil {
+			t.Errorf("artifact %s does not decode: %v", f.Name(), err)
+		}
+	}
+
+	inMem := map[string]bool{}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		if _, ok := s.Peek(k); ok {
+			inMem[k] = true
+		}
+	}
+	for k := range inMem {
+		if !onDisk[k] {
+			t.Errorf("live entry %s has no persisted artifact", k)
+		}
+	}
+	for k := range onDisk {
+		if !inMem[k] {
+			t.Errorf("orphan artifact %s survived its eviction", k)
+		}
+	}
+	if len(onDisk) > 4 {
+		t.Errorf("persistence directory holds %d artifacts, want <= MaxEntries (4)", len(onDisk))
+	}
+	if n := s.Len(); n > 4 {
+		t.Errorf("store holds %d entries, want <= 4", n)
+	}
+}
+
+// TestEvictDiskPrunes pins the feature itself, serially: with EvictDisk
+// set, an evicted entry's artifact leaves the directory with it, and a
+// re-request cleanly rebuilds and re-persists.
+func TestEvictDiskPrunes(t *testing.T) {
+	dir := t.TempDir()
+	keyPath, enc, dec := stringCodec()
+	s := New(Config[string, string]{
+		MaxEntries: 1, Dir: dir, KeyPath: keyPath, Encode: enc, Decode: dec, EvictDisk: true,
+	})
+	build := func(k string) func() (string, error) {
+		return func() (string, error) { return "val:" + k, nil }
+	}
+	if _, _, err := s.GetOrCreate("a", build("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.GetOrCreate("b", build("b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a.art")); !os.IsNotExist(err) {
+		t.Errorf("evicted key a's artifact still on disk (err=%v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "b.art")); err != nil {
+		t.Errorf("live key b's artifact missing: %v", err)
+	}
+	v, hit, err := s.GetOrCreate("a", build("a"))
+	if err != nil || v != "val:a" {
+		t.Fatalf("rebuild after prune: v=%q hit=%v err=%v", v, hit, err)
+	}
+	if hit {
+		t.Error("pruned artifact reported as a hit: eviction left it reachable")
+	}
+}
+
+// TestPeekSideEffectFree pins Peek's contract: no counters move, no LRU
+// promotion happens, and an in-flight build is not waited on.
+func TestPeekSideEffectFree(t *testing.T) {
+	s := New(Config[string, string]{MaxEntries: 2})
+	if _, _, err := s.GetOrCreate("a", func() (string, error) { return "val:a", nil }); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	if v, ok := s.Peek("a"); !ok || v != "val:a" {
+		t.Fatalf("Peek(a) = %q, %v", v, ok)
+	}
+	if _, ok := s.Peek("nope"); ok {
+		t.Fatal("Peek invented an entry")
+	}
+	if after := s.Stats(); after != before {
+		t.Errorf("Peek moved counters: %+v -> %+v", before, after)
+	}
+
+	// LRU order unchanged by Peek: touch b, c to fill; a peeked but not
+	// promoted, so adding c evicts a (LRU), not b.
+	if _, _, err := s.GetOrCreate("b", func() (string, error) { return "val:b", nil }); err != nil {
+		t.Fatal(err)
+	}
+	s.Peek("a")
+	if _, _, err := s.GetOrCreate("c", func() (string, error) { return "val:c", nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Peek("a"); ok {
+		t.Error("peeked key a survived eviction: Peek promoted it")
+	}
+	if _, ok := s.Peek("b"); !ok {
+		t.Error("key b evicted out of order")
+	}
+}

@@ -23,7 +23,7 @@ type Multi[K comparable, V any] struct {
 	lru     *list.List // of K; front is most recently used
 	elems   map[K]*list.Element
 
-	hits, misses, evictions atomic.Uint64
+	hits, misses, evictions, peerHits atomic.Uint64
 }
 
 // NewMulti creates a Multi bounding the key count and candidates per
@@ -93,6 +93,14 @@ func (m *Multi[K, V]) Put(key K, v V) {
 	}
 }
 
+// NotePeer records n values obtained from a cluster peer rather than
+// computed locally. The values themselves enter the store through Put;
+// this only attributes them, so Stats can distinguish the peer warm
+// path from disk warms and plain memory hits.
+func (m *Multi[K, V]) NotePeer(n uint64) {
+	m.peerHits.Add(n)
+}
+
 // Len returns the number of keys currently held.
 func (m *Multi[K, V]) Len() int {
 	m.mu.Lock()
@@ -106,5 +114,6 @@ func (m *Multi[K, V]) Stats() Stats {
 		Hits:      m.hits.Load(),
 		Misses:    m.misses.Load(),
 		Evictions: m.evictions.Load(),
+		PeerHits:  m.peerHits.Load(),
 	}
 }
