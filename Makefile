@@ -7,10 +7,10 @@ BENCHGUARD = sh scripts/benchguard.sh
 
 # BENCH_BASELINE is the committed performance-trajectory snapshot
 # bench-compare gates against; bench-record overwrites it.
-BENCH_BASELINE ?= BENCH_6.json
-BENCH_PR ?= 6
+BENCH_BASELINE ?= BENCH_8.json
+BENCH_PR ?= 8
 
-.PHONY: build test short race vet fmt fmt-check bench fuzz-seed bench-warm bench-delta bench-patch obs-guard delta-guard patch-guard alloc-guard cluster-guard bench-record bench-compare check
+.PHONY: build test short race vet fmt fmt-check bench fuzz-seed bench-warm bench-delta bench-patch obs-guard delta-guard patch-guard alloc-guard cluster-guard batch-guard bench-record bench-compare check
 
 build:
 	$(GO) build ./...
@@ -96,6 +96,17 @@ alloc-guard:
 cluster-guard:
 	GUARD_MATCH='^=== RUN' $(BENCHGUARD) $(GO) test -race -run 'TestCluster' -v ./internal/cluster/
 
+# batch-guard runs the fleet-rewriting acceptance tests under -race:
+# dedupe (10 items over 3 binaries → exactly 3 analyses), mid-job
+# restart resume with byte-identical outputs, the SSE event contract
+# (order, replay, client disconnect), the 413 body caps on every door,
+# the batch-lane scheduling invariants, and the full
+# batch-through-gateway path. Benchguard-wrapped so a renamed test
+# cannot silently turn the guard into a no-op.
+batch-guard:
+	GUARD_MATCH='^=== RUN' $(BENCHGUARD) $(GO) test -race -run 'TestBatch' -v ./internal/service/batch/ ./internal/service/sched/
+	GUARD_MATCH='^=== RUN' $(BENCHGUARD) $(GO) test -race -run 'TestClusterBatch' -v ./internal/cluster/
+
 # bench-record measures the current build's performance trajectory and
 # writes the snapshot this PR commits. Run it once per perf-relevant PR
 # on an idle machine; `make check` then gates against the result.
@@ -108,4 +119,4 @@ bench-record:
 bench-compare:
 	$(GO) run ./cmd/icfg-experiments -bench-compare $(BENCH_BASELINE)
 
-check: fmt-check vet race fuzz-seed bench-warm bench-delta bench-patch obs-guard delta-guard patch-guard alloc-guard cluster-guard bench-compare
+check: fmt-check vet race fuzz-seed bench-warm bench-delta bench-patch obs-guard delta-guard patch-guard alloc-guard cluster-guard batch-guard bench-compare

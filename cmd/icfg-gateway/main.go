@@ -9,7 +9,14 @@
 // Usage:
 //
 //	icfg-gateway -peers http://n1:8844,http://n2:8844,http://n3:8844
-//	             [-addr :8840] [-replicas N] [-probe dur]
+//	             [-addr :8840] [-replicas N] [-probe dur] [-max-body N]
+//
+// Batch jobs route through the gateway too: POST /batch lands the whole
+// manifest on the node chosen by the manifest's hash, and the gateway
+// remembers which node owns each job ID so /batch/{id},
+// /batch/{id}/events (SSE, flushed per event), and
+// /batch/{id}/output/{i} follow it there — falling back to probing the
+// peers when the gateway has restarted and forgotten.
 //
 // -replicas (and the nodes' -funcs/-analyses sizing) should match the
 // peers' own settings so the gateway's failover candidates are exactly
@@ -39,14 +46,16 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated base URLs of the icfg-serve nodes (required)")
 	replicas := flag.Int("replicas", 0, "replication factor, matching the nodes' setting (default 2)")
 	probe := flag.Duration("probe", 5*time.Second, "active /healthz probe interval (0: passive health only)")
+	maxBody := flag.Int64("max-body", 0, "request body cap in bytes for /rewrite and /batch (default 256MiB, -1: unbounded)")
 	flag.Parse()
 
 	if *peers == "" {
 		fatal(errors.New("-peers is required"))
 	}
 	gw, err := cluster.NewGateway(cluster.GatewayConfig{
-		Peers:    strings.Split(*peers, ","),
-		Replicas: *replicas,
+		Peers:           strings.Split(*peers, ","),
+		Replicas:        *replicas,
+		MaxRequestBytes: *maxBody,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,136 @@
+// Batch mode: submit a manifest of binaries to a remote daemon as one
+// fleet job, follow its SSE progress feed, and collect the outputs.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"icfgpatch/internal/service"
+	"icfgpatch/internal/service/wire"
+)
+
+// fileManifest is the on-disk manifest format: file paths where the
+// wire manifest carries bytes.
+type fileManifest struct {
+	Items []fileItem `json:"items"`
+}
+
+type fileItem struct {
+	// Name labels the item in progress output (default: the input path).
+	Name string `json:"name,omitempty"`
+	// Input is the serialised binary to rewrite.
+	Input string `json:"input"`
+	// Output is where the rewritten image lands (default: Input+".out").
+	Output string `json:"output,omitempty"`
+	// Opts overrides the CLI's rewrite flags for this item, as a
+	// /rewrite query string (e.g. "mode=jt&where=func").
+	Opts string `json:"opts,omitempty"`
+}
+
+// runBatch drives one fleet job end to end. defaultOpts is the CLI
+// flag set rendered as a query string, inherited by items without
+// their own.
+func runBatch(remote string, retries int, path, defaultOpts string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var fm fileManifest
+	if err := json.Unmarshal(data, &fm); err != nil {
+		return fmt.Errorf("bad manifest %s: %w", path, err)
+	}
+	if len(fm.Items) == 0 {
+		return fmt.Errorf("manifest %s has no items", path)
+	}
+	man := wire.BatchManifest{Items: make([]wire.BatchItem, len(fm.Items))}
+	outputs := make([]string, len(fm.Items))
+	for i, it := range fm.Items {
+		raw, err := os.ReadFile(it.Input)
+		if err != nil {
+			return fmt.Errorf("manifest item %d: %w", i, err)
+		}
+		name := it.Name
+		if name == "" {
+			name = it.Input
+		}
+		opts := it.Opts
+		if opts == "" {
+			opts = defaultOpts
+		}
+		man.Items[i] = wire.BatchItem{Name: name, Opts: opts, Binary: raw}
+		outputs[i] = it.Output
+		if outputs[i] == "" {
+			outputs[i] = it.Input + ".out"
+		}
+	}
+	// Two items writing one path would silently race; the common way to
+	// get here is listing the same input twice (e.g. with different
+	// opts) and letting both default to "<input>.out".
+	seen := map[string]int{}
+	for i, out := range outputs {
+		if j, dup := seen[out]; dup {
+			return fmt.Errorf("manifest items %d and %d both write %s; set distinct \"output\" paths", j, i, out)
+		}
+		seen[out] = i
+	}
+
+	ctx := context.Background()
+	cl := &service.Client{BaseURL: remote, Retries: retries}
+	acc, err := cl.BatchSubmit(ctx, man)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("batch %s: %d items submitted\n", acc.ID, acc.Items)
+
+	// Live progress from the event stream. The client resumes from the
+	// last seen sequence number across transient disconnects, so a node
+	// restart mid-job shows up as a pause, not a dead display.
+	failed := 0
+	err = cl.BatchEvents(ctx, acc.ID, 0, func(ev wire.BatchEvent) bool {
+		switch ev.Type {
+		case wire.EventItemStart:
+			fmt.Printf("  [%d/%d] %s: rewriting...\n", ev.Done, ev.Total, ev.Name)
+		case wire.EventItemDone:
+			fmt.Printf("  [%d/%d] %s: done (%s, %.1fms server)\n",
+				ev.Done, ev.Total, ev.Name, ev.Path, float64(ev.WallUS)/1000)
+		case wire.EventItemFailed:
+			failed++
+			fmt.Printf("  [%d/%d] %s: FAILED: %s\n", ev.Done, ev.Total, ev.Name, ev.Err)
+		case wire.EventJobFailed:
+			fmt.Printf("batch %s: finished with failures\n", acc.ID)
+		}
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("event stream: %w", err)
+	}
+
+	// The stream ended at job-done/job-failed; confirm with a status
+	// poll (also exercises the polling fallback path) and fetch outputs.
+	st, err := cl.BatchStatus(ctx, acc.ID)
+	if err != nil {
+		return err
+	}
+	written := 0
+	for i, item := range st.Items {
+		if item.State != wire.BatchDone {
+			continue
+		}
+		image, err := cl.BatchOutput(ctx, acc.ID, i)
+		if err != nil {
+			return fmt.Errorf("output %d (%s): %w", i, item.Name, err)
+		}
+		if err := os.WriteFile(outputs[i], image, 0o644); err != nil {
+			return err
+		}
+		written++
+	}
+	fmt.Printf("batch %s: %d/%d outputs written\n", acc.ID, written, st.Total)
+	if failed > 0 || st.State == wire.BatchFailed {
+		return fmt.Errorf("batch %s: %d items failed", acc.ID, failed)
+	}
+	return nil
+}

@@ -14,6 +14,18 @@
 // content hash so repeat rewrites of the same binary run the warm patch
 // path. All other flags behave identically; -check still executes both
 // binaries locally in the reference emulator.
+//
+// With -remote and -batch the CLI submits a whole fleet in one job:
+//
+//	icfg-rewrite -remote http://host:port -batch manifest.json
+//
+// The manifest lists items as {"name", "input", "output", "opts"};
+// items without "opts" inherit the CLI's mode/where/payload flags, and
+// "output" defaults to "<input>.out". Progress streams live over the
+// job's SSE event feed — per-binary start/done lines with the cache
+// path each rewrite took — and survives server restarts (the stream
+// resumes and a -batch-dir daemon finishes the job). Outputs are
+// fetched and written as the job completes.
 package main
 
 import (
@@ -51,17 +63,16 @@ func main() {
 	patchJobs := flag.Int("patch-jobs", 0, "worker pool for the local plan and emit stages (<=1: serial; output is byte-identical either way; with -remote the daemon's -patch-jobs governs)")
 	remote := flag.String("remote", "", "rewrite via an icfg-serve daemon at this base URL instead of locally")
 	retries := flag.Int("retries", 2, "with -remote: retries for transient connection failures (refused/reset/EOF before headers)")
+	batchFile := flag.String("batch", "", "with -remote: submit this JSON manifest as one batch job with live progress")
 	out := flag.String("o", "", "output path (required)")
 	flag.Parse()
 
 	usage := func(err error) {
 		fmt.Fprintln(os.Stderr, "icfg-rewrite:", err)
 		fmt.Fprintln(os.Stderr, "usage: icfg-rewrite [flags] -o out.icfg in.icfg")
+		fmt.Fprintln(os.Stderr, "       icfg-rewrite -remote URL -batch manifest.json")
 		flag.PrintDefaults()
 		os.Exit(2)
-	}
-	if flag.NArg() != 1 || *out == "" {
-		usage(fmt.Errorf("need exactly one input file and -o"))
 	}
 
 	// The flag surface is exactly the service wire surface, so the CLI
@@ -85,6 +96,22 @@ func main() {
 	opts, err := service.ParseOptions(v)
 	if err != nil {
 		usage(err)
+	}
+
+	if *batchFile != "" {
+		if *remote == "" {
+			usage(fmt.Errorf("-batch requires -remote"))
+		}
+		if flag.NArg() != 0 || *out != "" {
+			usage(fmt.Errorf("-batch takes inputs and outputs from the manifest, not the command line"))
+		}
+		if err := runBatch(*remote, *retries, *batchFile, v.Encode()); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if flag.NArg() != 1 || *out == "" {
+		usage(fmt.Errorf("need exactly one input file and -o"))
 	}
 
 	raw, err := os.ReadFile(flag.Arg(0))

@@ -7,11 +7,21 @@
 //
 // Usage:
 //
-//	icfg-serve [-addr :8844] [-workers N] [-queue N]
+//	icfg-serve [-addr :8844] [-workers N] [-queue N] [-batch-queue N]
 //	           [-analyses N] [-results N] [-funcs N] [-disk dir]
-//	           [-timeout dur] [-patch-jobs N]
+//	           [-batch-dir dir] [-max-body N] [-timeout dur]
+//	           [-patch-jobs N]
 //	           [-self URL -peers URL,URL,...] [-replicas N]
 //	           [-peer-timeout dur] [-probe dur]
+//
+// /batch accepts a JSON manifest of binaries and rewrite options,
+// returns a job ID, and streams per-binary progress over SSE at
+// /batch/{id}/events (poll /batch/{id} as a fallback; fetch outputs
+// from /batch/{id}/output/{i}). Batch items run on a lower-priority
+// scheduler lane — interactive /rewrite traffic always dispatches
+// first — and identical binaries across jobs share one analysis. With
+// -batch-dir, job state persists across restarts: a daemon killed
+// mid-batch finishes the job when it comes back.
 //
 // Besides /rewrite, /stats, and /healthz, the server exposes /metrics
 // (Prometheus text: request outcomes, cache paths, per-stage latency
@@ -46,12 +56,16 @@ import (
 
 	"icfgpatch/internal/cluster"
 	"icfgpatch/internal/service"
+	"icfgpatch/internal/service/batch"
 )
 
 func main() {
 	addr := flag.String("addr", ":8844", "listen address")
 	workers := flag.Int("workers", 0, "rewrite worker count (default: GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "request queue depth (default: 64)")
+	batchQueue := flag.Int("batch-queue", 0, "batch-lane queue depth (default: 256)")
+	batchDir := flag.String("batch-dir", "", "persist batch job state here (enables resume after restart)")
+	maxBody := flag.Int64("max-body", 0, "request body cap in bytes for /rewrite and /batch (default 256MiB, -1: unbounded)")
 	analyses := flag.Int("analyses", 0, "analysis cache entries (default: 32)")
 	results := flag.Int("results", 0, "result cache entries (0 disables the result cache)")
 	funcs := flag.Int("funcs", 0, "function-unit store entries for delta analysis (default: 4096, -1 disables)")
@@ -75,6 +89,8 @@ func main() {
 	s := service.New(service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
+		BatchQueueDepth: *batchQueue,
+		MaxRequestBytes: *maxBody,
 		AnalysisEntries: *analyses,
 		ResultEntries:   *results,
 		FuncEntries:     *funcs,
@@ -83,7 +99,18 @@ func main() {
 		PatchJobs:       *patchJobs,
 	})
 
-	handler := s.Handler()
+	// The batch surface wraps the service handler; the cluster routes
+	// wrap both. /batch jobs therefore always run on the node that
+	// accepted them (the gateway picks that node by manifest hash), and
+	// each item routes to its binary's hash owner via InstallBatch.
+	mgr, err := batch.New(s, batch.Config{
+		Dir:             *batchDir,
+		MaxRequestBytes: *maxBody,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	handler := mgr.Handler(s.Handler())
 	if *self != "" {
 		node, err := cluster.NewNode(s, cluster.Config{
 			Self:        *self,
@@ -94,7 +121,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		handler = node.Handler()
+		node.InstallBatch(mgr)
+		handler = node.HandlerWith(handler)
 		if *probe > 0 {
 			probeCtx, stopProbes := context.WithCancel(context.Background())
 			defer stopProbes()
@@ -126,6 +154,11 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	srv.Shutdown(ctx)
+	// Park batch runners first (their in-flight items go back to pending
+	// in the persisted record), then drain the rewrite pool.
+	if err := mgr.Shutdown(ctx); err != nil {
+		fatal(fmt.Errorf("batch drain: %w", err))
+	}
 	if err := s.Shutdown(ctx); err != nil {
 		fatal(fmt.Errorf("drain: %w", err))
 	}

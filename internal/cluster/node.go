@@ -16,6 +16,7 @@ import (
 	"icfgpatch/internal/core"
 	"icfgpatch/internal/obs"
 	"icfgpatch/internal/service"
+	"icfgpatch/internal/service/wire"
 	"icfgpatch/internal/store"
 )
 
@@ -42,6 +43,12 @@ type router struct {
 	hc       *http.Client
 	replicas int
 	forwards *obs.Counter
+	// relayTruncated counts relays whose body copy died mid-stream: the
+	// peer answered, headers went out, and then the pipe broke — the
+	// client got a truncated frame it will reject. Invisible before this
+	// counter: forwardRewrite reports success (the routing decision WAS
+	// final) and nothing recorded that the bytes never all arrived.
+	relayTruncated *obs.Counter
 }
 
 // forwardRewrite proxies one already-read /rewrite to target. It
@@ -54,7 +61,13 @@ func (rt *router) forwardRewrite(w http.ResponseWriter, r *http.Request, target 
 	if err != nil {
 		return err
 	}
-	req.Header.Set("Content-Type", "application/octet-stream")
+	// Relay the caller's Content-Type (a /batch manifest is JSON, a
+	// /rewrite body an octet stream) instead of assuming binary.
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	} else {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
 	if routedBy != "" {
 		req.Header.Set(RoutedHeader, routedBy)
 	}
@@ -69,7 +82,9 @@ func (rt *router) forwardRewrite(w http.ResponseWriter, r *http.Request, target 
 		}
 	}
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		rt.relayTruncated.Inc()
+	}
 	return nil
 }
 
@@ -189,6 +204,8 @@ func NewNode(srv *service.Server, cfg Config) (*Node, error) {
 		"analysis misses no peer could warm (recomputed locally)")
 	n.forwards = reg.Counter("icfg_cluster_forwards_total",
 		"rewrite requests forwarded to an owning peer")
+	n.relayTruncated = reg.Counter("icfg_cluster_relay_truncated_total",
+		"forwarded responses whose relay to the client died mid-body")
 	reg.GaugeFunc("icfg_cluster_peers_healthy", "cluster peers currently believed reachable", "", "",
 		func() float64 { return float64(n.health.CountHealthy(n.ring.peers)) })
 	srv.SetWarmUnits(n.warmUnits)
@@ -212,11 +229,19 @@ func (n *Node) StartProbes(ctx context.Context, interval time.Duration) {
 // reports membership; everything else (/stats, /healthz, /metrics,
 // pprof) passes through to the service handler.
 func (n *Node) Handler() http.Handler {
+	return n.HandlerWith(n.srv.Handler())
+}
+
+// HandlerWith is Handler over a caller-chosen base — the seam that lets
+// the daemon stack the batch surface under the cluster routes (batch
+// mux wraps service handler, node wraps that), so /batch jobs submitted
+// at any node run there while /rewrite keeps cluster routing.
+func (n *Node) HandlerWith(base http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/rewrite", n.handleRewrite)
 	mux.HandleFunc("/peer/units", n.handlePeerUnits)
 	mux.HandleFunc("/cluster", n.handleInfo)
-	mux.Handle("/", n.srv.Handler())
+	mux.Handle("/", base)
 	return mux
 }
 
@@ -225,9 +250,11 @@ func (n *Node) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	raw, err := io.ReadAll(r.Body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	// Same door cap as the plain service: the node must read the whole
+	// body to route by content hash, which is exactly why an unbounded
+	// read here was the cluster's OOM door.
+	raw, ok := wire.ReadBody(w, r, n.srv.MaxRequestBytes())
+	if !ok {
 		return
 	}
 	// Pre-routed requests are served unconditionally (no loops); so are
@@ -301,10 +328,12 @@ func (n *Node) warmUnits(ctx context.Context, key service.AnalysisKey) {
 	}
 	ctx, cancel := context.WithTimeout(ctx, n.cfg.PeerTimeout)
 	defer cancel()
+	attempted := false
 	for _, o := range n.ring.Owners(key.Hash, n.cfg.Replicas) {
 		if o == n.cfg.Self || !n.health.Healthy(o) {
 			continue
 		}
+		attempted = true
 		units, err := n.fetchUnits(ctx, o, key)
 		if err != nil {
 			if service.Transient(err) {
@@ -320,7 +349,15 @@ func (n *Node) warmUnits(ctx context.Context, key service.AnalysisKey) {
 			return
 		}
 	}
-	n.peerMisses.Inc()
+	// A miss means "asked and came up empty", so only count it when a
+	// fetch was actually attempted. When this node owns the hash itself
+	// (the common case under routed traffic — that is why it is doing
+	// the analysis) or every peer is marked down, no peer was asked and
+	// nothing missed; counting those walked the miss rate toward 100%
+	// on a healthy cluster and buried the real signal.
+	if attempted {
+		n.peerMisses.Inc()
+	}
 }
 
 // fetchUnits asks one peer for its cached units. A 404 is a clean

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"icfgpatch/internal/service"
+	"icfgpatch/internal/service/batch"
 )
 
 // TestClusterConfig sizes an in-process cluster.
@@ -26,6 +27,11 @@ type TestClusterConfig struct {
 	// WrapNode, when set, wraps node i's handler — fault-injection
 	// middleware for tests (delays, drops).
 	WrapNode func(i int, h http.Handler) http.Handler
+	// Batch installs a batch.Manager on every node (cluster-routing
+	// executor, /batch HTTP surface) and routes /batch through the
+	// gateway. The cap for the gateway's /batch door follows
+	// Service.MaxRequestBytes.
+	Batch bool
 }
 
 // TestCluster is an in-process multi-node cluster: N real
@@ -39,6 +45,8 @@ type TestCluster struct {
 	Servers []*service.Server
 	URLs    []string
 	Gateway *Gateway
+	// Managers holds each node's batch manager (cfg.Batch only).
+	Managers []*batch.Manager
 
 	listeners []*httptest.Server
 	gwSrv     *httptest.Server
@@ -85,12 +93,31 @@ func NewTestCluster(t testing.TB, cfg TestClusterConfig) *TestCluster {
 		tc.Servers = append(tc.Servers, srv)
 		tc.Nodes = append(tc.Nodes, node)
 		h := node.Handler()
+		if cfg.Batch {
+			mgr, err := batch.New(srv, batch.Config{MaxRequestBytes: cfg.Service.MaxRequestBytes})
+			if err != nil {
+				t.Fatalf("batch manager %d: %v", i, err)
+			}
+			tc.Managers = append(tc.Managers, mgr)
+			node.InstallBatch(mgr)
+			h = node.HandlerWith(mgr.Handler(srv.Handler()))
+			if cfg.WrapNode != nil {
+				h = cfg.WrapNode(i, h)
+			}
+			handlers[i].Store(&h)
+			continue
+		}
 		if cfg.WrapNode != nil {
 			h = cfg.WrapNode(i, h)
 		}
 		handlers[i].Store(&h)
 	}
-	gw, err := NewGateway(GatewayConfig{Peers: tc.URLs, Replicas: cfg.Replicas, DownTTL: cfg.DownTTL})
+	gw, err := NewGateway(GatewayConfig{
+		Peers:           tc.URLs,
+		Replicas:        cfg.Replicas,
+		DownTTL:         cfg.DownTTL,
+		MaxRequestBytes: cfg.Service.MaxRequestBytes,
+	})
 	if err != nil {
 		t.Fatalf("gateway: %v", err)
 	}

@@ -36,6 +36,8 @@ import (
 	"icfgpatch/internal/core"
 	"icfgpatch/internal/instrument"
 	"icfgpatch/internal/service"
+	"icfgpatch/internal/service/batch"
+	"icfgpatch/internal/service/wire"
 	"icfgpatch/internal/store"
 	"icfgpatch/internal/workload"
 )
@@ -77,6 +79,13 @@ type Trajectory struct {
 	ServiceP50Ns    float64 `json:"service_p50_ns"`
 	ServiceP99Ns    float64 `json:"service_p99_ns"`
 	ServiceRequests int     `json:"service_requests"`
+
+	// BatchItemsPerSec is fleet-rewrite throughput: one batch job of
+	// BatchItems manifest entries over three distinct binary versions
+	// (so dedupe and the delta path both participate), items divided by
+	// job wall time, median over the recording's iterations.
+	BatchItemsPerSec float64 `json:"batch_items_per_sec"`
+	BatchItems       int     `json:"batch_items"`
 
 	// AllocBudgets are the ceilings TestAllocBudget asserts: the
 	// measured allocs/op at recording time with headroom baked in.
@@ -241,7 +250,68 @@ func Record(opts RecordOptions) (*Trajectory, error) {
 		return nil, fmt.Errorf("perf: service load: %w", err)
 	}
 	t.ServiceP50Ns, t.ServiceP99Ns, t.ServiceRequests = p50, p99, n
+
+	// Batch fleet throughput.
+	ips, items, err := batchThroughput(prog.Binary, v2, patchOpts, opts.Iters)
+	if err != nil {
+		return nil, fmt.Errorf("perf: batch throughput: %w", err)
+	}
+	t.BatchItemsPerSec, t.BatchItems = ips, items
 	return t, nil
+}
+
+// batchThroughput runs one fleet job per iteration — batchItemCount
+// manifest entries cycling over three distinct binary versions, so
+// identical items dedupe through the analysis store's single-flight and
+// the versions exercise the delta path — and reports median items/sec.
+// Each iteration gets a fresh server and manager: the measurement is
+// the cold fleet, the case the batch API exists for.
+func batchThroughput(v1, v2 *bin.Binary, patchOpts core.Options, iters int) (float64, int, error) {
+	const batchItemCount = 12
+	v3, _, err := workload.MutateVersion(v1, 3, 23)
+	if err != nil {
+		return 0, 0, err
+	}
+	raws := [][]byte{v1.Marshal(), v2.Marshal(), v3.Marshal()}
+	params, err := wire.EncodeOptions(patchOpts)
+	if err != nil {
+		return 0, 0, err
+	}
+	man := wire.BatchManifest{}
+	for i := 0; i < batchItemCount; i++ {
+		man.Items = append(man.Items, wire.BatchItem{
+			Name:   fmt.Sprintf("item-%d", i),
+			Opts:   params.Encode(),
+			Binary: raws[i%len(raws)],
+		})
+	}
+	samples := make([]float64, 0, iters)
+	for i := 0; i < iters; i++ {
+		srv := service.New(service.Config{Workers: 4, ResultEntries: 0})
+		mgr, err := batch.New(srv, batch.Config{})
+		if err != nil {
+			srv.Shutdown(context.Background())
+			return 0, 0, err
+		}
+		runtime.GC()
+		start := time.Now()
+		job, err := mgr.Submit(man)
+		if err == nil {
+			<-job.Done()
+		}
+		elapsed := time.Since(start)
+		mgr.Shutdown(context.Background())
+		srv.Shutdown(context.Background())
+		if err != nil {
+			return 0, 0, err
+		}
+		if st := job.Status(); st.State != wire.BatchDone {
+			return 0, 0, fmt.Errorf("perf: batch job ended %s", st.State)
+		}
+		samples = append(samples, float64(batchItemCount)/elapsed.Seconds())
+	}
+	sort.Float64s(samples)
+	return samples[len(samples)/2], batchItemCount, nil
 }
 
 // MeasureBudgetAllocs measures the three budgeted allocation counts
@@ -512,6 +582,7 @@ func Compare(base, cand *Trajectory, tol Tolerances) ([]Regression, error) {
 		{"service_p50_ns", base.ServiceP50Ns, cand.ServiceP50Ns, tol.LatencyPct, false},
 		{"service_p99_ns", base.ServiceP99Ns, cand.ServiceP99Ns, tol.LatencyPct, false},
 		{"emit_throughput_mbps", base.EmitThroughputMBps, cand.EmitThroughputMBps, tol.LatencyPct, true},
+		{"batch_items_per_sec", base.BatchItemsPerSec, cand.BatchItemsPerSec, tol.LatencyPct, true},
 		{"warm_patch_allocs_per_op", base.WarmPatchAllocsPerOp, cand.WarmPatchAllocsPerOp, tol.AllocsPct, false},
 		{"warm_analyze_allocs_per_op", base.WarmAnalyzeAllocsPerOp, cand.WarmAnalyzeAllocsPerOp, tol.AllocsPct, false},
 		{"delta_analyze_allocs_per_op", base.DeltaAnalyzeAllocsPerOp, cand.DeltaAnalyzeAllocsPerOp, tol.AllocsPct, false},

@@ -25,6 +25,8 @@ func sample() *Trajectory {
 		ServiceP50Ns:            9e6,
 		ServiceP99Ns:            25e6,
 		ServiceRequests:         64,
+		BatchItemsPerSec:        40,
+		BatchItems:              12,
 		AllocBudgets: map[string]float64{
 			BudgetWarmPatch:    5200,
 			BudgetWarmAnalyze:  78000,
@@ -56,6 +58,7 @@ func TestCompareDetectsRegression(t *testing.T) {
 		{"allocs", func(c *Trajectory) { c.WarmPatchAllocsPerOp *= 1.5 }, "warm_patch_allocs_per_op"},
 		{"tail", func(c *Trajectory) { c.ServiceP99Ns *= 3 }, "service_p99_ns"},
 		{"throughput-drop", func(c *Trajectory) { c.EmitThroughputMBps /= 10 }, "emit_throughput_mbps"},
+		{"batch-throughput-drop", func(c *Trajectory) { c.BatchItemsPerSec /= 10 }, "batch_items_per_sec"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

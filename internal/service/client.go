@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/url"
 	"strings"
 	"syscall"
 	"time"
@@ -91,8 +92,17 @@ func (c *Client) do(ctx context.Context, attempt func() (*http.Request, error)) 
 		if try >= c.Retries || !Transient(err) || ctx.Err() != nil {
 			return nil, lastErr
 		}
-		backoff := base << uint(try)
-		if backoff > max {
+		// Saturating doubling, not `base << try`: a shift by the raw
+		// attempt number overflows int64 around try 38 at the 50ms
+		// default base, and the negative result slipped past the cap
+		// below straight into rand.Int63n, which panics on non-positive
+		// arguments. Doubling stops as soon as the cap is reached, so no
+		// retry count can overflow.
+		backoff := base
+		for i := 0; i < try && backoff < max; i++ {
+			backoff <<= 1
+		}
+		if backoff > max || backoff <= 0 {
 			backoff = max
 		}
 		// Full jitter: sleep a uniform fraction of the backoff so a herd
@@ -139,6 +149,131 @@ func (c *Client) Rewrite(ctx context.Context, raw []byte, opts core.Options) ([]
 		return nil, nil, fmt.Errorf("service: %w", err)
 	}
 	return image, reply, nil
+}
+
+// BatchSubmit posts a manifest to /batch and returns the accepted job
+// ID. Submissions are not retried even on transport death: the server
+// may have accepted the job before the connection died, and a blind
+// resubmit would rewrite the fleet twice.
+func (c *Client) BatchSubmit(ctx context.Context, m wire.BatchManifest) (*wire.BatchAccepted, error) {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	u := strings.TrimSuffix(c.BaseURL, "/") + "/batch"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("service: batch submit failed (%s): %s",
+			resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var acc wire.BatchAccepted
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		return nil, fmt.Errorf("service: bad batch accept body: %w", err)
+	}
+	return &acc, nil
+}
+
+// BatchStatus polls one job's status snapshot.
+func (c *Client) BatchStatus(ctx context.Context, id string) (*wire.BatchStatus, error) {
+	u := strings.TrimSuffix(c.BaseURL, "/") + "/batch/" + url.PathEscape(id)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("service: batch status (%s): %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var st wire.BatchStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// BatchEvents follows one job's SSE event stream from sequence `from`
+// (0 streams from the beginning), calling fn per event until the
+// stream ends — the server closes it after job-done/job-failed — or fn
+// returns false. Transient disconnects resume from the last seen
+// sequence number, up to Retries times per disconnect, so a node
+// restart mid-stream costs duplicate-free continuation, not a dead
+// progress display.
+func (c *Client) BatchEvents(ctx context.Context, id string, from int64, fn func(wire.BatchEvent) bool) error {
+	last := from
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	for attempt := 0; ; attempt++ {
+		u := fmt.Sprintf("%s/batch/%s/events?from=%d",
+			strings.TrimSuffix(c.BaseURL, "/"), url.PathEscape(id), last)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := hc.Do(req)
+		if err == nil && resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			return fmt.Errorf("service: batch events (%s): %s", resp.Status, strings.TrimSpace(string(msg)))
+		}
+		if err == nil {
+			done := false
+			err = wire.ReadSSE(resp.Body, func(ev wire.BatchEvent) bool {
+				last = ev.Seq
+				if !fn(ev) {
+					done = true
+					return false
+				}
+				if ev.Type == wire.EventJobDone || ev.Type == wire.EventJobFailed {
+					done = true
+					return false
+				}
+				return true
+			})
+			resp.Body.Close()
+			if done || err == nil {
+				return nil
+			}
+		}
+		if attempt >= c.Retries || !Transient(err) || ctx.Err() != nil {
+			return err
+		}
+	}
+}
+
+// BatchOutput fetches item idx's rewritten image.
+func (c *Client) BatchOutput(ctx context.Context, id string, idx int) ([]byte, error) {
+	u := fmt.Sprintf("%s/batch/%s/output/%d", strings.TrimSuffix(c.BaseURL, "/"), url.PathEscape(id), idx)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("service: batch output (%s): %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return io.ReadAll(resp.Body)
 }
 
 // Stats fetches the server's counters.

@@ -136,3 +136,36 @@ func TestTransientErrClassifier(t *testing.T) {
 		}
 	}
 }
+
+// TestClientBackoffNoOverflow is the regression test for the retry
+// backoff overflow: `base << try` goes negative around try 38 (with the
+// 50ms default base), and the negative backoff reached rand.Int63n,
+// which panics on non-positive arguments. 64 retries against a dead
+// listener walks try well past the overflow point; the fix saturates
+// the backoff at RetryMax, so this must return an error — not panic.
+func TestClientBackoffNoOverflow(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listening: every attempt is ECONNREFUSED
+
+	c := &Client{
+		BaseURL: "http://" + addr,
+		Retries: 64,
+		// 1ns base/2ns max keep 64 capped sleeps instantaneous while the
+		// attempt counter runs far past where the shift overflowed.
+		RetryBase: 1,
+		RetryMax:  2,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, _, err = c.Rewrite(ctx, []byte("x"), core.Options{Mode: core.ModeJT, Request: blockEmpty()})
+	if err == nil {
+		t.Fatal("rewrite against a dead listener succeeded")
+	}
+	if !Transient(err) {
+		t.Fatalf("dead listener surfaced a non-transient error: %v", err)
+	}
+}

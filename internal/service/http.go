@@ -16,7 +16,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"net/http/pprof"
 	"net/url"
@@ -60,13 +59,18 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	raw, err := io.ReadAll(r.Body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	// The body cap is the door's OOM guard: one oversized POST gets a
+	// 413 instead of an unbounded ReadAll allocation.
+	raw, ok := wire.ReadBody(w, r, s.cfg.MaxRequestBytes)
+	if !ok {
 		return
 	}
 	s.ServeRewrite(w, r, raw)
 }
+
+// MaxRequestBytes reports the door cap this server enforces, so
+// embedders (the cluster node) apply the same cap at their own doors.
+func (s *Server) MaxRequestBytes() int64 { return s.cfg.MaxRequestBytes }
 
 // ServeRewrite serves one rewrite whose body has already been read —
 // the seam the cluster node uses to serve a request it decided to
@@ -81,7 +85,15 @@ func (s *Server) ServeRewrite(w http.ResponseWriter, r *http.Request, raw []byte
 		return
 	}
 	trace := q.Get("trace") == "1" || q.Get("trace") == "true"
-	resp, err := s.Submit(r.Context(), Request{Raw: raw, Opts: opts, Trace: trace})
+	submit := s.Submit
+	if q.Get("lane") == "batch" {
+		// lane=batch puts the request on the scheduler's batch lane —
+		// the path cluster peers use when forwarding each other's batch
+		// items, so a forwarded fleet job cannot jump the priority
+		// fence on the remote node.
+		submit = s.SubmitBatch
+	}
+	resp, err := submit(r.Context(), Request{Raw: raw, Opts: opts, Trace: trace})
 	if err != nil {
 		http.Error(w, err.Error(), statusFor(err))
 		return

@@ -80,6 +80,10 @@ func newMetrics(s *Server) *metrics {
 		func() float64 { return float64(s.pool.QueueCap()) })
 	reg.GaugeFunc("icfg_workers", "rewrite worker count", "", "",
 		func() float64 { return float64(s.pool.Workers()) })
+	reg.GaugeFunc("icfg_batch_queue_depth", "batch-lane requests waiting in the queue", "", "",
+		func() float64 { return float64(s.pool.BatchQueued()) })
+	reg.GaugeFunc("icfg_batch_queue_capacity", "batch-lane queue capacity", "", "",
+		func() float64 { return float64(s.pool.BatchQueueCap()) })
 	registerStoreGauges(reg, "analysis", func() store.Stats { return s.stores.Analyses.Stats() })
 	if s.stores.Results != nil {
 		registerStoreGauges(reg, "result", func() store.Stats { return s.stores.Results.Stats() })
@@ -144,6 +148,27 @@ func (m *metrics) observeServed(resp *Response) {
 	m.patchReencoded.Add(uint64(resp.Metrics.PatchFuncsReencoded))
 	for _, st := range resp.Metrics.Stages {
 		m.stage.With(st.Name).Observe(st.Wall.Seconds())
+	}
+}
+
+// CachePath classifies how this served response was produced — one of
+// the icfg_cache_path_total labels (cold, delta, warm-analysis,
+// result-cache). Exported for the batch subsystem's per-item events.
+func (r *Response) CachePath() string { return respPath(r) }
+
+// ReplyCachePath is CachePath over a remote rewrite's wire Reply, so a
+// node relaying a batch item to the hash's owner reports the same
+// vocabulary the owner would have.
+func ReplyCachePath(rep *Reply) string {
+	switch {
+	case rep.ResultHit:
+		return pathResultCache
+	case rep.AnalysisHit:
+		return pathWarmAnalysis
+	case rep.FuncsReused > 0:
+		return pathDelta
+	default:
+		return pathCold
 	}
 }
 

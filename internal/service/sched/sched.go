@@ -1,9 +1,9 @@
 // Package sched is the rewrite service's scheduling layer: a bounded
-// worker pool consuming a backpressured task queue, with a graceful
-// drain. It knows nothing about rewriting, caching, or HTTP — the
-// layering split that lets the cluster plug new transports and storage
-// behaviour into the service without touching how work is queued and
-// drained.
+// worker pool consuming two backpressured task queues — an interactive
+// lane and a batch lane — with a graceful drain. It knows nothing about
+// rewriting, caching, or HTTP — the layering split that lets the
+// cluster plug new transports and storage behaviour into the service
+// without touching how work is queued and drained.
 //
 // Semantics carried over from the original in-service pool, verbatim:
 //
@@ -16,6 +16,13 @@
 //     cheaply (the task receives its submitter's context).
 //   - Shutdown stops the workers after at most one in-flight task each,
 //     then fails every still-queued task with ErrDrained.
+//
+// The batch lane (DoBatch) exists for fleet rewriting: batch items must
+// never add latency to interactive requests, so workers always prefer
+// the interactive queue, at most Workers-1 workers may run batch tasks
+// at once (one worker is permanently reserved for interactive work on
+// multi-worker pools), and a full batch queue blocks the submitter —
+// backpressure for a background job — instead of rejecting.
 package sched
 
 import (
@@ -45,8 +52,10 @@ var (
 type Config struct {
 	// Workers is the worker goroutine count (default: GOMAXPROCS).
 	Workers int
-	// QueueDepth bounds the pending task queue (default: 64).
+	// QueueDepth bounds the pending interactive task queue (default: 64).
 	QueueDepth int
+	// BatchQueueDepth bounds the pending batch task queue (default: 256).
+	BatchQueueDepth int
 	// QueueWait, when set, observes each task's enqueue→dequeue wait.
 	QueueWait func(time.Duration)
 	// Dequeue, when set, runs as a worker picks up a task — test
@@ -65,13 +74,18 @@ type task struct {
 	enqueued time.Time
 }
 
-// Pool is the bounded worker pool. Create with New, submit with Do,
-// stop with Shutdown.
+// Pool is the bounded two-lane worker pool. Create with New, submit
+// with Do (interactive) or DoBatch (batch), stop with Shutdown.
 type Pool struct {
-	cfg     Config
-	queue   chan *task
-	drain   chan struct{}
-	workers sync.WaitGroup
+	cfg        Config
+	queue      chan *task
+	batchQueue chan *task
+	// batchSlots caps how many workers may run batch tasks at once
+	// (Workers-1, min 1), so at least one worker is always parked on the
+	// interactive queue of a multi-worker pool.
+	batchSlots chan struct{}
+	drain      chan struct{}
+	workers    sync.WaitGroup
 
 	stateMu  sync.RWMutex
 	draining bool
@@ -86,11 +100,20 @@ func New(cfg Config) *Pool {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
+	if cfg.BatchQueueDepth <= 0 {
+		cfg.BatchQueueDepth = 256
+	}
+	slots := cfg.Workers - 1
+	if slots < 1 {
+		slots = 1
+	}
 	p := &Pool{
-		cfg:     cfg,
-		queue:   make(chan *task, cfg.QueueDepth),
-		drain:   make(chan struct{}),
-		stopped: make(chan struct{}),
+		cfg:        cfg,
+		queue:      make(chan *task, cfg.QueueDepth),
+		batchQueue: make(chan *task, cfg.BatchQueueDepth),
+		batchSlots: make(chan struct{}, slots),
+		drain:      make(chan struct{}),
+		stopped:    make(chan struct{}),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		p.workers.Add(1)
@@ -99,12 +122,12 @@ func New(cfg Config) *Pool {
 	return p
 }
 
-// Do enqueues run and waits for it. run executes exactly once on a
-// worker goroutine with the submitter's context, unless the pool is
-// draining (ErrShuttingDown / ErrDrained) or the queue is full
-// (ErrQueueFull). If ctx dies while the task is queued, Do returns
-// ctx's error and the task is abandoned at dequeue by contract of run
-// observing its context.
+// Do enqueues run on the interactive lane and waits for it. run
+// executes exactly once on a worker goroutine with the submitter's
+// context, unless the pool is draining (ErrShuttingDown / ErrDrained)
+// or the queue is full (ErrQueueFull). If ctx dies while the task is
+// queued, Do returns ctx's error and the task is abandoned at dequeue
+// by contract of run observing its context.
 func (p *Pool) Do(ctx context.Context, run func(ctx context.Context) error) error {
 	t := &task{ctx: ctx, run: run, done: make(chan struct{}), enqueued: time.Now()}
 
@@ -122,7 +145,51 @@ func (p *Pool) Do(ctx context.Context, run func(ctx context.Context) error) erro
 		p.stateMu.RUnlock()
 		return ErrQueueFull
 	}
+	return p.wait(ctx, t)
+}
 
+// DoBatch enqueues run on the batch lane and waits for it. Unlike Do,
+// a full batch queue blocks the submitter until space frees (or ctx
+// dies, or the pool drains): batch submitters are background job
+// runners that want backpressure, not an error to retry. Batch tasks
+// are only dequeued when the interactive queue is empty, and at most
+// Workers-1 workers run batch tasks concurrently.
+func (p *Pool) DoBatch(ctx context.Context, run func(ctx context.Context) error) error {
+	t := &task{ctx: ctx, run: run, done: make(chan struct{}), enqueued: time.Now()}
+	for {
+		// Same lock pairing as Do: the non-blocking enqueue under the
+		// read lock is what keeps a racing Shutdown from missing this
+		// task. A blocking send could slip into the queue after
+		// Shutdown's drain loop finished and never complete.
+		p.stateMu.RLock()
+		if p.draining {
+			p.stateMu.RUnlock()
+			return ErrShuttingDown
+		}
+		enqueued := false
+		select {
+		case p.batchQueue <- t:
+			enqueued = true
+		default:
+		}
+		p.stateMu.RUnlock()
+		if enqueued {
+			return p.wait(ctx, t)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-p.drain:
+			return ErrShuttingDown
+		case <-time.After(2 * time.Millisecond):
+			// Queue full: poll for space. The interval is far below any
+			// rewrite's service time, so the wasted capacity is noise.
+		}
+	}
+}
+
+// wait blocks until the task completes or the submitter's context dies.
+func (p *Pool) wait(ctx context.Context, t *task) error {
 	select {
 	case <-t.done:
 		return t.err
@@ -134,8 +201,9 @@ func (p *Pool) Do(ctx context.Context, run func(ctx context.Context) error) erro
 }
 
 // worker is one pool goroutine: it prefers the drain signal over new
-// work, so Shutdown stops the pool after at most the in-flight task per
-// worker.
+// work and the interactive queue over the batch queue, so Shutdown
+// stops the pool after at most the in-flight task per worker and batch
+// work never delays an already-queued interactive request.
 func (p *Pool) worker() {
 	defer p.workers.Done()
 	for {
@@ -144,26 +212,61 @@ func (p *Pool) worker() {
 			return
 		default:
 		}
+		// Interactive work first, unconditionally.
 		select {
 		case <-p.drain:
 			return
 		case t := <-p.queue:
-			if p.cfg.Dequeue != nil {
-				p.cfg.Dequeue()
+			p.serve(t)
+			continue
+		default:
+		}
+		// Nothing interactive queued: also watch the batch lane, but
+		// only with a batch slot in hand — the worker that fails to get
+		// one stays parked on the interactive queue, which is exactly
+		// the reservation that bounds interactive dispatch latency
+		// while a fleet job floods the batch lane.
+		var batchCh chan *task
+		holding := false
+		select {
+		case p.batchSlots <- struct{}{}:
+			holding = true
+			batchCh = p.batchQueue
+		default:
+		}
+		select {
+		case <-p.drain:
+			if holding {
+				<-p.batchSlots
 			}
-			if p.cfg.QueueWait != nil {
-				p.cfg.QueueWait(time.Since(t.enqueued))
+			return
+		case t := <-p.queue:
+			if holding {
+				<-p.batchSlots
 			}
-			t.err = t.run(t.ctx)
-			close(t.done)
+			p.serve(t)
+		case t := <-batchCh:
+			p.serve(t)
+			<-p.batchSlots
 		}
 	}
 }
 
+func (p *Pool) serve(t *task) {
+	if p.cfg.Dequeue != nil {
+		p.cfg.Dequeue()
+	}
+	if p.cfg.QueueWait != nil {
+		p.cfg.QueueWait(time.Since(t.enqueued))
+	}
+	t.err = t.run(t.ctx)
+	close(t.done)
+}
+
 // Shutdown drains the pool: new submissions are rejected, workers
-// finish their in-flight tasks and stop, and every task still queued
-// fails with ErrDrained. It returns ctx's error if the in-flight work
-// outlives the context.
+// finish their in-flight tasks and stop, and every task still queued —
+// on either lane — fails with ErrDrained. It returns ctx's error if the
+// in-flight work outlives the context.
 func (p *Pool) Shutdown(ctx context.Context) error {
 	p.stateMu.Lock()
 	already := p.draining
@@ -191,20 +294,22 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 	}
 
 	// With the state lock held once more, no Do can still be enqueueing:
-	// everything left in the queue is drainable.
+	// everything left in either queue is drainable.
 	p.stateMu.Lock()
-	for {
-		select {
-		case t := <-p.queue:
-			if p.cfg.Dropped != nil {
-				p.cfg.Dropped()
+	for _, q := range []chan *task{p.queue, p.batchQueue} {
+		for {
+			select {
+			case t := <-q:
+				if p.cfg.Dropped != nil {
+					p.cfg.Dropped()
+				}
+				t.err = ErrDrained
+				close(t.done)
+				continue
+			default:
 			}
-			t.err = ErrDrained
-			close(t.done)
-			continue
-		default:
+			break
 		}
-		break
 	}
 	p.stateMu.Unlock()
 	close(p.stopped)
@@ -216,11 +321,17 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 // sequence against the start of a drain.
 func (p *Pool) Drain() <-chan struct{} { return p.drain }
 
-// Queued returns the number of tasks waiting in the queue.
+// Queued returns the number of tasks waiting in the interactive queue.
 func (p *Pool) Queued() int { return len(p.queue) }
 
-// QueueCap returns the queue's capacity.
+// QueueCap returns the interactive queue's capacity.
 func (p *Pool) QueueCap() int { return cap(p.queue) }
+
+// BatchQueued returns the number of tasks waiting in the batch queue.
+func (p *Pool) BatchQueued() int { return len(p.batchQueue) }
+
+// BatchQueueCap returns the batch queue's capacity.
+func (p *Pool) BatchQueueCap() int { return cap(p.batchQueue) }
 
 // Workers returns the worker count.
 func (p *Pool) Workers() int { return p.cfg.Workers }

@@ -138,3 +138,152 @@ func TestPoolHooks(t *testing.T) {
 		t.Fatalf("hooks: dequeues=%d waits=%d, want 5/5", dequeues.Load(), waits.Load())
 	}
 }
+
+// TestBatchLaneReservedWorker: with W workers, at most W-1 may run
+// batch tasks, so an interactive request always finds a worker even
+// while the batch lane is saturated with long-running tasks.
+func TestBatchLaneReservedWorker(t *testing.T) {
+	p := New(Config{Workers: 2, QueueDepth: 4, BatchQueueDepth: 8})
+	defer p.Shutdown(context.Background())
+
+	// Saturate the batch lane: slot cap is Workers-1 = 1, so exactly one
+	// batch task runs; the rest queue behind it.
+	gate := make(chan struct{})
+	running := make(chan struct{}, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.DoBatch(context.Background(), func(context.Context) error {
+				running <- struct{}{}
+				<-gate
+				return nil
+			})
+		}()
+	}
+	<-running // one batch task holds the single batch slot
+	deadline := time.Now().Add(5 * time.Second)
+	for p.BatchQueued() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch queue never backed up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := len(running); n != 0 {
+		t.Fatalf("%d extra batch tasks running; slot cap not enforced", n+1)
+	}
+
+	// The reserved worker serves interactive work immediately.
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Do(context.Background(), func(context.Context) error { return nil })
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("interactive Do under batch flood: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("interactive request starved behind batch tasks")
+	}
+	if p.BatchQueued() == 0 {
+		t.Fatal("batch queue drained before the interactive request finished; preemption untested")
+	}
+	close(gate)
+	wg.Wait()
+}
+
+// TestBatchLaneBackpressure: a full batch queue blocks DoBatch instead
+// of rejecting, and unblocks when space frees.
+func TestBatchLaneBackpressure(t *testing.T) {
+	p := New(Config{Workers: 2, QueueDepth: 2, BatchQueueDepth: 1})
+	defer p.Shutdown(context.Background())
+
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	go p.DoBatch(context.Background(), func(context.Context) error {
+		close(running)
+		<-gate
+		return nil
+	})
+	<-running
+	// Fill the 1-deep batch queue.
+	queued := make(chan error, 1)
+	go func() {
+		queued <- p.DoBatch(context.Background(), func(context.Context) error { return nil })
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.BatchQueued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A third submission must block (not error) until space frees.
+	blocked := make(chan error, 1)
+	go func() {
+		blocked <- p.DoBatch(context.Background(), func(context.Context) error { return nil })
+	}()
+	select {
+	case err := <-blocked:
+		t.Fatalf("DoBatch on a full queue returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(gate)
+	for _, ch := range []chan error{queued, blocked} {
+		if err := <-ch; err != nil {
+			t.Fatalf("backpressured DoBatch: %v", err)
+		}
+	}
+}
+
+// TestBatchLaneDrain: Shutdown fails queued batch tasks with ErrDrained
+// and a DoBatch blocked on a full queue with ErrShuttingDown — neither
+// hangs.
+func TestBatchLaneDrain(t *testing.T) {
+	var dropped atomic.Int64
+	p := New(Config{Workers: 1, QueueDepth: 2, BatchQueueDepth: 1, Dropped: func() { dropped.Add(1) }})
+
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	go p.DoBatch(context.Background(), func(context.Context) error {
+		close(running)
+		<-gate
+		return nil
+	})
+	<-running
+	queued := make(chan error, 1)
+	go func() {
+		queued <- p.DoBatch(context.Background(), func(context.Context) error { return nil })
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.BatchQueued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	blocked := make(chan error, 1)
+	go func() {
+		blocked <- p.DoBatch(context.Background(), func(context.Context) error { return nil })
+	}()
+
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- p.Shutdown(context.Background()) }()
+	<-p.Drain()
+	close(gate) // let the in-flight batch task finish so workers exit
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-queued; !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("queued batch task: err = %v, want ErrDrained", err)
+	}
+	if err := <-blocked; !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("blocked DoBatch: err = %v, want ErrShuttingDown", err)
+	}
+	if dropped.Load() != 1 {
+		t.Fatalf("dropped hook fired %d times, want 1", dropped.Load())
+	}
+}

@@ -62,6 +62,15 @@ type Config struct {
 	Workers int
 	// QueueDepth bounds the pending request queue (default: 64).
 	QueueDepth int
+	// BatchQueueDepth bounds the batch lane's queue (default: 256).
+	// Batch items only run when no interactive request is queued, and
+	// at most Workers-1 workers serve them, so fleet jobs cannot starve
+	// interactive traffic.
+	BatchQueueDepth int
+	// MaxRequestBytes caps HTTP request bodies at the /rewrite and
+	// /batch doors (0: wire.DefaultMaxBody; negative: unbounded). An
+	// over-cap POST gets 413 instead of being read into memory whole.
+	MaxRequestBytes int64
 	// AnalysisEntries bounds the analysis store (default: 32 entries).
 	AnalysisEntries int
 	// FuncEntries bounds the function-unit store — the delta engine's
@@ -144,7 +153,10 @@ type ServerStats struct {
 	Rejected  uint64
 	Queued    int
 	QueueCap  int
-	Workers   int
+	// BatchQueued / BatchQueueCap describe the scheduler's batch lane.
+	BatchQueued   int
+	BatchQueueCap int
+	Workers       int
 	// Outcomes breaks every finished submission down by its
 	// icfg_requests_total label (ok, error, timeout, canceled,
 	// queue_full, shutdown).
@@ -190,9 +202,10 @@ func New(cfg Config) *Server {
 	// (workers idle until the first Do), so s.metrics is always set by
 	// the time they run.
 	s.pool = sched.New(sched.Config{
-		Workers:    cfg.Workers,
-		QueueDepth: cfg.QueueDepth,
-		QueueWait:  func(d time.Duration) { s.metrics.queueWait.Observe(d.Seconds()) },
+		Workers:         cfg.Workers,
+		QueueDepth:      cfg.QueueDepth,
+		BatchQueueDepth: cfg.BatchQueueDepth,
+		QueueWait:       func(d time.Duration) { s.metrics.queueWait.Observe(d.Seconds()) },
 		Dequeue: func() {
 			if testHookDequeue != nil {
 				testHookDequeue()
@@ -237,11 +250,23 @@ func (s *Server) warmHook() func(ctx context.Context, key AnalysisKey) {
 // owns the retry policy), ErrShuttingDown once Shutdown has begun, and
 // ctx's error if the caller gives up first.
 func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
+	return s.submit(ctx, req, s.pool.Do)
+}
+
+// SubmitBatch is Submit on the scheduler's batch lane: the request only
+// runs when no interactive request is queued, at most Workers-1 workers
+// serve batch work, and a full batch queue blocks the caller
+// (backpressure for a job runner) instead of returning ErrQueueFull.
+func (s *Server) SubmitBatch(ctx context.Context, req Request) (*Response, error) {
+	return s.submit(ctx, req, s.pool.DoBatch)
+}
+
+func (s *Server) submit(ctx context.Context, req Request, do func(context.Context, func(context.Context) error) error) (*Response, error) {
 	if err := normalize(&req); err != nil {
 		return nil, err
 	}
 	var resp *Response
-	err := s.pool.Do(ctx, func(ctx context.Context) error {
+	err := do(ctx, func(ctx context.Context) error {
 		r, err := s.process(ctx, &req)
 		if err != nil {
 			return err
@@ -428,16 +453,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Stats snapshots the service counters.
 func (s *Server) Stats() ServerStats {
 	st := ServerStats{
-		Analyses:  s.stores.Analyses.Stats(),
-		Funcs:     s.stores.Units.Stats(),
-		FuncsHeld: s.stores.Units.Len(),
-		Served:    s.served.Load(),
-		Failed:    s.failed.Load(),
-		Rejected:  s.rejected.Load(),
-		Queued:    s.pool.Queued(),
-		QueueCap:  s.pool.QueueCap(),
-		Workers:   s.pool.Workers(),
-		Outcomes:  s.metrics.requests.Snapshot(),
+		Analyses:      s.stores.Analyses.Stats(),
+		Funcs:         s.stores.Units.Stats(),
+		FuncsHeld:     s.stores.Units.Len(),
+		Served:        s.served.Load(),
+		Failed:        s.failed.Load(),
+		Rejected:      s.rejected.Load(),
+		Queued:        s.pool.Queued(),
+		QueueCap:      s.pool.QueueCap(),
+		BatchQueued:   s.pool.BatchQueued(),
+		BatchQueueCap: s.pool.BatchQueueCap(),
+		Workers:       s.pool.Workers(),
+		Outcomes:      s.metrics.requests.Snapshot(),
 	}
 	if s.stores.Results != nil {
 		st.Results = s.stores.Results.Stats()

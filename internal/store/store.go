@@ -172,9 +172,13 @@ func (s *Store[K, V]) GetOrCreate(key K, build func() (V, error)) (V, bool, erro
 	s.mu.Lock()
 	e.done = true
 	if err != nil {
-		// Do not cache failures; let later calls retry.
+		// Do not cache failures; let later calls retry. A Put may have
+		// replaced this entry while the build ran, in which case the
+		// replacement — not this failed build — owns the slot.
 		s.lru.Remove(e.elem)
-		delete(s.entries, key)
+		if cur, ok := s.entries[key]; ok && cur == e {
+			delete(s.entries, key)
+		}
 	} else {
 		s.evictLocked()
 	}
@@ -191,6 +195,35 @@ func (s *Store[K, V]) GetOrCreate(key K, build func() (V, error)) (V, bool, erro
 	}
 	s.misses.Add(1)
 	return v, false, err
+}
+
+// Put inserts or replaces the artifact for key with an already-built
+// value, persisting it when the store has a directory. It is the write
+// path for mutable artifacts — the batch job store re-Puts a job record
+// after every item completion so a restarted daemon resumes from the
+// latest persisted state — whereas GetOrCreate only ever populates a
+// key once. Readers that were already waiting on an in-flight build for
+// the same key still receive that build's result; subsequent reads see
+// the Put value. The persist error is reported (and counted) but the
+// in-memory copy stays authoritative, exactly as with GetOrCreate.
+func (s *Store[K, V]) Put(key K, v V) error {
+	e := &entry[V]{ready: make(chan struct{}), val: v, done: true}
+	close(e.ready)
+	s.mu.Lock()
+	if old, ok := s.entries[key]; ok {
+		// Drop the old entry's LRU element; an in-flight builder's
+		// completion path re-checks entry identity before deleting.
+		s.lru.Remove(old.elem)
+	}
+	e.elem = s.lru.PushFront(key)
+	s.entries[key] = e
+	s.evictLocked()
+	s.mu.Unlock()
+	if err := s.saveDisk(key, v); err != nil {
+		s.persistFailures.Add(1)
+		return err
+	}
+	return nil
 }
 
 // Peek returns the artifact for key if present and fully built, with
