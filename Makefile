@@ -7,10 +7,10 @@ BENCHGUARD = sh scripts/benchguard.sh
 
 # BENCH_BASELINE is the committed performance-trajectory snapshot
 # bench-compare gates against; bench-record overwrites it.
-BENCH_BASELINE ?= BENCH_8.json
-BENCH_PR ?= 8
+BENCH_BASELINE ?= BENCH_9.json
+BENCH_PR ?= 9
 
-.PHONY: build test short race vet fmt fmt-check bench fuzz-seed bench-warm bench-delta bench-patch obs-guard delta-guard patch-guard alloc-guard cluster-guard batch-guard bench-record bench-compare check
+.PHONY: build test short race vet fmt fmt-check bench fuzz-seed bench-warm bench-delta bench-patch obs-guard delta-guard patch-guard alloc-guard cluster-guard batch-guard profile-guard bench-record bench-compare check
 
 build:
 	$(GO) build ./...
@@ -107,6 +107,16 @@ batch-guard:
 	GUARD_MATCH='^=== RUN' $(BENCHGUARD) $(GO) test -race -run 'TestBatch' -v ./internal/service/batch/ ./internal/service/sched/
 	GUARD_MATCH='^=== RUN' $(BENCHGUARD) $(GO) test -race -run 'TestClusterBatch' -v ./internal/cluster/
 
+# profile-guard runs the profile-guided rewriting acceptance tests
+# under -race: guided output behaves identically to the original with
+# exact counter semantics and fewer cycles, corrupt/empty profiles
+# degrade to the unguided bytes, and the 3-arch × 3-mode determinism
+# sweep pins serial ≡ parallel ≡ emit-cache ≡ delta for guided plans.
+# Benchguard-wrapped so a renamed test cannot silently turn the guard
+# into a no-op.
+profile-guard:
+	GUARD_MATCH='^=== RUN' $(BENCHGUARD) $(GO) test -race -run 'TestProfileGuided' -v ./internal/core/
+
 # bench-record measures the current build's performance trajectory and
 # writes the snapshot this PR commits. Run it once per perf-relevant PR
 # on an idle machine; `make check` then gates against the result.
@@ -119,4 +129,4 @@ bench-record:
 bench-compare:
 	$(GO) run ./cmd/icfg-experiments -bench-compare $(BENCH_BASELINE)
 
-check: fmt-check vet race fuzz-seed bench-warm bench-delta bench-patch obs-guard delta-guard patch-guard alloc-guard cluster-guard batch-guard bench-compare
+check: fmt-check vet race fuzz-seed bench-warm bench-delta bench-patch obs-guard delta-guard patch-guard alloc-guard cluster-guard batch-guard profile-guard bench-compare

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	icfg-experiments [-run all|table1|table2|table3|figure1|figure2|firefox|docker|bolt|diogenes|incremental]
+//	icfg-experiments [-run all|table1|table2|table3|figure1|figure2|firefox|docker|bolt|diogenes|incremental|profile]
 //	                 [-arch x64|ppc|a64|all] [-jobs N] [-metrics] [-trace]
 //
 // Two exclusive modes maintain the repo's performance trajectory
@@ -43,7 +43,7 @@ import (
 var knownRuns = []string{
 	"all", "table1", "table2", "table3", "figure1", "figure2",
 	"firefox", "docker", "bolt", "diogenes", "ablation", "trampolines",
-	"incremental",
+	"incremental", "profile",
 }
 
 func main() {
@@ -198,6 +198,16 @@ func main() {
 			report(res.Failures())
 		}
 	}
+	if want("profile") {
+		for _, a := range arches {
+			res, err := experiments.ProfileGuided(a)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(res.Render())
+			report(res.Failures())
+		}
+	}
 	if want("trampolines") {
 		for _, a := range arch.All() {
 			res, err := experiments.Trampolines(a)
@@ -228,9 +238,10 @@ func runBenchRecord(path string, pr, iters int) {
 		fmt.Fprintln(os.Stderr, "icfg-experiments:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("recorded %s: cold=%.1fms warm=%.1fms delta=%.1fms emit=%.0fMB/s warm-allocs=%.0f/op p50=%.1fms p99=%.1fms\n",
+	fmt.Printf("recorded %s: cold=%.1fms warm=%.1fms delta=%.1fms emit=%.0fMB/s warm-allocs=%.0f/op p50=%.1fms p99=%.1fms guided-ratio=%.3f\n",
 		path, tr.ColdRewriteNs/1e6, tr.WarmPatchNs/1e6, tr.DeltaRewriteNs/1e6,
-		tr.EmitThroughputMBps, tr.WarmPatchAllocsPerOp, tr.ServiceP50Ns/1e6, tr.ServiceP99Ns/1e6)
+		tr.EmitThroughputMBps, tr.WarmPatchAllocsPerOp, tr.ServiceP50Ns/1e6, tr.ServiceP99Ns/1e6,
+		tr.ProfileGuidedOverheadRatio)
 }
 
 // runBenchCompare gates a candidate snapshot — or a fresh measurement

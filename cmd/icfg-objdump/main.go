@@ -5,7 +5,15 @@
 //
 // Usage:
 //
-//	icfg-objdump [-d] [-funcs] [-plan [-mode m]] [-sym func] file.icfg
+//	icfg-objdump [-d] [-funcs] [-plan [-mode m] [-with-profile heat.icfgprf]] [-sym func] file.icfg
+//	icfg-objdump -profile heat.icfgprf
+//
+// -profile treats the file as a block-heat profile artifact (as written
+// by icfg-rewrite -profile-out) and dumps it: per-function heat, block
+// counts, and each function's hot/cold placement tier under the mean
+// threshold. -with-profile feeds an artifact into -plan, so the dumped
+// plan shows the variant each function was assigned (dispatch stubs,
+// fast bodies, selector cells) instead of the unguided layout.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"icfgpatch/internal/cfg"
 	"icfgpatch/internal/core"
 	"icfgpatch/internal/instrument"
+	"icfgpatch/internal/profile"
 )
 
 // printCFG disassembles by control-flow traversal and prints each
@@ -92,7 +101,7 @@ func printFuncHashes(img *bin.Binary) {
 // per-unit relocation items with resolved targets and expansion states,
 // and the planned trampoline jobs. -sym restricts instrumentation to one
 // function; -mode selects the rewriting mode the plan is built for.
-func printPlan(img *bin.Binary, modeName, symSel string) {
+func printPlan(img *bin.Binary, modeName, symSel, profPath string) {
 	var mode core.Mode
 	switch modeName {
 	case "dir":
@@ -111,6 +120,12 @@ func printPlan(img *bin.Binary, modeName, symSel string) {
 		os.Exit(1)
 	}
 	opts := core.Options{Mode: mode, Request: instrument.Request{Where: instrument.BlockEntry, Payload: instrument.PayloadEmpty}}
+	if profPath != "" {
+		// Guided plans are inspected under the request shape that engages
+		// variant planning: full block-entry counters.
+		opts.Request.Payload = instrument.PayloadCounter
+		opts.Profile = readProfile(profPath)
+	}
 	if symSel != "" {
 		opts.Request.Funcs = []string{symSel}
 	}
@@ -121,6 +136,60 @@ func printPlan(img *bin.Binary, modeName, symSel string) {
 	}
 	fmt.Println()
 	p.Dump(os.Stdout)
+}
+
+// readProfile loads and decodes a profile artifact, exiting on failure
+// — inspection of a named artifact wants the decode error, not the
+// rewriter's silent degradation.
+func readProfile(path string) *profile.Profile {
+	pb, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icfg-objdump:", err)
+		os.Exit(1)
+	}
+	p, err := profile.Decode(pb)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "icfg-objdump: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return p
+}
+
+// printProfile dumps a block-heat profile artifact: the capture
+// identity, aggregate heat, and per-function heat with the hot/cold
+// tier the planner would assign under the mean threshold.
+func printProfile(path string) {
+	p := readProfile(path)
+	fmt.Printf("profile %s\n", path)
+	fmt.Printf("  binary hash   %s\n", orDash(p.BinaryHash))
+	fmt.Printf("  arch          %s\n", p.Arch)
+	fmt.Printf("  functions     %d\n", len(p.Funcs))
+	fmt.Printf("  total heat    %d\n", p.TotalCount)
+	hot := p.HotFuncs()
+	fmt.Printf("  hot set       %d funcs\n", len(hot))
+	fmt.Println()
+	fmt.Printf("  %-30s %10s %7s %12s %8s  %s\n", "function", "entry", "blocks", "heat", "share", "tier")
+	for _, f := range p.Funcs {
+		tier := "cold"
+		switch {
+		case hot[f.Name]:
+			tier = "hot"
+		case f.Count == 0:
+			tier = "dead"
+		}
+		share := 0.0
+		if p.TotalCount > 0 {
+			share = 100 * float64(f.Count) / float64(p.TotalCount)
+		}
+		fmt.Printf("  %-30s %#10x %7d %12d %7.2f%%  %s\n", f.Name, f.Entry, f.Blocks, f.Count, share, tier)
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 // printAddrMaps decodes the rewriter's address-map sections (.ra_map,
@@ -164,10 +233,17 @@ func main() {
 	plan := flag.Bool("plan", false, "dump the staged patch plan (plan + layout stages, no emission)")
 	mode := flag.String("mode", "jt", "rewriting mode for -plan: dir, jt, func-ptr")
 	symSel := flag.String("sym", "", "disassemble (or with -plan, instrument) only this function")
+	profDump := flag.Bool("profile", false, "treat file as a block-heat profile artifact and dump it")
+	withProf := flag.String("with-profile", "", "with -plan: guide the plan with this profile artifact (implies counter payload)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: icfg-objdump [-d] [-cfg] [-ramap] [-funcs] [-plan [-mode m]] [-sym name] file.icfg")
+		fmt.Fprintln(os.Stderr, "usage: icfg-objdump [-d] [-cfg] [-ramap] [-funcs] [-plan [-mode m] [-with-profile p]] [-sym name] file.icfg")
+		fmt.Fprintln(os.Stderr, "       icfg-objdump -profile heat.icfgprf")
 		os.Exit(2)
+	}
+	if *profDump {
+		printProfile(flag.Arg(0))
+		return
 	}
 	img, err := bin.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -197,7 +273,7 @@ func main() {
 		len(img.Symbols), len(img.DynSymbols), len(img.Relocs), len(img.LinkRelocs))
 
 	if *plan {
-		printPlan(img, *mode, *symSel)
+		printPlan(img, *mode, *symSel, *withProf)
 		return
 	}
 	if *ramap {

@@ -7,13 +7,22 @@
 //	icfg-rewrite -mode jt [-where block|func] [-payload empty|counter]
 //	             [-funcs f1,f2] [-verify] [-check] [-metrics] [-trace]
 //	             [-gap bytes] [-patch-jobs N] [-remote http://host:port]
-//	             [-retries N] -o out.icfg in.icfg
+//	             [-retries N] [-profile heat.icfgprf] [-profile-out heat.icfgprf]
+//	             -o out.icfg in.icfg
 //
 // With -remote the rewrite is performed by an icfg-serve daemon: the
 // serialised binary is POSTed to the service, which caches analyses by
 // content hash so repeat rewrites of the same binary run the warm patch
 // path. All other flags behave identically; -check still executes both
 // binaries locally in the reference emulator.
+//
+// -profile-out runs the *input* binary in the reference emulator with
+// heat capture on and writes the block-heat profile artifact — the
+// capture half of the profile-guided loop. -profile feeds a previously
+// captured artifact back into the rewrite (locally via core.Options,
+// remotely framed into the request body), steering hot functions onto
+// the fast multi-version path. Both can be combined to capture and
+// immediately consume a profile in one invocation.
 //
 // With -remote and -batch the CLI submits a whole fleet in one job:
 //
@@ -42,8 +51,10 @@ import (
 	"icfgpatch/internal/core"
 	"icfgpatch/internal/emu"
 	"icfgpatch/internal/obs"
+	"icfgpatch/internal/profile"
 	"icfgpatch/internal/rtlib"
 	"icfgpatch/internal/service"
+	"icfgpatch/internal/store"
 )
 
 // checkMaxInstrs bounds each -check execution; the workload drivers all
@@ -64,6 +75,8 @@ func main() {
 	remote := flag.String("remote", "", "rewrite via an icfg-serve daemon at this base URL instead of locally")
 	retries := flag.Int("retries", 2, "with -remote: retries for transient connection failures (refused/reset/EOF before headers)")
 	batchFile := flag.String("batch", "", "with -remote: submit this JSON manifest as one batch job with live progress")
+	profileIn := flag.String("profile", "", "block-heat profile artifact guiding the rewrite (hot functions get the fast multi-version path)")
+	profileOut := flag.String("profile-out", "", "run the input binary under the emulator with heat capture and write the profile artifact here")
 	out := flag.String("o", "", "output path (required)")
 	flag.Parse()
 
@@ -110,8 +123,8 @@ func main() {
 		}
 		return
 	}
-	if flag.NArg() != 1 || *out == "" {
-		usage(fmt.Errorf("need exactly one input file and -o"))
+	if flag.NArg() != 1 || (*out == "" && *profileOut == "") {
+		usage(fmt.Errorf("need exactly one input file and -o (or -profile-out)"))
 	}
 
 	raw, err := os.ReadFile(flag.Arg(0))
@@ -121,6 +134,42 @@ func main() {
 	img, err := bin.Unmarshal(raw)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *profileOut != "" {
+		prof, err := captureProfile(img, raw, opts.Mode)
+		if err != nil {
+			fatal(fmt.Errorf("profile capture: %w", err))
+		}
+		if err := os.WriteFile(*profileOut, prof.Encode(), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("captured profile: %d funcs, %d hot, total heat %d -> %s\n",
+			len(prof.Funcs), len(prof.HotFuncs()), prof.TotalCount, *profileOut)
+		if *profileIn == *profileOut {
+			// Capture-and-consume in one invocation: skip the re-read.
+			opts.Profile = prof
+		}
+		if *out == "" {
+			return // capture-only mode
+		}
+	}
+	if *profileIn != "" && opts.Profile == nil {
+		pb, err := os.ReadFile(*profileIn)
+		if err != nil {
+			fatal(err)
+		}
+		// Guidance is advisory end to end: a profile that fails its
+		// hardened decode — or carries no heat — degrades to the unguided
+		// rewrite with a warning, mirroring the service's door.
+		switch prof, err := profile.Decode(pb); {
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "icfg-rewrite: warning: profile %s unusable (%v); rewriting unguided\n", *profileIn, err)
+		case prof.Trivial():
+			fmt.Fprintf(os.Stderr, "icfg-rewrite: warning: profile %s carries no heat; rewriting unguided\n", *profileIn)
+		default:
+			opts.Profile = prof
+		}
 	}
 
 	var (
@@ -206,6 +255,9 @@ func printSummary(s core.Stats) {
 	fmt.Printf("  jump tables:  %d cloned\n", s.ClonedTables)
 	fmt.Printf("  fn pointers:  %d rewritten\n", s.RewrittenPtrs)
 	fmt.Printf("  ra map:       %d entries\n", s.RAMapEntries)
+	if s.HotFuncs > 0 || s.VariantFuncs > 0 {
+		fmt.Printf("  profile:      %d hot funcs, %d with fast variants\n", s.HotFuncs, s.VariantFuncs)
+	}
 	fmt.Printf("  size:         %d -> %d bytes (+%.2f%%)\n",
 		s.OrigLoadedSize, s.NewLoadedSize, 100*s.SizeIncrease())
 }
@@ -237,6 +289,29 @@ func execute(img *bin.Binary) (emu.Result, error) {
 		return emu.Result{}, err
 	}
 	return m.Run()
+}
+
+// captureProfile runs the input binary under the reference emulator
+// with heat capture on and aggregates the landing counts over its CFG
+// into a profile artifact keyed by the binary's content hash.
+func captureProfile(img *bin.Binary, raw []byte, mode core.Mode) (*profile.Profile, error) {
+	lib, err := rtlib.Preload(img)
+	if err != nil {
+		return nil, err
+	}
+	m, err := emu.Load(img, emu.Options{Runtime: lib, MaxInstrs: checkMaxInstrs, CaptureHeat: true})
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("emulated run: %w", err)
+	}
+	an, err := core.Analyze(img, core.AnalysisConfig{Mode: mode})
+	if err != nil {
+		return nil, err
+	}
+	return an.ProfileFromHeat(store.Hash(raw), res.Heat), nil
 }
 
 func fatal(err error) {

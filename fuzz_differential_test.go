@@ -21,6 +21,8 @@ import (
 
 	"icfgpatch/internal/arch"
 	"icfgpatch/internal/core"
+	"icfgpatch/internal/instrument"
+	"icfgpatch/internal/profile"
 	"icfgpatch/internal/workload"
 )
 
@@ -65,6 +67,29 @@ func fuzzProfile(seed, nfuncs, flags, pct int64) workload.Profile {
 		p.SwitchFrac, p.SpillFrac, p.OpaqueFrac = 0, 0, 0
 	}
 	return p
+}
+
+// fuzzHeatProfile derives an adversarial heat shape from the fuzz
+// input: all-hot (every function equal), all-cold (half dead, half at
+// the mean), or spike-skewed (one function dominates). The profile is
+// built over the analysis's own CFG, so it names real functions.
+func fuzzHeatProfile(an *core.Analysis, shape, seed int64) *profile.Profile {
+	heat := make(map[uint64]uint64)
+	for i, fn := range an.Graph.Funcs {
+		switch shape % 3 {
+		case 0: // all-hot
+			heat[fn.Entry] = 9
+		case 1: // all-cold: alternating dead and at-mean
+			heat[fn.Entry] = uint64(i % 2)
+		default: // spike: one dominant function, chosen by the seed
+			if int64(i) == seed%int64(len(an.Graph.Funcs)) {
+				heat[fn.Entry] = 1 << 30
+			} else {
+				heat[fn.Entry] = 1
+			}
+		}
+	}
+	return an.ProfileFromHeat("fuzz", heat)
 }
 
 // marshalAndRecycle snapshots a result's image, then recycles its
@@ -182,9 +207,79 @@ func FuzzDifferentialRewrite(f *testing.F) {
 					t.Fatalf("%s: delta patch: %v", label, err)
 				}
 				diffImages(t, label+"/delta", coldV2, marshalAndRecycle(res))
+
+				// Profile-guided lane: an adversarial heat shape derived
+				// from the fuzz input must hold the same four-path
+				// byte-equivalence — serial ≡ parallel ≡ emit-cache ≡ delta
+				// — and diverge from the unguided output only when the plan
+				// actually assigned variants.
+				gopts := opts
+				gopts.Request = blockCounter()
+				gopts.Profile = fuzzHeatProfile(an, k, seed)
+				gcoldRes, err := core.Rewrite(prog.Binary, gopts)
+				if err != nil {
+					t.Fatalf("%s: guided cold rewrite: %v", label, err)
+				}
+				variants := gcoldRes.Stats.VariantFuncs
+				gcold := marshalAndRecycle(gcoldRes)
+				gpar := gopts
+				gpar.PatchJobs = 4
+				res, err = an.Patch(gpar)
+				if err != nil {
+					t.Fatalf("%s: guided parallel patch: %v", label, err)
+				}
+				diffImages(t, label+"/guided-parallel", gcold, marshalAndRecycle(res))
+				res, err = an.Patch(gpar)
+				if err != nil {
+					t.Fatalf("%s: guided repeat patch: %v", label, err)
+				}
+				diffImages(t, label+"/guided-emit-cache", gcold, marshalAndRecycle(res))
+				gv2Res, err := core.Rewrite(v2, gopts)
+				if err != nil {
+					t.Fatalf("%s: guided cold v2 rewrite: %v", label, err)
+				}
+				gv2 := marshalAndRecycle(gv2Res)
+				res, err = anV2.Patch(gpar)
+				if err != nil {
+					t.Fatalf("%s: guided delta patch: %v", label, err)
+				}
+				diffImages(t, label+"/guided-delta", gv2, marshalAndRecycle(res))
+
+				// Guided-vs-unguided divergence tracks the plan exactly:
+				// bytes differ iff variants were assigned. A trivial profile
+				// must reproduce the unguided bytes to the last byte.
+				uopts := gopts
+				uopts.Profile = nil
+				ucoldRes, err := core.Rewrite(prog.Binary, uopts)
+				if err != nil {
+					t.Fatalf("%s: unguided counter rewrite: %v", label, err)
+				}
+				ucold := marshalAndRecycle(ucoldRes)
+				if (variants > 0) == bytes.Equal(gcold, ucold) {
+					t.Fatalf("%s: guided output %s unguided, but plan assigned %d variants",
+						label, eqWord(bytes.Equal(gcold, ucold)), variants)
+				}
+				topts := gopts
+				topts.Profile = &profile.Profile{Arch: a}
+				tcoldRes, err := core.Rewrite(prog.Binary, topts)
+				if err != nil {
+					t.Fatalf("%s: trivial-profile rewrite: %v", label, err)
+				}
+				diffImages(t, label+"/trivial-profile", ucold, marshalAndRecycle(tcoldRes))
 			}
 		}
 	})
+}
+
+func eqWord(eq bool) string {
+	if eq {
+		return "matches"
+	}
+	return "differs from"
+}
+
+func blockCounter() instrument.Request {
+	return instrument.Request{Where: instrument.BlockEntry, Payload: instrument.PayloadCounter}
 }
 
 // TestFuzzProfileTotal pins the clamping contract: any int64 quadruple

@@ -12,6 +12,11 @@ type fixedEmitter struct {
 // Arch identifies the emitter's architecture.
 func (e fixedEmitter) Arch() Arch { return e.a }
 
+// DispatchStub returns the variant-dispatch stub sequence.
+func (e fixedEmitter) DispatchStub(env EmitEnv, selCell uint64) []Instr {
+	return dispatchStub(e.a, env, selCell)
+}
+
 // ExpandedLen returns the encoded length of ins under expansion exp.
 func (e fixedEmitter) ExpandedLen(env EmitEnv, ins Instr, exp Expand) int {
 	base := EncLen(e.a, ins)

@@ -11,6 +11,11 @@ type x64Emitter struct{}
 // Arch identifies the emitter's architecture.
 func (x64Emitter) Arch() Arch { return X64 }
 
+// DispatchStub returns the variant-dispatch stub sequence.
+func (x64Emitter) DispatchStub(env EmitEnv, selCell uint64) []Instr {
+	return dispatchStub(X64, env, selCell)
+}
+
 // ExpandedLen returns the encoded length of ins under expansion exp.
 func (x64Emitter) ExpandedLen(env EmitEnv, ins Instr, exp Expand) int {
 	base := EncLen(X64, ins)

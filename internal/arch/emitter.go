@@ -146,6 +146,56 @@ type Emitter interface {
 	// Render returns the item's final instruction sequence with resolved
 	// displacements and assigned addresses.
 	Render(env EmitEnv, it EmitItem) ([]Instr, error)
+	// DispatchStub returns the per-function variant-dispatch stub for
+	// profile-guided multi-version rewriting: spill the scratch register
+	// below the stack pointer, materialise the function's selector cell
+	// address (PC-relatively in PIE images, absolutely otherwise), load
+	// the selector, and branch to the alternate variant when it is
+	// non-zero. Fall-through continues into the default (full) body.
+	// Each variant body must begin with VariantRestore so the spilled
+	// register is recovered on both paths. The planner assigns targets:
+	// the address-forming instruction (Lea/LeaHi) is patched to the cell
+	// like a counter snippet, the trailing conditional branch to the
+	// alternate variant's entry.
+	DispatchStub(env EmitEnv, selCell uint64) []Instr
+}
+
+// VariantRestore returns the instruction that recovers the register
+// DispatchStub spilled; every variant body starts with it (the spill /
+// restore pair keeps dispatch transparent to the interrupted register
+// state, the same discipline counter snippets use).
+func VariantRestore() Instr {
+	return Instr{Kind: Load, Rd: R8, Rs1: SP, Size: 8, Imm: -16}
+}
+
+// dispatchStub builds the stub sequence shared by every emitter; only
+// the selector-address materialisation differs by architecture, and it
+// mirrors the counter snippet's forms exactly.
+func dispatchStub(a Arch, env EmitEnv, selCell uint64) []Instr {
+	seq := []Instr{{Kind: Store, Rs2: R8, Rs1: SP, Size: 8, Imm: -16}}
+	if env.PIE {
+		if a == X64 {
+			seq = append(seq, Instr{Kind: Lea, Rd: R8, Imm: int64(selCell)})
+		} else {
+			seq = append(seq,
+				Instr{Kind: LeaHi, Rd: R8, Imm: int64(selCell)},
+				Instr{Kind: AddImm16, Rd: R8, Rs1: R8, Imm: int64(selCell & 0xFFF)},
+			)
+		}
+	} else {
+		if a == X64 {
+			seq = append(seq, Instr{Kind: MovImm, Rd: R8, Imm: int64(selCell)})
+		} else {
+			seq = append(seq,
+				Instr{Kind: MovImm16, Rd: R8, Imm: int64(selCell & 0xFFFF)},
+				Instr{Kind: MovK16, Rd: R8, Imm: int64((selCell >> 16) & 0xFFFF), Shift: 1},
+			)
+		}
+	}
+	return append(seq,
+		Instr{Kind: Load, Rd: R8, Rs1: R8, Size: 8},
+		Instr{Kind: BranchCond, Cond: NE, Rs1: R8},
+	)
 }
 
 // EmitterFor returns the emitter for an architecture.

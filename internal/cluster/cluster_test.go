@@ -318,3 +318,57 @@ func TestClusterMetricsScrape(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterProfilePassThrough: a profile-framed rewrite through the
+// cluster — including forwarded requests, since replicas=1 means most
+// nodes do not own the body's content hash — must produce bytes
+// identical to the local guided rewrite. The cluster treats the framed
+// body as opaque: the profile participates in routing via the body
+// hash and is split only by the serving node's door.
+func TestClusterProfilePassThrough(t *testing.T) {
+	tc := NewTestCluster(t, TestClusterConfig{Nodes: 3, Replicas: 1})
+	raw := clusterBinary(t, arch.X64, 33)
+	img, err := bin.Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := core.Analyze(img, core.AnalysisConfig{Mode: core.ModeJT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heat := make(map[uint64]uint64)
+	for i, f := range an.Graph.Funcs {
+		heat[f.Entry] = uint64(1 + 400*(i%3/2))
+	}
+	prof := an.ProfileFromHeat("cluster", heat)
+	opts := core.Options{Mode: core.ModeJT, Request: instrument.Request{
+		Where: instrument.BlockEntry, Payload: instrument.PayloadCounter,
+	}, Profile: prof}
+	want, err := an.Patch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Stats.VariantFuncs == 0 {
+		t.Fatal("cluster fixture profile planned no variants")
+	}
+	wantBytes := want.Binary.Marshal()
+	for i := range tc.Nodes {
+		got, reply, err := tc.NodeClient(i).Rewrite(context.Background(), raw, opts)
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		if !bytes.Equal(got, wantBytes) {
+			t.Fatalf("node %d guided rewrite diverged from local", i)
+		}
+		if reply.Stats.VariantFuncs == 0 {
+			t.Fatalf("node %d dropped the profile in transit", i)
+		}
+	}
+	got, _, err := tc.GatewayClient().Rewrite(context.Background(), raw, opts)
+	if err != nil {
+		t.Fatalf("gateway: %v", err)
+	}
+	if !bytes.Equal(got, wantBytes) {
+		t.Fatal("gateway guided rewrite diverged from local")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"icfgpatch/internal/cfg"
 	"icfgpatch/internal/dataflow"
 	"icfgpatch/internal/obs"
+	"icfgpatch/internal/profile"
 )
 
 // AnalysisConfig identifies one analysis variant of a binary: everything
@@ -279,4 +280,21 @@ func (an *Analysis) placement(f *cfg.Func) *funcPlacement {
 func (an *Analysis) paddingRanges() [][2]uint64 {
 	an.padOnce.Do(func() { an.padding = paddingRanges(an.Binary) })
 	return an.padding
+}
+
+// ProfileFromHeat aggregates a heat map captured by an emulated run
+// (emu.Options.CaptureHeat, keyed by link-time address) into a profile
+// artifact over this analysis's CFG. binaryHash is the content hash of
+// the binary the heat was captured on; heat samples that land outside
+// any known function are dropped.
+func (an *Analysis) ProfileFromHeat(binaryHash string, heat map[uint64]uint64) *profile.Profile {
+	fbs := make([]profile.FuncBlocks, 0, len(an.Graph.Funcs))
+	for _, f := range an.Graph.Funcs {
+		fb := profile.FuncBlocks{Name: f.Name, Entry: f.Entry, Blocks: make([]uint64, 0, len(f.Blocks))}
+		for _, blk := range f.Blocks {
+			fb.Blocks = append(fb.Blocks, blk.Start)
+		}
+		fbs = append(fbs, fb)
+	}
+	return profile.Build(binaryHash, an.Binary.Arch, fbs, heat)
 }

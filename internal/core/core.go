@@ -37,6 +37,7 @@ import (
 	"icfgpatch/internal/bin"
 	"icfgpatch/internal/instrument"
 	"icfgpatch/internal/obs"
+	"icfgpatch/internal/profile"
 )
 
 // Mode selects how much indirect control flow is rewritten (Section 5).
@@ -97,6 +98,19 @@ type Options struct {
 	// byte-identical whatever the value, so PatchJobs is deliberately
 	// excluded from every cache and result identity.
 	PatchJobs int
+	// Profile, when non-nil and non-trivial, guides the rewrite: hot
+	// functions (per Profile.HotFuncs) get a second, sparsely
+	// instrumented variant body selected by a per-function dispatch
+	// stub, and hot functions win the scarce short-branch trampoline
+	// scratch first. Guidance is advisory — a nil, trivial, or corrupt
+	// profile produces exactly the unguided single-variant output — and
+	// participates in cache identity through Profile.Hash (same binary +
+	// same profile ⇒ byte-identical output on every execution path).
+	// Variant planning engages only for full block-entry counter
+	// requests on the paper's published configuration (zero Variant);
+	// ablation baselines and other request shapes ignore the profile's
+	// variant half but still use its trampoline ordering.
+	Profile *profile.Profile
 	// Trace, when non-nil, receives an "analyze"/"patch" span subtree
 	// with per-stage laps and the pipeline counters. Nil disables
 	// tracing at zero cost (obs spans are nil-receiver safe).
@@ -160,6 +174,11 @@ type Stats struct {
 	RAMapEntries      int
 	OrigLoadedSize    uint64
 	NewLoadedSize     uint64
+	// HotFuncs / VariantFuncs report profile guidance: how many
+	// instrumented functions the profile classified hot, and how many of
+	// those received a fast variant body plus dispatch stub.
+	HotFuncs     int
+	VariantFuncs int
 }
 
 // Coverage returns the instrumented fraction of functions, the paper's

@@ -70,6 +70,7 @@ func (p *PatchPlan) unitSig(u *planUnit) uint64 {
 		h = fnvU64(h, uint64(it.pf))
 		h = fnvU64(h, uint64(it.ra))
 		h = fnvU64(h, uint64(it.expand))
+		h = fnvU64(h, it.vmap)
 		h = fnvU64(h, p.resolveTarget(it))
 		ins := &it.ins
 		h = fnvU64(h, uint64(ins.Kind))

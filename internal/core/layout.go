@@ -50,7 +50,10 @@ func (p *PatchPlan) layoutAll(opts Options) error {
 // computed up front from the input binary alone.
 func (p *PatchPlan) planSections(opts Options) {
 	b := p.an.Binary
-	cursor := alignUp(p.nextCell, sectionGap) + sectionGap
+	// Selector cells sit directly above the counter region ([selBase,
+	// selEnd)); without variants selEnd == nextCell and the arithmetic
+	// is bit-identical to an unguided plan.
+	cursor := alignUp(p.selEnd, sectionGap) + sectionGap
 	for _, name := range []string{bin.SecDynSym, bin.SecDynStr, bin.SecRelaDyn} {
 		old := b.Section(name)
 		if old == nil {
@@ -105,6 +108,19 @@ func (p *PatchPlan) resolveTarget(it *planItem) uint64 {
 		return p.clones[it.target].addr
 	case tkFuncBase:
 		return p.unitStart[p.clones[it.target].owner.Name]
+	case tkVarEntry:
+		return p.varAddr[it.target]
+	case tkLocal:
+		// Fast-body control flow prefers the fast-body copy; targets the
+		// fast body does not carry (none today — every block is copied)
+		// fall back to the full body, then the original.
+		if na, ok := p.fastReloc[it.target]; ok {
+			return na
+		}
+		if na, ok := p.relocMap[it.target]; ok {
+			return na
+		}
+		return it.target
 	default:
 		return 0
 	}
@@ -119,19 +135,24 @@ func (p *PatchPlan) resolveTarget(it *planItem) uint64 {
 func (p *PatchPlan) layout(instrBase uint64) error {
 	p.instrBase = instrBase
 	a := p.an.Binary.Arch
-	mapped := 0
+	mapped, fastMapped := 0, 0
 	for _, u := range p.units {
 		for i := range u.items {
 			if u.items[i].mapAddr != 0 {
 				mapped++
 			}
+			if u.items[i].vmap != 0 {
+				fastMapped++
+			}
 		}
 	}
 	p.relocMap = make(map[uint64]uint64, mapped)
+	p.fastReloc = make(map[uint64]uint64, fastMapped)
 	p.unitStart = make(map[string]uint64, len(p.units))
 	for iter := 0; iter < 24; iter++ {
 		addr := instrBase
 		clear(p.relocMap)
+		clear(p.fastReloc)
 		clear(p.unitStart)
 		for _, u := range p.units {
 			addr = alignUp(addr, instrAlign)
@@ -145,7 +166,17 @@ func (p *PatchPlan) layout(instrBase uint64) error {
 						p.relocMap[it.mapAddr] = addr
 					}
 				}
+				if it.vmap != 0 {
+					if _, dup := p.fastReloc[it.vmap]; !dup {
+						p.fastReloc[it.vmap] = addr
+					}
+				}
 				addr += uint64(it.newLen)
+			}
+			if u.variants > 0 {
+				// The alternate variant enters at its restore item; the
+				// stub's tkVarEntry branch resolves through this slot.
+				p.varAddr[u.varSlot] = u.items[u.fastStart].newAddr
 			}
 		}
 		p.instrEnd = addr

@@ -7,6 +7,7 @@ import (
 	"icfgpatch/internal/arch"
 	"icfgpatch/internal/cfg"
 	"icfgpatch/internal/instrument"
+	"icfgpatch/internal/profile"
 )
 
 // This file is the PLAN stage of the staged patch pipeline: it builds a
@@ -27,6 +28,8 @@ const (
 	tkMapped              // original code address, re-resolved through relocMap
 	tkClone               // cloned jump table (index into clones)
 	tkFuncBase            // relocated start of a clone's owner function
+	tkVarEntry            // alternate-variant entry (index into varAddr)
+	tkLocal               // original code address, preferring the fast-body copy
 )
 
 // raKind marks items contributing return-address map entries.
@@ -57,6 +60,11 @@ type planItem struct {
 	expand   arch.Expand
 	newAddr  uint64
 	newLen   int
+	// vmap is the original address this item stands for in the fast-body
+	// relocation map (fastReloc): intra-function control flow inside a
+	// fast variant resolves through it so hot loops never leave the
+	// sparsely instrumented copy. Zero for full-body and stub items.
+	vmap uint64
 }
 
 // planUnit is one relocated function's plan. fu is the function's
@@ -69,6 +77,13 @@ type planUnit struct {
 	fn    *cfg.Func
 	fu    *FuncUnit
 	items []planItem
+	// Variant planning (profile-guided functions only): variants counts
+	// alternate bodies (0 or 1), fastStart indexes the first fast-body
+	// item, varSlot indexes the plan-level varAddr table the dispatch
+	// stub's branch resolves through.
+	variants  int
+	fastStart int
+	varSlot   int
 }
 
 // cloneInfo is one jump table selected for cloning.
@@ -122,12 +137,25 @@ type PatchPlan struct {
 	counterBase  uint64
 	nextCell     uint64
 
+	// Profile guidance. prof is the (non-trivial) profile steering the
+	// rewrite; profCount its per-function heat; hot the instrumented
+	// functions that receive a fast variant; selCells their selector
+	// cells ([selBase, selEnd), directly above the counter region).
+	prof      *profile.Profile
+	profCount map[string]uint64
+	hot       map[string]bool
+	selCells  map[string]uint64
+	selBase   uint64
+	selEnd    uint64
+
 	// Layout products (assigned by layout.go).
 	sections  sectionPlan
 	instrBase uint64
 	instrEnd  uint64
 	unitStart map[string]uint64 // function name -> relocated unit start
 	relocMap  map[uint64]uint64
+	fastReloc map[uint64]uint64 // original addr -> fast-body copy's addr
+	varAddr   []uint64          // variant slot -> fast-body entry addr
 }
 
 // newPatchPlan builds the plan for every instrumented function. Unit
@@ -211,6 +239,44 @@ func newPatchPlan(an *Analysis, opts Options, counterBase uint64) *PatchPlan {
 		p.nextCell = next
 	}
 
+	// Profile guidance. The profile is advisory: trivial (or absent)
+	// guidance leaves every structure below empty and the plan identical
+	// to the unguided one. Variant bodies engage only for the published
+	// configuration on full block-entry counter instrumentation — the
+	// ablation baselines stay pure ablations, and the fast body of any
+	// other request shape would be indistinguishable from the full one.
+	if opts.Profile != nil && !opts.Profile.Trivial() {
+		p.prof = opts.Profile
+		p.profCount = opts.Profile.CountByName()
+	}
+	varSlot := make([]int, len(fns))
+	selCell := make([]uint64, len(fns))
+	p.selBase, p.selEnd = p.nextCell, p.nextCell
+	for i := range varSlot {
+		varSlot[i] = -1
+	}
+	if p.prof != nil && p.variant == (Variant{}) &&
+		p.req.Where == instrument.BlockEntry && p.req.Payload == instrument.PayloadCounter {
+		hotAll := p.prof.HotFuncs()
+		p.hot = map[string]bool{}
+		p.selCells = map[string]uint64{}
+		// Selector cells directly follow the counter region, assigned in
+		// the same symbol-table order for worker-count independence.
+		slot := 0
+		for i, f := range fns {
+			if !hotAll[f.Name] {
+				continue
+			}
+			p.hot[f.Name] = true
+			selCell[i] = p.selEnd
+			p.selCells[f.Name] = p.selEnd
+			p.selEnd += 8
+			varSlot[i] = slot
+			slot++
+		}
+		p.varAddr = make([]uint64, slot)
+	}
+
 	p.units = make([]*planUnit, len(fns))
 	cellMaps := make([]map[uint64]uint64, len(fns))
 	if !p.variant.NoTrampolines {
@@ -218,7 +284,7 @@ func newPatchPlan(an *Analysis, opts Options, counterBase uint64) *PatchPlan {
 	}
 	build := func(i int) {
 		f := fns[i]
-		p.units[i], cellMaps[i] = p.buildUnit(g, f, cellBase[i])
+		p.units[i], cellMaps[i] = p.buildUnit(g, f, cellBase[i], varSlot[i], selCell[i])
 		if !p.variant.NoTrampolines {
 			pl := an.placement(f)
 			ft := funcTramp{fn: f, cflBlocks: len(pl.cfl), scratchBlocks: len(f.Blocks) - len(pl.cfl)}
@@ -259,8 +325,21 @@ func (p *PatchPlan) countPoints(f *cfg.Func) int {
 // inserting payload snippets. cell is the function's pre-assigned
 // counter-cell cursor; the returned map records origAddr -> cell for the
 // plan's counterCells (merged sequentially to stay deterministic).
-func (p *PatchPlan) buildUnit(g *cfg.Graph, f *cfg.Func, cell uint64) (*planUnit, map[uint64]uint64) {
-	u := &planUnit{fn: f, fu: p.an.unitOf[f]}
+//
+// For a profile-hot function (varSlot >= 0) the unit is a concatenation
+// of three streams behind one item slab, so layout, emission, the unit
+// signature, and the slab pool are untouched by multi-versioning:
+//
+//	[dispatch stub][restore + full body][restore + fast body]
+//
+// The stub (arch.Emitter.DispatchStub) owns the function entry in the
+// relocation map — calls, pointers, and the entry trampoline all
+// dispatch — and branches to the fast body when the selector cell at
+// selCell is non-zero. The fast body carries only the entry counter
+// (sharing the full body's cell) and resolves intra-function control
+// flow through fastReloc so hot loops never leave the sparse copy.
+func (p *PatchPlan) buildUnit(g *cfg.Graph, f *cfg.Func, cell uint64, varSlot int, selCell uint64) (*planUnit, map[uint64]uint64) {
+	u := &planUnit{fn: f, fu: p.an.unitOf[f], varSlot: -1}
 	// Size the item slab up front: one item per instruction plus room
 	// for inserted snippets and fall-through branches. Underestimates
 	// just regrow the slab (the grown one is what gets recycled).
@@ -271,8 +350,51 @@ func (p *PatchPlan) buildUnit(g *cfg.Graph, f *cfg.Func, cell uint64) (*planUnit
 	if p.req.Payload == instrument.PayloadCounter {
 		est += 4 * p.countPoints(f)
 	}
+	if varSlot >= 0 {
+		est = 2*est + 16 // stub, two restores, the fast body
+	}
 	u.items = getItemSlab(est)
 	cells := map[uint64]uint64{}
+
+	if varSlot >= 0 {
+		// Dispatch stub. The first instruction claims the function entry
+		// in the relocation map (its items precede the full body's, and
+		// layout's first claim wins). Target kinds are assigned by
+		// instruction kind exactly as for counter snippets, plus the
+		// trailing conditional branch resolving through varAddr.
+		for k, ins := range p.emitter.DispatchStub(p.env, selCell) {
+			it := planItem{ins: ins}
+			if k == 0 {
+				it.mapAddr = f.Entry
+			}
+			switch ins.Kind {
+			case arch.Lea, arch.LeaHi:
+				it.tk, it.pf, it.target = tkAbs, arch.FormPCRel, selCell
+				it.ins.Imm = 0
+			case arch.BranchCond:
+				it.tk, it.pf, it.target = tkVarEntry, arch.FormPCRel, uint64(varSlot)
+			}
+			u.items = append(u.items, it)
+		}
+		// Fall-through into the full body, which must first recover the
+		// register the stub spilled.
+		u.items = append(u.items, planItem{ins: arch.VariantRestore()})
+	}
+
+	p.appendFullBody(u, g, f, &cell, cells)
+
+	if varSlot >= 0 {
+		u.variants, u.varSlot = 1, varSlot
+		u.fastStart = len(u.items)
+		u.items = append(u.items, planItem{ins: arch.VariantRestore()})
+		p.appendFastBody(u, g, f, cells)
+	}
+	return u, cells
+}
+
+// appendFullBody appends the function's fully instrumented body — the
+// exact item stream an unguided plan consists of.
+func (p *PatchPlan) appendFullBody(u *planUnit, g *cfg.Graph, f *cfg.Func, cell *uint64, cells map[uint64]uint64) {
 	add := func(it planItem) { u.items = append(u.items, it) }
 	blocks := f.Blocks
 	if p.variant.ReverseBlocks {
@@ -284,11 +406,11 @@ func (p *PatchPlan) buildUnit(g *cfg.Graph, f *cfg.Func, cell uint64) (*planUnit
 	for bi, blk := range blocks {
 		if p.req.Where == instrument.BlockEntry ||
 			(p.req.Where == instrument.FuncEntry && blk.Start == f.Entry) {
-			p.addSnippet(u, blk.Start, &cell, cells)
+			p.addSnippet(u, blk.Start, cell, cells)
 		}
 		for _, ins := range blk.Instrs {
 			if p.req.WantsAddr(ins.Addr) {
-				p.addSnippet(u, ins.Addr, &cell, cells)
+				p.addSnippet(u, ins.Addr, cell, cells)
 			}
 			it := planItem{ins: ins, origAddr: ins.Addr, origLen: ins.EncLen, mapAddr: ins.Addr}
 			it.ins.Short = false // relocated branches use the long form
@@ -304,7 +426,47 @@ func (p *PatchPlan) buildUnit(g *cfg.Graph, f *cfg.Func, cell uint64) (*planUnit
 			}
 		}
 	}
-	return u, cells
+}
+
+// appendFastBody appends the sparsely instrumented variant: the entry
+// block keeps its counter snippet — sharing the full body's cell, so
+// either variant feeds the same counter — and every other block is
+// relocated without payload. Items register in fastReloc (vmap), never
+// in relocMap, and intra-function control transfers become tkLocal so
+// they resolve into this copy first.
+func (p *PatchPlan) appendFastBody(u *planUnit, g *cfg.Graph, f *cfg.Func, cells map[uint64]uint64) {
+	b := p.an.Binary
+	for _, blk := range f.Blocks {
+		if blk.Start == f.Entry {
+			c := cells[f.Entry]
+			for k, ins := range instrument.CounterSnippet(b.Arch, b.PIE, c) {
+				it := planItem{ins: ins}
+				if k == 0 {
+					// Entry loops land on the snippet, after the restore:
+					// the restore must only run on arrival from the stub.
+					it.vmap = f.Entry
+				}
+				if ins.Kind == arch.Lea || ins.Kind == arch.LeaHi {
+					it.tk, it.pf, it.target = tkAbs, arch.FormPCRel, c
+					it.ins.Imm = 0
+				}
+				u.items = append(u.items, it)
+			}
+		}
+		for _, ins := range blk.Instrs {
+			it := planItem{ins: ins, origAddr: ins.Addr, origLen: ins.EncLen}
+			it.ins.Short = false
+			p.classify(g, f, &it)
+			if it.tk == tkMapped && it.pf == arch.FormPCRel && it.target >= f.Entry && it.target < f.End {
+				switch ins.Kind {
+				case arch.Branch, arch.BranchCond, arch.Call:
+					it.tk = tkLocal
+				}
+			}
+			it.vmap = ins.Addr
+			u.items = append(u.items, it)
+		}
+	}
 }
 
 // addSnippet appends the payload instructions for the point at origAddr.

@@ -45,6 +45,12 @@ func (p *PatchPlan) Dump(w io.Writer) {
 	if p.nextCell > p.counterBase {
 		fmt.Fprintf(w, "  counters      [%#x,%#x)\n", p.counterBase, p.nextCell)
 	}
+	if p.prof != nil {
+		fmt.Fprintf(w, "  profile       hash=%s hot=%d variants=%d\n", p.prof.Hash()[:12], len(p.hot), len(p.varAddr))
+	}
+	if p.selEnd > p.selBase {
+		fmt.Fprintf(w, "  selectors     [%#x,%#x)\n", p.selBase, p.selEnd)
+	}
 	for _, mv := range p.sections.moves {
 		fmt.Fprintf(w, "  move %-12s [%#x,%#x) -> %#x scratch=%t\n",
 			mv.name, mv.oldAddr, mv.oldEnd, mv.addr, mv.scratch)
@@ -58,7 +64,7 @@ func (p *PatchPlan) Dump(w io.Writer) {
 	}
 	fmt.Fprintf(w, "  instr         [%#x,%#x)\n", p.instrBase, p.instrEnd)
 	for _, u := range p.units {
-		fmt.Fprintf(w, "unit %s: start %#x, %d items\n", u.fn.Name, p.unitStart[u.fn.Name], len(u.items))
+		fmt.Fprintf(w, "unit %s: start %#x, %d items%s\n", u.fn.Name, p.unitStart[u.fn.Name], len(u.items), p.unitTier(u))
 		for i := range u.items {
 			it := &u.items[i]
 			fmt.Fprintf(w, "  %#x len=%-2d %s", it.newAddr, it.newLen, it.ins.Kind)
@@ -92,6 +98,20 @@ func (p *PatchPlan) Dump(w io.Writer) {
 	}
 }
 
+// unitTier annotates a unit's variant/placement tier under profile
+// guidance: hot functions carry a fast variant behind a dispatch stub,
+// cold ones relocate single-variant. Empty without a profile.
+func (p *PatchPlan) unitTier(u *planUnit) string {
+	if p.prof == nil {
+		return ""
+	}
+	if u.variants > 0 {
+		return fmt.Sprintf(" [tier=hot variants=2 sel=%#x fast=%#x heat=%d]",
+			p.selCells[u.fn.Name], p.varAddr[u.varSlot], p.profCount[u.fn.Name])
+	}
+	return fmt.Sprintf(" [tier=cold variants=1 heat=%d]", p.profCount[u.fn.Name])
+}
+
 // targetKindName names a targetKind for plan dumps.
 func targetKindName(tk targetKind) string {
 	switch tk {
@@ -103,6 +123,10 @@ func targetKindName(tk targetKind) string {
 		return "clone"
 	case tkFuncBase:
 		return "func-base"
+	case tkVarEntry:
+		return "var-entry"
+	case tkLocal:
+		return "local"
 	default:
 		return "none"
 	}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/emu"
+	"icfgpatch/internal/instrument"
+	"icfgpatch/internal/profile"
+	"icfgpatch/internal/rtlib"
+)
+
+// captureHeat runs the unmodified binary with heat capture on and
+// returns the per-address landing counts.
+func captureHeat(t *testing.T, img *bin.Binary) map[uint64]uint64 {
+	t.Helper()
+	m, err := emu.Load(img, emu.Options{CaptureHeat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Run()
+	if err != nil {
+		t.Fatalf("heat capture run: %v", err)
+	}
+	if len(out.Heat) == 0 {
+		t.Fatal("heat capture recorded nothing")
+	}
+	return out.Heat
+}
+
+func counterRequest() instrument.Request {
+	return instrument.Request{Where: instrument.BlockEntry, Payload: instrument.PayloadCounter}
+}
+
+// TestProfileGuidedPreservesBehaviour is the semantic contract of the
+// multi-version rewrite: with a real captured profile, hot functions
+// get a fast variant behind a dispatch stub, the rewritten binary's
+// output is identical to the original, entry-block counters stay exact
+// in both variants (they share one cell), and the guided run burns
+// fewer emulated cycles than the unguided counter rewrite.
+func TestProfileGuidedPreservesBehaviour(t *testing.T) {
+	eachConfig(t, func(t *testing.T, a arch.Arch, pie bool) {
+		img, _, err := richProgram(a, pie).Link()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runOriginal(t, img, nil)
+		heat := captureHeat(t, img)
+
+		an, err := Analyze(img, AnalysisConfig{Mode: ModeJT})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := an.ProfileFromHeat("test", heat)
+		if prof.Trivial() {
+			t.Fatal("captured profile is trivial")
+		}
+
+		unguided, err := an.Patch(Options{Mode: ModeJT, Request: counterRequest(), Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		guided, err := an.Patch(Options{Mode: ModeJT, Request: counterRequest(), Verify: true, Profile: prof})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if guided.Stats.HotFuncs == 0 || guided.Stats.VariantFuncs == 0 {
+			t.Fatalf("hot=%d variants=%d: guidance planned nothing", guided.Stats.HotFuncs, guided.Stats.VariantFuncs)
+		}
+		if bytes.Equal(unguided.Binary.Marshal(), guided.Binary.Marshal()) {
+			t.Fatal("guided output identical to unguided — profile had no effect")
+		}
+
+		run := func(res *Result) emu.Result {
+			lib, err := rtlib.Preload(res.Binary)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := emu.Load(res.Binary, emu.Options{Runtime: lib})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := m.Run()
+			if err != nil {
+				t.Fatalf("run rewritten: %v", err)
+			}
+			// Entry-block counters must be exact: the fast variant's entry
+			// snippet shares the full body's cell.
+			for _, f := range an.Graph.Funcs {
+				cell, ok := res.CounterCells[f.Entry]
+				if !ok {
+					continue
+				}
+				cnt, err := m.MemRead(cell, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				truth := runOriginal(t, img, []uint64{f.Entry}).Profile[f.Entry]
+				if cnt != truth {
+					t.Errorf("%s entry counter = %d, ground truth = %d", f.Name, cnt, truth)
+				}
+			}
+			return out
+		}
+		gotG := run(guided)
+		gotU := run(unguided)
+		if string(gotG.Output) != string(want.Output) {
+			t.Fatalf("guided output = %q, want %q", gotG.Output, want.Output)
+		}
+		if string(gotU.Output) != string(want.Output) {
+			t.Fatalf("unguided output = %q, want %q", gotU.Output, want.Output)
+		}
+		if gotG.Cycles >= gotU.Cycles {
+			t.Errorf("guided run not cheaper: %d cycles vs unguided %d", gotG.Cycles, gotU.Cycles)
+		} else {
+			t.Logf("guided %d cycles vs unguided %d (hot=%d variants=%d)",
+				gotG.Cycles, gotU.Cycles, guided.Stats.HotFuncs, guided.Stats.VariantFuncs)
+		}
+	})
+}
+
+// TestProfileGuidedDegradesCleanly pins the degradation contract: a nil
+// profile, an empty profile, and a zero-heat profile all produce output
+// byte-identical to the unguided rewrite, with zero variant stats.
+func TestProfileGuidedDegradesCleanly(t *testing.T) {
+	img, _, err := richProgram(arch.X64, true).Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Mode: ModeJT, Request: counterRequest(), Verify: true}
+	base, err := Rewrite(img, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.Binary.Marshal()
+	for name, prof := range map[string]*profile.Profile{
+		"empty":     {Arch: arch.X64},
+		"zero-heat": {Arch: arch.X64, Funcs: []profile.FuncHeat{{Name: "main", Entry: 0x1000, Blocks: 3}}},
+	} {
+		o := opts
+		o.Profile = prof
+		res, err := Rewrite(img, o)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Stats.HotFuncs != 0 || res.Stats.VariantFuncs != 0 {
+			t.Errorf("%s: hot=%d variants=%d, want 0/0", name, res.Stats.HotFuncs, res.Stats.VariantFuncs)
+		}
+		if !bytes.Equal(want, res.Binary.Marshal()) {
+			t.Errorf("%s: trivial profile changed the output bytes", name)
+		}
+	}
+}
+
+// TestProfileGuidedAblationsSkipVariants: a non-zero Variant (ablation
+// baseline) or a non-counter request uses the profile only for
+// trampoline ordering — no dispatch stubs, no selector section — and
+// still rewrites correctly.
+func TestProfileGuidedAblationsSkipVariants(t *testing.T) {
+	img, _, err := richProgram(arch.A64, false).Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	heat := captureHeat(t, img)
+	an, err := Analyze(img, AnalysisConfig{Mode: ModeDir, Variant: Variant{ReverseFuncs: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := an.ProfileFromHeat("test", heat)
+	res, err := an.Patch(Options{
+		Mode: ModeDir, Variant: Variant{ReverseFuncs: true},
+		Request: counterRequest(), Verify: true, Profile: prof,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.VariantFuncs != 0 {
+		t.Fatalf("ablation variant planned %d variant funcs, want 0", res.Stats.VariantFuncs)
+	}
+	if res.Binary.Section(".icfg.select") != nil {
+		t.Fatal("ablation rewrite emitted a selector section")
+	}
+}
+
+// TestProfileGuidedPlanDump checks the inspection surface: the laid-out
+// guided plan dumps the selector region and per-function tier
+// annotations, and the stub items resolve through the new target kinds.
+func TestProfileGuidedPlanDump(t *testing.T) {
+	img, _, err := richProgram(arch.X64, true).Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	heat := captureHeat(t, img)
+	an, err := Analyze(img, AnalysisConfig{Mode: ModeJT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := an.ProfileFromHeat("test", heat)
+	p, err := an.PlanFor(Options{Mode: ModeJT, Request: counterRequest(), Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	p.Dump(&sb)
+	out := sb.String()
+	for _, wantStr := range []string{"selectors", "tier=hot", "tier=cold", "var-entry", "profile "} {
+		if !strings.Contains(out, wantStr) {
+			t.Errorf("plan dump missing %q", wantStr)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"icfgpatch/internal/analysis"
@@ -96,6 +97,10 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 			stats.SkippedFuncs = append(stats.SkippedFuncs, f.Name)
 		}
 	}
+	stats.HotFuncs = len(p.hot)
+	for _, u := range p.units {
+		stats.VariantFuncs += u.variants
+	}
 	if opts.Variant.ReverseFuncs {
 		p.reverseUnits()
 	}
@@ -162,6 +167,7 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 		sb      superblock
 		to      uint64
 		scratch arch.Reg
+		heat    uint64
 	}
 	var deferred []hopJob
 	for _, ft := range p.tramps {
@@ -174,7 +180,7 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 			}
 			tr, ok := directOrLong(b, job.sb, to, job.scratch)
 			if !ok {
-				deferred = append(deferred, hopJob{sb: job.sb, to: to, scratch: job.scratch})
+				deferred = append(deferred, hopJob{sb: job.sb, to: to, scratch: job.scratch, heat: p.profCount[ft.fn.Name]})
 				continue
 			}
 			if err := installTrampoline(nb, text, tr, pool, job.sb, &stats); err != nil {
@@ -183,7 +189,14 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 		}
 	}
 	// Second pass: multi-hop through accumulated scratch space, then
-	// trap as the last resort.
+	// trap as the last resort. Under profile guidance the hottest
+	// functions go first, winning the scarce close-range scratch space
+	// while cold functions absorb the trap cost. The stable sort keeps
+	// the unguided (deterministic symbol) order within equal heat, so a
+	// trivial profile changes nothing.
+	if p.prof != nil {
+		sort.SliceStable(deferred, func(i, j int) bool { return deferred[i].heat > deferred[j].heat })
+	}
 	for _, job := range deferred {
 		tr, hop, ok := multiHop(b, job.sb, job.to, job.scratch, pool)
 		if ok {
@@ -241,6 +254,21 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 		if _, err := nb.AddSection(&bin.Section{
 			Name: ".icfg.counters", Addr: counterBase,
 			Data:  make([]byte, p.nextCell-counterBase),
+			Flags: bin.FlagAlloc | bin.FlagWrite, Align: 8,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if p.selEnd > p.selBase {
+		// Selector cells default to 1: the fast variant runs until a
+		// runtime flips a cell to 0 to re-enable full instrumentation for
+		// that function — the overhead reduction is the shipped default.
+		sel := make([]byte, p.selEnd-p.selBase)
+		for i := 0; i < len(sel); i += 8 {
+			sel[i] = 1
+		}
+		if _, err := nb.AddSection(&bin.Section{
+			Name: ".icfg.select", Addr: p.selBase, Data: sel,
 			Flags: bin.FlagAlloc | bin.FlagWrite, Align: 8,
 		}); err != nil {
 			return nil, err

@@ -78,6 +78,13 @@ type Options struct {
 	// execution counts are recorded — the ground-truth block profile
 	// that instrumentation-integrity checks compare counters against.
 	ProfileAddrs []uint64
+	// CaptureHeat records every control-transfer landing PC (link-time
+	// coordinates) in Result.Heat: any executed instruction that is not
+	// the sequential successor of the previous one — block entries,
+	// branch/call targets, return landings. Aggregated through
+	// profile.Build, this is the block-heat capture profile-guided
+	// rewriting feeds back into the planner.
+	CaptureHeat bool
 	// Arg is placed in r1 at startup (the argv model: workloads select
 	// their command or benchmark input through it).
 	Arg uint64
@@ -102,6 +109,9 @@ type Result struct {
 	ICRef   uint64
 	// Profile holds per-address execution counts for Options.ProfileAddrs.
 	Profile map[uint64]uint64
+	// Heat holds control-transfer landing counts when Options.CaptureHeat
+	// was set (link-time coordinates).
+	Heat map[uint64]uint64
 }
 
 // Machine is one loaded program instance.
@@ -127,6 +137,8 @@ type Machine struct {
 	max      uint64
 	halted   bool
 	profile  map[uint64]uint64
+	heat     map[uint64]uint64
+	seqNext  uint64   // expected PC if the previous instruction fell through
 	trace    []uint64 // ring buffer of executed PCs
 	traceIdx int
 }
@@ -158,6 +170,9 @@ func Load(b *bin.Binary, opts Options) (*Machine, error) {
 		for _, a := range opts.ProfileAddrs {
 			m.profile[a] = 0
 		}
+	}
+	if opts.CaptureHeat {
+		m.heat = map[uint64]uint64{}
 	}
 	if opts.TraceDepth > 0 {
 		m.trace = make([]uint64, opts.TraceDepth)
@@ -272,6 +287,7 @@ func (m *Machine) result() Result {
 		r.ICRef = m.icache.Accesses
 	}
 	r.Profile = m.profile
+	r.Heat = m.heat
 	return r
 }
 
@@ -318,6 +334,12 @@ func (m *Machine) step() error {
 		if _, ok := m.profile[m.pc-m.loadBase]; ok {
 			m.profile[m.pc-m.loadBase]++
 		}
+	}
+	if m.heat != nil {
+		if m.pc != m.seqNext {
+			m.heat[m.pc-m.loadBase]++
+		}
+		m.seqNext = m.pc + uint64(ins.EncLen)
 	}
 	m.cycles += m.costs.instrCost(ins)
 	if m.icache != nil && !m.icache.Access(m.pc) {

@@ -349,3 +349,44 @@ func total(m map[arch.TrampolineClass]int) int {
 	}
 	return n
 }
+
+// TestProfileGuidedShape asserts the multi-version follow-on's headline
+// claim on a variable-width and a fixed-width architecture: with a
+// captured profile, counter instrumentation costs measurably fewer
+// emulated cycles than the unguided rewrite on the same suite, every
+// benchmark still produces the original output, and the guided plans
+// actually split hot functions into variants (a ratio below 1 with zero
+// variants would mean the win came from somewhere else).
+func TestProfileGuidedShape(t *testing.T) {
+	for _, a := range []arch.Arch{arch.X64, arch.A64} {
+		res, err := ProfileGuided(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Pass != res.Total {
+			for _, f := range res.Failures() {
+				t.Error(f)
+			}
+			t.Fatalf("%s: %d/%d benchmarks passed", a, res.Pass, res.Total)
+		}
+		variants := 0
+		for _, r := range res.Runs {
+			variants += r.VariantFuncs
+			if r.HotFuncs < r.VariantFuncs {
+				t.Errorf("%s %s: %d variants from %d hot funcs", a, r.Bench, r.VariantFuncs, r.HotFuncs)
+			}
+		}
+		if variants == 0 {
+			t.Fatalf("%s: no benchmark planned any fast variants", a)
+		}
+		if res.GuidedMean >= res.UnguidedMean {
+			t.Errorf("%s: guided overhead %v not below unguided %v", a, res.GuidedMean, res.UnguidedMean)
+		}
+		if res.Ratio <= 0 || res.Ratio >= 0.9 {
+			t.Errorf("%s: guided/unguided ratio %.3f, want a clear (>10%%) win", a, res.Ratio)
+		}
+		if out := res.Render(); !strings.Contains(out, "ratio") || !strings.Contains(out, "variants") {
+			t.Error("render malformed")
+		}
+	}
+}

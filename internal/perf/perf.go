@@ -21,6 +21,7 @@
 package perf
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -34,7 +35,9 @@ import (
 	"icfgpatch/internal/arch"
 	"icfgpatch/internal/bin"
 	"icfgpatch/internal/core"
+	"icfgpatch/internal/emu"
 	"icfgpatch/internal/instrument"
+	"icfgpatch/internal/rtlib"
 	"icfgpatch/internal/service"
 	"icfgpatch/internal/service/batch"
 	"icfgpatch/internal/service/wire"
@@ -87,9 +90,32 @@ type Trajectory struct {
 	BatchItemsPerSec float64 `json:"batch_items_per_sec"`
 	BatchItems       int     `json:"batch_items"`
 
+	// ProfileGuidedOverheadRatio is the guided-over-unguided cycle-
+	// overhead ratio of a block-counter rewrite on the libxul/X64
+	// workload, with the profile captured from one emulated run of the
+	// latency benchmark. Below 1 means the fast variants pay for their
+	// dispatch stubs; the emulator's cycle model makes it deterministic,
+	// so Compare gates it like a latency field.
+	ProfileGuidedOverheadRatio float64 `json:"profile_guided_overhead_ratio"`
+	// ProfileWorkloads records the same capture → guided-rewrite loop on
+	// the other recorded workloads: docker (Go runtime, X64), the
+	// stripped libcuda driver (entry discovery instead of symbols), and
+	// a SPEC benchmark on a fixed-width arch (A64). Each entry's ratio
+	// is gated.
+	ProfileWorkloads map[string]ProfileStats `json:"profile_workloads"`
+
 	// AllocBudgets are the ceilings TestAllocBudget asserts: the
 	// measured allocs/op at recording time with headroom baked in.
 	AllocBudgets map[string]float64 `json:"alloc_budgets"`
+}
+
+// ProfileStats summarises one workload's captured profile and the plan
+// it guided: how many functions the profile marked hot, how many got a
+// fast variant, and the guided/unguided overhead ratio.
+type ProfileStats struct {
+	HotFuncs     int     `json:"hot_funcs"`
+	VariantFuncs int     `json:"variant_funcs"`
+	Ratio        float64 `json:"guided_overhead_ratio"`
 }
 
 // RecordOptions tune Record. Zero values select the defaults.
@@ -257,7 +283,115 @@ func Record(opts RecordOptions) (*Trajectory, error) {
 		return nil, fmt.Errorf("perf: batch throughput: %w", err)
 	}
 	t.BatchItemsPerSec, t.BatchItems = ips, items
+
+	// Profile-guided overhead ratios: the headline libxul/X64 number
+	// plus the other recorded workloads.
+	st, err := guidedRatio(prog.Binary, workload.CmdLatencyBenchmark)
+	if err != nil {
+		return nil, fmt.Errorf("perf: profile-guided libxul/x64: %w", err)
+	}
+	t.ProfileGuidedOverheadRatio = st.Ratio
+	t.ProfileWorkloads = map[string]ProfileStats{}
+	for _, w := range []struct {
+		name string
+		load func() (*bin.Binary, uint64, error)
+	}{
+		{"docker-x64", func() (*bin.Binary, uint64, error) {
+			p, err := workload.DockerCached(arch.X64)
+			if err != nil {
+				return nil, 0, err
+			}
+			return p.Binary, 1, nil
+		}},
+		{"libcuda-stripped-x64", func() (*bin.Binary, uint64, error) {
+			p, err := workload.LibcudaCached(arch.X64)
+			if err != nil {
+				return nil, 0, err
+			}
+			stripped := p.Binary.Clone()
+			stripped.Symbols = nil
+			return stripped, 0, nil
+		}},
+		{"spec-perlbench-a64", func() (*bin.Binary, uint64, error) {
+			suite, err := workload.SPECSuiteCached(arch.A64, false)
+			if err != nil {
+				return nil, 0, err
+			}
+			return suite[0].Binary, 0, nil
+		}},
+	} {
+		img, arg, err := w.load()
+		if err != nil {
+			return nil, fmt.Errorf("perf: profile workload %s: %w", w.name, err)
+		}
+		st, err := guidedRatio(img, arg)
+		if err != nil {
+			return nil, fmt.Errorf("perf: profile workload %s: %w", w.name, err)
+		}
+		t.ProfileWorkloads[w.name] = st
+	}
 	return t, nil
+}
+
+// guidedRatio captures one emulated run's block heat, rewrites the
+// binary with and without the resulting profile (block-entry counters,
+// ModeJT), and reports the guided/unguided cycle-overhead ratio along
+// with the guided plan's hot/variant counts. Both rewrites share one
+// analysis; both instrumented runs are checked against the original's
+// output so a behaviour break cannot masquerade as a perf number.
+func guidedRatio(img *bin.Binary, arg uint64) (ProfileStats, error) {
+	var st ProfileStats
+	runOnce := func(b *bin.Binary, heat bool) (emu.Result, error) {
+		lib, err := rtlib.Preload(b)
+		if err != nil {
+			return emu.Result{}, err
+		}
+		m, err := emu.Load(b, emu.Options{Runtime: lib, Arg: arg, MaxInstrs: 200_000_000, CaptureHeat: heat})
+		if err != nil {
+			return emu.Result{}, err
+		}
+		return m.Run()
+	}
+	orig, err := runOnce(img, true)
+	if err != nil {
+		return st, fmt.Errorf("profiling run: %w", err)
+	}
+	an, err := core.Analyze(img, core.AnalysisConfig{Mode: core.ModeJT})
+	if err != nil {
+		return st, err
+	}
+	prof := an.ProfileFromHeat(store.Hash(img.Marshal()), orig.Heat)
+	patchOpts := core.Options{Mode: core.ModeJT,
+		Request: instrument.Request{Where: instrument.BlockEntry, Payload: instrument.PayloadCounter}}
+	unguided, err := an.Patch(patchOpts)
+	if err != nil {
+		return st, fmt.Errorf("unguided rewrite: %w", err)
+	}
+	patchOpts.Profile = prof
+	guided, err := an.Patch(patchOpts)
+	if err != nil {
+		return st, fmt.Errorf("guided rewrite: %w", err)
+	}
+	st.HotFuncs = guided.Stats.HotFuncs
+	st.VariantFuncs = guided.Stats.VariantFuncs
+	ug, err := runOnce(unguided.Binary, false)
+	if err != nil {
+		return st, fmt.Errorf("unguided run: %w", err)
+	}
+	gd, err := runOnce(guided.Binary, false)
+	if err != nil {
+		return st, fmt.Errorf("guided run: %w", err)
+	}
+	if !bytes.Equal(ug.Output, orig.Output) || !bytes.Equal(gd.Output, orig.Output) {
+		return st, errors.New("instrumented output diverged from the original")
+	}
+	ugOv := float64(ug.Cycles)/float64(orig.Cycles) - 1
+	gdOv := float64(gd.Cycles)/float64(orig.Cycles) - 1
+	if ugOv <= 0 {
+		return st, errors.New("unguided rewrite added no measurable overhead")
+	}
+	st.Ratio = gdOv / ugOv
+	return st, nil
 }
 
 // batchThroughput runs one fleet job per iteration — batchItemCount
@@ -586,6 +720,24 @@ func Compare(base, cand *Trajectory, tol Tolerances) ([]Regression, error) {
 		{"warm_patch_allocs_per_op", base.WarmPatchAllocsPerOp, cand.WarmPatchAllocsPerOp, tol.AllocsPct, false},
 		{"warm_analyze_allocs_per_op", base.WarmAnalyzeAllocsPerOp, cand.WarmAnalyzeAllocsPerOp, tol.AllocsPct, false},
 		{"delta_analyze_allocs_per_op", base.DeltaAnalyzeAllocsPerOp, cand.DeltaAnalyzeAllocsPerOp, tol.AllocsPct, false},
+		{"profile_guided_overhead_ratio", base.ProfileGuidedOverheadRatio, cand.ProfileGuidedOverheadRatio, tol.LatencyPct, false},
+	}
+	// Every per-workload guided-overhead ratio in the baseline is gated
+	// too: a missing candidate entry means the measurement was dropped,
+	// which must fail rather than silently shrink the gate's coverage.
+	// Keys are sorted so the regression report's order is stable.
+	workloads := make([]string, 0, len(base.ProfileWorkloads))
+	for name := range base.ProfileWorkloads {
+		workloads = append(workloads, name)
+	}
+	sort.Strings(workloads)
+	for _, name := range workloads {
+		c, ok := cand.ProfileWorkloads[name]
+		if !ok {
+			return nil, fmt.Errorf("perf: candidate is missing profile workload %s", name)
+		}
+		fields = append(fields, field{"profile_workloads/" + name + "/guided_overhead_ratio",
+			base.ProfileWorkloads[name].Ratio, c.Ratio, tol.LatencyPct, false})
 	}
 	var regs []Regression
 	for _, f := range fields {

@@ -8,25 +8,31 @@ import (
 
 func sample() *Trajectory {
 	return &Trajectory{
-		Schema:                  Schema,
-		PR:                      6,
-		GOOS:                    "linux",
-		GOARCH:                  "amd64",
-		CPUs:                    8,
-		Workload:                "libxul-x64-jt-blockentry",
-		ColdRewriteNs:           30e6,
-		WarmPatchNs:             7e6,
-		DeltaRewriteNs:          12e6,
-		EmitThroughputMBps:      120,
-		WarmPatchAllocsPerOp:    4000,
-		WarmPatchBytesPerOp:     1.6e6,
-		WarmAnalyzeAllocsPerOp:  60000,
-		DeltaAnalyzeAllocsPerOp: 20000,
-		ServiceP50Ns:            9e6,
-		ServiceP99Ns:            25e6,
-		ServiceRequests:         64,
-		BatchItemsPerSec:        40,
-		BatchItems:              12,
+		Schema:                     Schema,
+		PR:                         6,
+		GOOS:                       "linux",
+		GOARCH:                     "amd64",
+		CPUs:                       8,
+		Workload:                   "libxul-x64-jt-blockentry",
+		ColdRewriteNs:              30e6,
+		WarmPatchNs:                7e6,
+		DeltaRewriteNs:             12e6,
+		EmitThroughputMBps:         120,
+		WarmPatchAllocsPerOp:       4000,
+		WarmPatchBytesPerOp:        1.6e6,
+		WarmAnalyzeAllocsPerOp:     60000,
+		DeltaAnalyzeAllocsPerOp:    20000,
+		ServiceP50Ns:               9e6,
+		ServiceP99Ns:               25e6,
+		ServiceRequests:            64,
+		BatchItemsPerSec:           40,
+		BatchItems:                 12,
+		ProfileGuidedOverheadRatio: 0.31,
+		ProfileWorkloads: map[string]ProfileStats{
+			"docker-x64":           {HotFuncs: 22, VariantFuncs: 22, Ratio: 0.24},
+			"libcuda-stripped-x64": {HotFuncs: 80, VariantFuncs: 80, Ratio: 0.44},
+			"spec-perlbench-a64":   {HotFuncs: 11, VariantFuncs: 11, Ratio: 0.30},
+		},
 		AllocBudgets: map[string]float64{
 			BudgetWarmPatch:    5200,
 			BudgetWarmAnalyze:  78000,
@@ -59,6 +65,12 @@ func TestCompareDetectsRegression(t *testing.T) {
 		{"tail", func(c *Trajectory) { c.ServiceP99Ns *= 3 }, "service_p99_ns"},
 		{"throughput-drop", func(c *Trajectory) { c.EmitThroughputMBps /= 10 }, "emit_throughput_mbps"},
 		{"batch-throughput-drop", func(c *Trajectory) { c.BatchItemsPerSec /= 10 }, "batch_items_per_sec"},
+		{"guided-ratio", func(c *Trajectory) { c.ProfileGuidedOverheadRatio *= 2 }, "profile_guided_overhead_ratio"},
+		{"workload-guided-ratio", func(c *Trajectory) {
+			st := c.ProfileWorkloads["docker-x64"]
+			st.Ratio *= 2
+			c.ProfileWorkloads["docker-x64"] = st
+		}, "profile_workloads/docker-x64/guided_overhead_ratio"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -99,6 +111,18 @@ func TestCompareRejectsZeroOrMissingFields(t *testing.T) {
 	cand.ServiceP50Ns = 0
 	if _, err := Compare(base, cand, Tolerances{}); err == nil {
 		t.Fatal("zero candidate field must error")
+	}
+	base, cand = sample(), sample()
+	delete(cand.ProfileWorkloads, "spec-perlbench-a64")
+	if _, err := Compare(base, cand, Tolerances{}); err == nil {
+		t.Fatal("dropped profile workload must error, not shrink the gate")
+	}
+	base, cand = sample(), sample()
+	st := base.ProfileWorkloads["docker-x64"]
+	st.Ratio = 0
+	base.ProfileWorkloads["docker-x64"] = st
+	if _, err := Compare(base, cand, Tolerances{}); err == nil {
+		t.Fatal("zero baseline workload ratio must error")
 	}
 }
 

@@ -1,0 +1,44 @@
+package profile
+
+import (
+	"bytes"
+	"testing"
+
+	"icfgpatch/internal/arch"
+)
+
+// FuzzDecodeProfile asserts Decode never panics on hostile input and
+// that every successfully decoded profile re-encodes byte-identically
+// (the canonical form is a fixpoint).
+func FuzzDecodeProfile(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("ICFGPRF1"))
+	f.Add(sample().Encode())
+	f.Add(Build("", arch.PPC, nil, nil).Encode())
+	big := Build("hash", arch.A64, []FuncBlocks{
+		{Name: "f0", Entry: 0, Blocks: []uint64{0, 8, 16}},
+		{Name: "f1", Entry: 32, Blocks: []uint64{32}},
+	}, map[uint64]uint64{0: 1 << 40, 8: 3, 32: 7}).Encode()
+	f.Add(big)
+	trunc := append([]byte{}, big...)
+	f.Add(trunc[:len(trunc)/2])
+	f.Add(append(append([]byte{}, big...), 1, 2, 3))
+	corrupt := append([]byte{}, big...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc := p.Encode()
+		q, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if !bytes.Equal(q.Encode(), enc) {
+			t.Fatalf("canonical encoding is not a fixpoint")
+		}
+	})
+}

@@ -1,0 +1,147 @@
+// Package profile defines the block-heat profile artifact: per-function
+// execution-heat counts captured from emulated runs of a binary, keyed
+// by the binary's content hash. A profile is the input to profile-guided
+// rewriting — the planner uses it to decide which functions deserve a
+// fast (sparsely instrumented) variant and which trampolines deserve the
+// scarce short-branch scratch space.
+//
+// Profiles are advisory by construction: a missing, corrupt, or trivial
+// profile degrades the rewrite to the unguided single-variant plan and
+// never changes correctness, only overhead. The serialised form (see
+// serialize.go) is hardened against hostile input the same way bin
+// deserialization is: count bounds, overflow checks, and a trailing-data
+// error.
+package profile
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+
+	"icfgpatch/internal/arch"
+)
+
+// FuncHeat is one function's aggregated heat: how many profiled events
+// (control-transfer landings during the capture run) fell inside the
+// function's blocks.
+type FuncHeat struct {
+	// Name is the function's symbol name.
+	Name string
+	// Entry is the function's entry address (link-time coordinates).
+	Entry uint64
+	// Blocks is the number of basic blocks the capture saw for the
+	// function (informational; dumped by icfg-objdump -profile).
+	Blocks uint64
+	// Count is the function's total heat.
+	Count uint64
+}
+
+// Profile is a captured block-heat profile for one binary.
+type Profile struct {
+	// BinaryHash is the content hash (hex SHA-256 of the serialised
+	// binary) the profile was captured from. Consumers may warn or
+	// ignore on mismatch; the rewriter matches functions by name, so a
+	// stale profile degrades gracefully rather than corrupting output.
+	BinaryHash string
+	// Arch is the binary's architecture at capture time.
+	Arch arch.Arch
+	// TotalCount is the sum of all function counts.
+	TotalCount uint64
+	// Funcs is sorted by Name; Encode relies on the order for
+	// deterministic serialisation.
+	Funcs []FuncHeat
+}
+
+// FuncBlocks describes one function's block set for Build: the capture
+// maps raw per-address heat onto functions through it.
+type FuncBlocks struct {
+	Name   string
+	Entry  uint64
+	Blocks []uint64
+}
+
+// Build aggregates a raw per-address heat map (as captured by
+// emu.Options.CaptureHeat, link-time coordinates) into a Profile using
+// the binary's function/block structure. Addresses that fall outside
+// every listed block are ignored.
+func Build(binaryHash string, a arch.Arch, funcs []FuncBlocks, heat map[uint64]uint64) *Profile {
+	p := &Profile{BinaryHash: binaryHash, Arch: a}
+	for _, f := range funcs {
+		fh := FuncHeat{Name: f.Name, Entry: f.Entry, Blocks: uint64(len(f.Blocks))}
+		for _, b := range f.Blocks {
+			fh.Count += heat[b]
+		}
+		p.TotalCount += fh.Count
+		p.Funcs = append(p.Funcs, fh)
+	}
+	p.normalize()
+	return p
+}
+
+// normalize sorts Funcs by name (entry as tiebreak) and recomputes
+// TotalCount, making the in-memory form canonical regardless of how it
+// was assembled.
+func (p *Profile) normalize() {
+	sort.Slice(p.Funcs, func(i, j int) bool {
+		if p.Funcs[i].Name != p.Funcs[j].Name {
+			return p.Funcs[i].Name < p.Funcs[j].Name
+		}
+		return p.Funcs[i].Entry < p.Funcs[j].Entry
+	})
+	p.TotalCount = 0
+	for _, f := range p.Funcs {
+		p.TotalCount += f.Count
+	}
+}
+
+// Trivial reports whether the profile carries no guidance: no functions
+// or no recorded heat. The planner treats a trivial profile exactly like
+// a nil one.
+func (p *Profile) Trivial() bool {
+	return p == nil || len(p.Funcs) == 0 || p.TotalCount == 0
+}
+
+// HotFuncs returns the set of function names the profile classifies as
+// hot: functions whose count is at least the ceiling of the mean count.
+// With uniform heat every warm function is hot; with skewed heat only
+// the heavy tail is; with no heat nothing is. Zero-count functions are
+// never hot.
+func (p *Profile) HotFuncs() map[string]bool {
+	hot := map[string]bool{}
+	if p.Trivial() {
+		return hot
+	}
+	n := uint64(len(p.Funcs))
+	// Ceiling of the mean without Count*n overflow.
+	threshold := (p.TotalCount + n - 1) / n
+	for _, f := range p.Funcs {
+		if f.Count > 0 && f.Count >= threshold {
+			hot[f.Name] = true
+		}
+	}
+	return hot
+}
+
+// CountByName returns the per-function heat map (nil-safe; empty for a
+// trivial profile).
+func (p *Profile) CountByName() map[string]uint64 {
+	m := map[string]uint64{}
+	if p == nil {
+		return m
+	}
+	for _, f := range p.Funcs {
+		m[f.Name] = f.Count
+	}
+	return m
+}
+
+// Hash returns the profile's content hash (hex SHA-256 of its canonical
+// encoding) — the key under which it participates in rewrite cache
+// identity. A nil profile hashes to the empty string.
+func (p *Profile) Hash() string {
+	if p == nil {
+		return ""
+	}
+	sum := sha256.Sum256(p.Encode())
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,130 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"icfgpatch/internal/arch"
+)
+
+func sample() *Profile {
+	return Build("deadbeef", arch.X64, []FuncBlocks{
+		{Name: "hot", Entry: 0x1000, Blocks: []uint64{0x1000, 0x1010}},
+		{Name: "cold", Entry: 0x2000, Blocks: []uint64{0x2000}},
+		{Name: "dead", Entry: 0x3000, Blocks: []uint64{0x3000}},
+	}, map[uint64]uint64{0x1000: 90, 0x1010: 8, 0x2000: 2})
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := sample()
+	enc := p.Encode()
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(got.Encode(), enc) {
+		t.Fatalf("round trip changed encoding")
+	}
+	if got.TotalCount != 100 || len(got.Funcs) != 3 {
+		t.Fatalf("got total=%d funcs=%d", got.TotalCount, len(got.Funcs))
+	}
+	if got.Hash() != p.Hash() || got.Hash() == "" {
+		t.Fatalf("hash mismatch: %q vs %q", got.Hash(), p.Hash())
+	}
+}
+
+func TestEncodeCanonicalOrder(t *testing.T) {
+	a := sample()
+	b := sample()
+	// Scramble b's in-memory order; encodings must still match.
+	b.Funcs[0], b.Funcs[2] = b.Funcs[2], b.Funcs[0]
+	if !bytes.Equal(a.Encode(), b.Encode()) {
+		t.Fatalf("encoding depends on in-memory order")
+	}
+}
+
+func TestHotFuncs(t *testing.T) {
+	p := sample()
+	hot := p.HotFuncs()
+	// Mean is 100/3 → threshold ceil = 34: only "hot" (98) qualifies.
+	if !hot["hot"] || hot["cold"] || hot["dead"] {
+		t.Fatalf("hot set %v", hot)
+	}
+
+	uniform := Build("", arch.PPC, []FuncBlocks{
+		{Name: "a", Blocks: []uint64{1}},
+		{Name: "b", Blocks: []uint64{2}},
+	}, map[uint64]uint64{1: 5, 2: 5})
+	hu := uniform.HotFuncs()
+	if !hu["a"] || !hu["b"] {
+		t.Fatalf("uniform heat should mark all warm funcs hot: %v", hu)
+	}
+
+	empty := Build("", arch.A64, []FuncBlocks{{Name: "a", Blocks: []uint64{1}}}, nil)
+	if !empty.Trivial() || len(empty.HotFuncs()) != 0 {
+		t.Fatalf("zero-heat profile must be trivial with no hot funcs")
+	}
+	var nilp *Profile
+	if !nilp.Trivial() || len(nilp.HotFuncs()) != 0 || nilp.Hash() != "" {
+		t.Fatalf("nil profile must be trivial")
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	valid := sample().Encode()
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "bad magic"},
+		{"magic", []byte("NOTPROF1xxxx"), "bad magic"},
+		{"truncated", valid[:len(valid)-3], "truncated"},
+		{"trailing", append(append([]byte{}, valid...), 0xAB), "trailing"},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c.data); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got err %v, want substring %q", c.name, err, c.want)
+		}
+	}
+
+	// Hostile function count: claims 2^60 entries.
+	huge := append([]byte{}, valid...)
+	// Offset of the count field: magic + hash(8+len) + arch(1) + total(8).
+	off := len(magic) + 8 + len("deadbeef") + 1 + 8
+	for i := 0; i < 8; i++ {
+		huge[off+i] = 0xFF
+	}
+	huge[off+7] = 0x0F
+	if _, err := Decode(huge); err == nil || !strings.Contains(err.Error(), "declares") {
+		t.Errorf("hostile count: got %v", err)
+	}
+
+	// Mismatched total.
+	bad := append([]byte{}, valid...)
+	bad[len(magic)+8+len("deadbeef")+1] ^= 0x01
+	if _, err := Decode(bad); err == nil || !strings.Contains(err.Error(), "total") {
+		t.Errorf("bad total: got %v", err)
+	}
+}
+
+func TestDecodeRejectsCountOverflow(t *testing.T) {
+	p := &Profile{Arch: arch.X64, Funcs: []FuncHeat{
+		{Name: "a", Count: 1 << 63},
+		{Name: "b", Count: 1 << 63},
+	}}
+	// Encode normalizes TotalCount via wrapping sum in Go arithmetic, so
+	// craft the wire image by hand: total field 0, two funcs of 2^63.
+	enc := p.Encode()
+	if _, err := Decode(enc); err == nil || !strings.Contains(err.Error(), "overflow") {
+		t.Errorf("overflowing counts: got %v", err)
+	}
+}
+
+func TestCountByName(t *testing.T) {
+	m := sample().CountByName()
+	if m["hot"] != 98 || m["cold"] != 2 || m["dead"] != 0 {
+		t.Fatalf("counts %v", m)
+	}
+}

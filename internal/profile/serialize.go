@@ -1,0 +1,163 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"icfgpatch/internal/arch"
+)
+
+// The serialised profile is deterministic: an 8-byte magic, the binary
+// hash, the arch, then a length-prefixed function table sorted by name.
+// Decode is hardened the way bin deserialization is: every count is
+// bounded by the remaining input, string lengths cannot overflow, and
+// trailing bytes are an error (a concatenated or padded artifact is
+// corrupt, not silently half-read).
+
+var magic = [8]byte{'I', 'C', 'F', 'G', 'P', 'R', 'F', '1'}
+
+// ErrBadMagic is returned when decoding data that is not a serialised
+// profile.
+var ErrBadMagic = errors.New("profile: bad magic (not an ICFGPRF1 artifact)")
+
+// funcWireSize is the minimum serialised FuncHeat: name length prefix,
+// entry, blocks, count.
+const funcWireSize = 8 + 8 + 8 + 8
+
+// Encode serialises the profile. The function table is written in the
+// canonical (name-sorted) order so equal profiles encode to equal bytes
+// and the content hash is stable.
+func (p *Profile) Encode() []byte {
+	q := *p
+	q.normalize()
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	writeStr(&buf, q.BinaryHash)
+	buf.WriteByte(uint8(q.Arch))
+	writeU64(&buf, q.TotalCount)
+	writeU64(&buf, uint64(len(q.Funcs)))
+	for _, f := range q.Funcs {
+		writeStr(&buf, f.Name)
+		writeU64(&buf, f.Entry)
+		writeU64(&buf, f.Blocks)
+		writeU64(&buf, f.Count)
+	}
+	return buf.Bytes()
+}
+
+// Decode parses a serialised profile, validating counts, the arch, the
+// recorded total, and that no bytes trail the last table.
+func Decode(data []byte) (*Profile, error) {
+	if len(data) < len(magic) || !bytes.Equal(data[:len(magic)], magic[:]) {
+		return nil, ErrBadMagic
+	}
+	r := &reader{b: data, off: len(magic)}
+	p := &Profile{}
+	p.BinaryHash = r.str()
+	p.Arch = arch.Arch(r.u8())
+	p.TotalCount = r.u64()
+	n := r.count("function", funcWireSize)
+	if r.err == nil && !p.Arch.Valid() {
+		r.err = fmt.Errorf("profile: invalid arch %d", p.Arch)
+	}
+	p.Funcs = make([]FuncHeat, 0, n)
+	var total uint64
+	for k := uint64(0); k < n && r.err == nil; k++ {
+		var f FuncHeat
+		f.Name = r.str()
+		f.Entry = r.u64()
+		f.Blocks = r.u64()
+		f.Count = r.u64()
+		if sum := total + f.Count; sum < total {
+			r.err = fmt.Errorf("profile: function counts overflow uint64 at %q", f.Name)
+			break
+		} else {
+			total = sum
+		}
+		p.Funcs = append(p.Funcs, f)
+	}
+	if r.err == nil && total != p.TotalCount {
+		r.err = fmt.Errorf("profile: recorded total %d does not match summed counts %d", p.TotalCount, total)
+	}
+	if r.err == nil && r.off != len(data) {
+		r.err = fmt.Errorf("profile: %d trailing bytes after function table", len(data)-r.off)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	p.normalize()
+	return p, nil
+}
+
+func writeU64(buf *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeStr(buf *bytes.Buffer, s string) {
+	writeU64(buf, uint64(len(s)))
+	buf.WriteString(s)
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("profile: truncated input reading %s at offset %d", what, r.off)
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail("u8")
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+// count reads a table length and rejects any count that could not fit
+// in the remaining input given a minimum entry size, bounding both
+// allocation and loop work by the input length.
+func (r *reader) count(what string, minEntrySize int) uint64 {
+	n := r.u64()
+	if r.err != nil {
+		return 0
+	}
+	if rem := len(r.b) - r.off; n > uint64(rem)/uint64(minEntrySize) {
+		if r.err == nil {
+			r.err = fmt.Errorf("profile: %s table declares %d entries but only %d bytes remain at offset %d", what, n, rem, r.off)
+		}
+		return 0
+	}
+	return n
+}
+
+func (r *reader) str() string {
+	n := r.u64()
+	if r.err != nil || n > uint64(len(r.b)) || r.off+int(n) > len(r.b) {
+		r.fail("string")
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}

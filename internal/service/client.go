@@ -117,18 +117,27 @@ func (c *Client) do(ctx context.Context, attempt func() (*http.Request, error)) 
 }
 
 // Rewrite submits a serialised binary with the given options and
-// returns the rewritten image plus the server's reply metadata.
+// returns the rewritten image plus the server's reply metadata. A
+// profile in opts is serialised and framed into the request body
+// (profile=1); the query string never carries it.
 func (c *Client) Rewrite(ctx context.Context, raw []byte, opts core.Options) ([]byte, *Reply, error) {
+	body := raw
+	prof := opts.Profile
+	opts.Profile = nil
 	params, err := wire.EncodeOptions(opts)
 	if err != nil {
 		return nil, nil, err
+	}
+	if prof != nil {
+		params.Set("profile", "1")
+		body = wire.FrameProfile(prof.Encode(), raw)
 	}
 	if c.Trace {
 		params.Set("trace", "1")
 	}
 	u := strings.TrimSuffix(c.BaseURL, "/") + "/rewrite?" + params.Encode()
 	resp, err := c.do(ctx, func() (*http.Request, error) {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(raw))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}

@@ -21,6 +21,7 @@ import (
 	"net/url"
 
 	"icfgpatch/internal/core"
+	"icfgpatch/internal/profile"
 	"icfgpatch/internal/service/wire"
 )
 
@@ -83,6 +84,22 @@ func (s *Server) ServeRewrite(w http.ResponseWriter, r *http.Request, raw []byte
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+	if q.Get("profile") == "1" || q.Get("profile") == "true" {
+		// profile=1 bodies carry a profile artifact ahead of the binary.
+		// Bad framing is the sender's bug (400); a profile that frames
+		// correctly but fails its own hardened decode — or decodes to a
+		// trivial artifact — degrades to the unguided rewrite, by the
+		// profile contract: guidance is advisory, never a failure mode.
+		pb, bb, err := wire.SplitProfile(raw)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		raw = bb
+		if p, err := profile.Decode(pb); err == nil && !p.Trivial() {
+			opts.Profile = p
+		}
 	}
 	trace := q.Get("trace") == "1" || q.Get("trace") == "true"
 	submit := s.Submit

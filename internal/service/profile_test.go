@@ -1,0 +1,215 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/bin"
+	"icfgpatch/internal/core"
+	"icfgpatch/internal/instrument"
+	"icfgpatch/internal/profile"
+	"icfgpatch/internal/service/wire"
+)
+
+func blockCounter() instrument.Request {
+	return instrument.Request{Where: instrument.BlockEntry, Payload: instrument.PayloadCounter}
+}
+
+// guidedFixture builds the shared test inputs: a workload binary, a
+// hot-skewed profile over its functions, and the guided/unguided local
+// rewrites every remote path must reproduce byte-for-byte.
+func guidedFixture(t *testing.T) (raw []byte, prof *profile.Profile, guided, unguided []byte) {
+	t.Helper()
+	raw = testBinaryRaw(t)
+	img, err := bin.Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := core.Analyze(img, core.AnalysisConfig{Mode: core.ModeJT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heat := make(map[uint64]uint64)
+	for i, f := range an.Graph.Funcs {
+		if i%4 == 0 {
+			heat[f.Entry] = 500
+		} else {
+			heat[f.Entry] = 1
+		}
+	}
+	prof = an.ProfileFromHeat("fixture", heat)
+
+	opts := core.Options{Mode: core.ModeJT, Request: blockCounter(), Profile: prof}
+	g, err := an.Patch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats.VariantFuncs == 0 {
+		t.Fatal("fixture profile planned no variants")
+	}
+	opts.Profile = nil
+	u, err := an.Patch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, prof, g.Binary.Marshal(), u.Binary.Marshal()
+}
+
+// TestProfileUploadRemote: a client rewrite carrying a profile must
+// produce bytes identical to the local guided rewrite — and different
+// from the unguided one — with the variant stats riding back in the
+// reply.
+func TestProfileUploadRemote(t *testing.T) {
+	raw, prof, guided, unguided := guidedFixture(t)
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+
+	image, reply, err := c.Rewrite(context.Background(), raw,
+		core.Options{Mode: core.ModeJT, Request: blockCounter(), Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(image, guided) {
+		t.Fatal("remote guided rewrite differs from local guided rewrite")
+	}
+	if bytes.Equal(image, unguided) {
+		t.Fatal("remote guided rewrite matches the unguided output — profile was dropped in transit")
+	}
+	if reply.Stats.VariantFuncs == 0 || reply.Stats.HotFuncs == 0 {
+		t.Fatalf("reply stats hot=%d variants=%d: guidance invisible in the reply",
+			reply.Stats.HotFuncs, reply.Stats.VariantFuncs)
+	}
+
+	plain, _, err := c.Rewrite(context.Background(), raw,
+		core.Options{Mode: core.ModeJT, Request: blockCounter()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, unguided) {
+		t.Fatal("remote unguided rewrite differs from local unguided rewrite")
+	}
+}
+
+// TestProfileUploadDegrades: a well-framed but corrupt (or trivial)
+// profile degrades to the unguided rewrite — 200, unguided bytes, no
+// error. Bad framing, by contrast, is the sender's bug: 400.
+func TestProfileUploadDegrades(t *testing.T) {
+	raw, prof, _, unguided := guidedFixture(t)
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	post := func(body []byte) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/rewrite?mode=jt&where=block&payload=counter&profile=1",
+			"application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Corrupt profile: flip a byte past the magic so decode fails.
+	pb := prof.Encode()
+	pb[len(pb)-1] ^= 0xFF
+	resp := post(wire.FrameProfile(pb, raw))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("corrupt profile got %s, want 200 (degrade, not fail)", resp.Status)
+	}
+	_, image, err := wire.ReadFrame(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(image, unguided) {
+		t.Fatal("corrupt profile did not degrade to the unguided bytes")
+	}
+
+	// Trivial profile: decodes fine, carries no heat.
+	trivial := (&profile.Profile{Arch: arch.X64}).Encode()
+	resp = post(wire.FrameProfile(trivial, raw))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trivial profile got %s, want 200", resp.Status)
+	}
+	_, image, err = wire.ReadFrame(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(image, unguided) {
+		t.Fatal("trivial profile did not degrade to the unguided bytes")
+	}
+
+	// Hostile framing: declared profile length exceeds the body.
+	bad := wire.FrameProfile(prof.Encode(), raw)
+	bad[0], bad[1], bad[2], bad[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	resp = post(bad)
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("hostile framing got %s, want 400", resp.Status)
+	}
+	if !strings.Contains(string(msg), "profile") {
+		t.Fatalf("400 body %q does not name the framing problem", msg)
+	}
+}
+
+// TestProfileCacheIdentity: the profile is part of the result cache's
+// key — a repeat guided request replays from cache, guided and
+// unguided requests never share an entry, and a degraded (corrupt)
+// profile lands on the unguided entry.
+func TestProfileCacheIdentity(t *testing.T) {
+	raw, prof, _, _ := guidedFixture(t)
+	s := New(Config{Workers: 2, ResultEntries: 16})
+	defer s.Shutdown(context.Background())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+
+	guidedOpts := core.Options{Mode: core.ModeJT, Request: blockCounter(), Profile: prof}
+	plainOpts := core.Options{Mode: core.ModeJT, Request: blockCounter()}
+
+	if _, reply, err := c.Rewrite(context.Background(), raw, guidedOpts); err != nil {
+		t.Fatal(err)
+	} else if reply.ResultHit {
+		t.Fatal("first guided request was a result hit")
+	}
+	if _, reply, err := c.Rewrite(context.Background(), raw, guidedOpts); err != nil {
+		t.Fatal(err)
+	} else if !reply.ResultHit {
+		t.Fatal("repeat guided request missed the result cache")
+	}
+	if _, reply, err := c.Rewrite(context.Background(), raw, plainOpts); err != nil {
+		t.Fatal(err)
+	} else if reply.ResultHit {
+		t.Fatal("unguided request hit the guided cache entry")
+	}
+
+	// A corrupt profile degrades to nil guidance, so its fingerprint must
+	// collapse onto the unguided entry just served.
+	pb := prof.Encode()
+	pb[len(pb)-1] ^= 0xFF
+	resp, err := http.Post(srv.URL+"/rewrite?mode=jt&where=block&payload=counter&profile=1",
+		"application/octet-stream", bytes.NewReader(wire.FrameProfile(pb, raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, _, err := wire.ReadFrame(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.ResultHit {
+		t.Fatal("degraded-profile request missed the unguided cache entry")
+	}
+}

@@ -101,13 +101,16 @@ func decodeResult(data []byte) (CachedResult, error) {
 }
 
 // Fingerprint extends the content address with the full instrumentation
-// request, canonically rendered — the result cache's key.
+// request, canonically rendered — the result cache's key. The profile
+// joins through its canonical content hash (same binary + same profile
+// ⇒ same cached bytes; a nil profile hashes to the empty string, so
+// degraded guided requests share the unguided entry).
 func Fingerprint(hash string, o core.Options) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s|m%d|w%d|p%d|v%t|g%d|nr%t|%+v|f:%s|a:",
+	fmt.Fprintf(&b, "%s|m%d|w%d|p%d|v%t|g%d|nr%t|%+v|f:%s|ph:%s|a:",
 		hash, o.Mode, o.Request.Where, o.Request.Payload,
 		o.Verify, o.InstrGap, o.NoRAMap, o.Variant,
-		strings.Join(o.Request.Funcs, ","))
+		strings.Join(o.Request.Funcs, ","), o.Profile.Hash())
 	for _, a := range o.Request.Addrs {
 		fmt.Fprintf(&b, "%x,", a)
 	}

@@ -8,8 +8,12 @@
 //
 // The /rewrite frame:
 //
-//	POST /rewrite?mode=jt&where=block&payload=empty[&funcs=a,b][&verify=1][&gap=N]
-//	  body: serialised input binary (.icfg bytes)
+//	POST /rewrite?mode=jt&where=block&payload=empty[&funcs=a,b][&verify=1][&gap=N][&profile=1]
+//	  body: serialised input binary (.icfg bytes); with profile=1 the
+//	        body is FrameProfile's framing — an 8-byte little-endian
+//	        profile length, the serialised profile artifact, then the
+//	        binary — so the profile participates in content-hash routing
+//	        and cache identity without a second upload channel
 //	  200 body: 8-byte little-endian JSON length, a JSON Reply, then
 //	            the serialised rewritten binary
 //	  errors: 400 bad request/options, 422 rewrite failure,
@@ -130,7 +134,38 @@ func EncodeOptions(o core.Options) (url.Values, error) {
 	if o.Variant != (core.Variant{}) {
 		return nil, errors.New("wire: baseline variants are not expressible on the wire")
 	}
+	if o.Profile != nil {
+		return nil, errors.New("wire: profiles travel in the request body (profile=1 framing), not the query string")
+	}
 	return v, nil
+}
+
+// FrameProfile builds a profile=1 request body: an 8-byte
+// little-endian profile length, the serialised profile artifact, then
+// the serialised binary. Framing the profile into the body — instead
+// of a side channel — keeps one POST per rewrite and folds the profile
+// into the cluster's content-hash routing for free.
+func FrameProfile(profileBytes, image []byte) []byte {
+	out := make([]byte, 8+len(profileBytes)+len(image))
+	binary.LittleEndian.PutUint64(out[:8], uint64(len(profileBytes)))
+	copy(out[8:], profileBytes)
+	copy(out[8+len(profileBytes):], image)
+	return out
+}
+
+// SplitProfile undoes FrameProfile, returning the profile artifact
+// bytes and the binary bytes. The declared profile length is validated
+// against the body before any slicing, so a hostile prefix cannot
+// drive an out-of-range read.
+func SplitProfile(body []byte) (profileBytes, binaryBytes []byte, err error) {
+	if len(body) < 8 {
+		return nil, nil, errors.New("wire: profiled body shorter than its length prefix")
+	}
+	n := binary.LittleEndian.Uint64(body[:8])
+	if n > uint64(len(body)-8) {
+		return nil, nil, fmt.Errorf("wire: profiled body declares %d profile bytes, only %d present", n, len(body)-8)
+	}
+	return body[8 : 8+n], body[8+n:], nil
 }
 
 // ParseMode parses a wire mode string; "" selects the default (jt).
