@@ -7,10 +7,10 @@ BENCHGUARD = sh scripts/benchguard.sh
 
 # BENCH_BASELINE is the committed performance-trajectory snapshot
 # bench-compare gates against; bench-record overwrites it.
-BENCH_BASELINE ?= BENCH_9.json
-BENCH_PR ?= 9
+BENCH_BASELINE ?= BENCH_10.json
+BENCH_PR ?= 10
 
-.PHONY: build test short race vet fmt fmt-check bench fuzz-seed bench-warm bench-delta bench-patch obs-guard delta-guard patch-guard alloc-guard cluster-guard batch-guard profile-guard bench-record bench-compare check
+.PHONY: build test short race vet fmt fmt-check bench fuzz-seed bench-warm bench-delta bench-patch obs-guard delta-guard patch-guard alloc-guard cluster-guard batch-guard profile-guard landing-guard bench-record bench-compare check
 
 build:
 	$(GO) build ./...
@@ -117,6 +117,17 @@ batch-guard:
 profile-guard:
 	GUARD_MATCH='^=== RUN' $(BENCHGUARD) $(GO) test -race -run 'TestProfileGuided' -v ./internal/core/
 
+# landing-guard runs the landing-pad evidence acceptance tests under
+# -race: sound func-ptr acceptance on CFI builds across all three ISAs
+# (with the rewritten binaries re-run under CET enforcement), the
+# degradation contract (marker-less byte-identity, corrupt markers take
+# the conservative path), and the wire-level feature-bit contract at
+# every cluster door. Benchguard-wrapped so a renamed test cannot
+# silently turn the guard into a no-op.
+landing-guard:
+	GUARD_MATCH='^=== RUN' $(BENCHGUARD) $(GO) test -race -run 'TestSoundFuncPtrWithLandingPads|TestRewrittenCFIBinaryPassesCET|TestMarkerlessByteIdentity|TestCorruptMarkersDegrade' -v .
+	GUARD_MATCH='^=== RUN' $(BENCHGUARD) $(GO) test -race -run 'TestUnknownFeatureBitsRejectedAtEveryDoor|TestNoEvidenceFeatureEndToEnd' -v ./internal/cluster/
+
 # bench-record measures the current build's performance trajectory and
 # writes the snapshot this PR commits. Run it once per perf-relevant PR
 # on an idle machine; `make check` then gates against the result.
@@ -129,4 +140,4 @@ bench-record:
 bench-compare:
 	$(GO) run ./cmd/icfg-experiments -bench-compare $(BENCH_BASELINE)
 
-check: fmt-check vet race fuzz-seed bench-warm bench-delta bench-patch obs-guard delta-guard patch-guard alloc-guard cluster-guard batch-guard profile-guard bench-compare
+check: fmt-check vet race fuzz-seed bench-warm bench-delta bench-patch obs-guard delta-guard patch-guard alloc-guard cluster-guard batch-guard profile-guard landing-guard bench-compare

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	icfg-experiments [-run all|table1|table2|table3|figure1|figure2|firefox|docker|bolt|diogenes|incremental|profile]
+//	icfg-experiments [-run all|table1|table2|table3|figure1|figure2|firefox|docker|bolt|diogenes|incremental|profile|landingpads]
 //	                 [-arch x64|ppc|a64|all] [-jobs N] [-metrics] [-trace]
 //
 // Two exclusive modes maintain the repo's performance trajectory
@@ -43,7 +43,7 @@ import (
 var knownRuns = []string{
 	"all", "table1", "table2", "table3", "figure1", "figure2",
 	"firefox", "docker", "bolt", "diogenes", "ablation", "trampolines",
-	"incremental", "profile",
+	"incremental", "profile", "landingpads",
 }
 
 func main() {
@@ -201,6 +201,16 @@ func main() {
 	if want("profile") {
 		for _, a := range arches {
 			res, err := experiments.ProfileGuided(a)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(res.Render())
+			report(res.Failures())
+		}
+	}
+	if want("landingpads") {
+		for _, a := range arches {
+			res, err := experiments.LandingPads(a)
 			if err != nil {
 				fail(err)
 			}

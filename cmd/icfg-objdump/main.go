@@ -5,8 +5,13 @@
 //
 // Usage:
 //
-//	icfg-objdump [-d] [-funcs] [-plan [-mode m] [-with-profile heat.icfgprf]] [-sym func] file.icfg
+//	icfg-objdump [-d] [-funcs] [-marks] [-plan [-mode m] [-with-profile heat.icfgprf]] [-sym func] file.icfg
 //	icfg-objdump -profile heat.icfgprf
+//
+// -marks lists the landing-pad marker sites per function with their
+// evidence-source attribution (which pointer sources and jump tables
+// reference each marked address) and the trust decision the analysis
+// would make for the binary.
 //
 // -profile treats the file as a block-heat profile artifact (as written
 // by icfg-rewrite -profile-out) and dumps it: per-function heat, block
@@ -20,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"icfgpatch/internal/analysis"
 	"icfgpatch/internal/arch"
@@ -74,6 +80,113 @@ func printCFG(img *bin.Binary, symSel string) {
 				fmt.Printf("  unresolved indirect jump @%#x: %v%s", ij.Addr, ij.Err, "\n")
 			}
 		}
+	}
+}
+
+// printMarks lists the landing-pad marker sites the evidence layer
+// found, grouped per function, with each site's evidence-source
+// attribution: which ranked pointer sources (reloc, data-cell,
+// code-imm) and which resolved jump tables reference the address. The
+// header states the trust decision — the same one core.Analyze makes —
+// so the listing doubles as a diagnostic for why a CFI build did (or
+// did not) take the evidence-enabled func-ptr path.
+func printMarks(img *bin.Binary, symSel string) {
+	ev := analysis.ScanEvidence(img)
+	trust := "untrusted"
+	switch {
+	case ev.Trusted:
+		trust = "trusted"
+	case ev.Corrupt:
+		trust = "CORRUPT"
+	}
+	fmt.Printf("\nlanding pads: %d marker sites  cfi=%v  evidence %s\n",
+		ev.Marks.Count(), img.CFI(), trust)
+	if ev.Marks.Count() == 0 {
+		return
+	}
+
+	var g *cfg.Graph
+	var err error
+	if len(img.FuncSymbols()) == 0 {
+		g, err = cfg.BuildStripped(img, analysis.NewJumpTables(img))
+	} else {
+		g, err = cfg.Build(img, analysis.NewJumpTables(img))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icfg-objdump:", err)
+		os.Exit(1)
+	}
+
+	// Attribute each marker address to the evidence sources referencing
+	// it. The pointer sweep can refuse (ErrImprecise on a marker-less or
+	// corrupt build); the mark listing still prints, just without pointer
+	// attribution.
+	refs := map[uint64][]string{}
+	addRef := func(addr uint64, src string) {
+		for _, have := range refs[addr] {
+			if have == src {
+				return
+			}
+		}
+		refs[addr] = append(refs[addr], src)
+	}
+	sites, perr := ev.FuncPointers(img, g)
+	for _, s := range sites {
+		addRef(s.Value, s.Kind.String())
+	}
+	for _, f := range g.Funcs {
+		for _, ij := range f.IndirectJumps {
+			if ij.Table == nil {
+				continue
+			}
+			for _, t := range ij.Table.Targets {
+				addRef(t, analysis.SourceJumpTable.String())
+			}
+		}
+	}
+
+	for _, addr := range ev.Marks.Addrs() {
+		f, inFunc := g.FuncContaining(addr)
+		name, role := "(outside functions)", ""
+		if inFunc {
+			name = f.Name
+			if addr == f.Entry {
+				role = "entry"
+			} else {
+				role = fmt.Sprintf("+%#x", addr-f.Entry)
+			}
+		}
+		if symSel != "" && name != symSel {
+			continue
+		}
+		srcs := "-"
+		if len(refs[addr]) > 0 {
+			srcs = strings.Join(refs[addr], ",")
+		}
+		fmt.Printf("  %#10x  %-30s %-8s %s\n", addr, name, role, srcs)
+	}
+
+	fmt.Println("\nevidence sources:")
+	for _, k := range []analysis.SourceKind{
+		analysis.SourceLandingPad, analysis.SourceReloc,
+		analysis.SourceDataCell, analysis.SourceCodeImm,
+	} {
+		fmt.Printf("  %-12s %d\n", k, ev.Counts[k])
+	}
+	tables := 0
+	for _, f := range g.Funcs {
+		for _, ij := range f.IndirectJumps {
+			if ij.Table != nil {
+				tables++
+			}
+		}
+	}
+	fmt.Printf("  %-12s %d\n", analysis.SourceJumpTable, tables)
+	if ev.Skipped > 0 {
+		fmt.Printf("  skipped      %d (candidates proven unreachable by markers)\n", ev.Skipped)
+	}
+	if perr != nil {
+		fmt.Printf("  pointer attribution incomplete: %v\n", perr)
 	}
 }
 
@@ -230,6 +343,7 @@ func main() {
 	showCFG := flag.Bool("cfg", false, "print control flow graphs (blocks, edges, jump tables)")
 	ramap := flag.Bool("ramap", false, "decode .ra_map/.tramp_map sections entry by entry")
 	funcs := flag.Bool("funcs", false, "print each function's address, size, and content hash")
+	marks := flag.Bool("marks", false, "list landing-pad marker sites per function with evidence-source attribution")
 	plan := flag.Bool("plan", false, "dump the staged patch plan (plan + layout stages, no emission)")
 	mode := flag.String("mode", "jt", "rewriting mode for -plan: dir, jt, func-ptr")
 	symSel := flag.String("sym", "", "disassemble (or with -plan, instrument) only this function")
@@ -237,7 +351,7 @@ func main() {
 	withProf := flag.String("with-profile", "", "with -plan: guide the plan with this profile artifact (implies counter payload)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: icfg-objdump [-d] [-cfg] [-ramap] [-funcs] [-plan [-mode m] [-with-profile p]] [-sym name] file.icfg")
+		fmt.Fprintln(os.Stderr, "usage: icfg-objdump [-d] [-cfg] [-ramap] [-funcs] [-marks] [-plan [-mode m] [-with-profile p]] [-sym name] file.icfg")
 		fmt.Fprintln(os.Stderr, "       icfg-objdump -profile heat.icfgprf")
 		os.Exit(2)
 	}
@@ -272,6 +386,10 @@ func main() {
 	fmt.Printf("\n%d symbols, %d dynamic, %d runtime relocs, %d link relocs\n",
 		len(img.Symbols), len(img.DynSymbols), len(img.Relocs), len(img.LinkRelocs))
 
+	if *marks {
+		printMarks(img, *symSel)
+		return
+	}
 	if *plan {
 		printPlan(img, *mode, *symSel, *withProf)
 		return

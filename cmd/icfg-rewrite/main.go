@@ -6,9 +6,17 @@
 //
 //	icfg-rewrite -mode jt [-where block|func] [-payload empty|counter]
 //	             [-funcs f1,f2] [-verify] [-check] [-metrics] [-trace]
-//	             [-gap bytes] [-patch-jobs N] [-remote http://host:port]
-//	             [-retries N] [-profile heat.icfgprf] [-profile-out heat.icfgprf]
+//	             [-gap bytes] [-patch-jobs N] [-no-evidence]
+//	             [-remote http://host:port] [-retries N]
+//	             [-profile heat.icfgprf] [-profile-out heat.icfgprf]
 //	             -o out.icfg in.icfg
+//
+// -no-evidence disables the landing-pad evidence layer: func-ptr mode
+// takes the conservative path even on CFI builds (refusing imprecise
+// workloads instead of accepting them on marker evidence). On binaries
+// that claim CFI, -check runs both images under CET enforcement, so a
+// passing check also proves every indirect transfer in the rewritten
+// binary still lands on a marker.
 //
 // With -remote the rewrite is performed by an icfg-serve daemon: the
 // serialised binary is POSTed to the service, which caches analyses by
@@ -54,6 +62,7 @@ import (
 	"icfgpatch/internal/profile"
 	"icfgpatch/internal/rtlib"
 	"icfgpatch/internal/service"
+	"icfgpatch/internal/service/wire"
 	"icfgpatch/internal/store"
 )
 
@@ -75,6 +84,7 @@ func main() {
 	remote := flag.String("remote", "", "rewrite via an icfg-serve daemon at this base URL instead of locally")
 	retries := flag.Int("retries", 2, "with -remote: retries for transient connection failures (refused/reset/EOF before headers)")
 	batchFile := flag.String("batch", "", "with -remote: submit this JSON manifest as one batch job with live progress")
+	noEvidence := flag.Bool("no-evidence", false, "disable the landing-pad evidence layer: func-ptr mode takes the conservative path even on CFI builds")
 	profileIn := flag.String("profile", "", "block-heat profile artifact guiding the rewrite (hot functions get the fast multi-version path)")
 	profileOut := flag.String("profile-out", "", "run the input binary under the emulator with heat capture and write the profile artifact here")
 	out := flag.String("o", "", "output path (required)")
@@ -102,6 +112,12 @@ func main() {
 	}
 	if *gap > 0 {
 		v.Set("gap", strconv.FormatUint(*gap, 10))
+	}
+	if *noEvidence {
+		// Framed as the wire feature bit so local and -remote invocations
+		// share one spelling (and a remote daemon too old to know the bit
+		// refuses with 400 instead of silently rewriting with evidence).
+		v.Set("features", strconv.FormatUint(wire.FeatureNoEvidence, 10))
 	}
 	// A bad mode/where/payload string is a usage error, reported with
 	// the flag reference — not a runtime failure (and never a panic in
@@ -258,18 +274,29 @@ func printSummary(s core.Stats) {
 	if s.HotFuncs > 0 || s.VariantFuncs > 0 {
 		fmt.Printf("  profile:      %d hot funcs, %d with fast variants\n", s.HotFuncs, s.VariantFuncs)
 	}
+	if s.MarkSites > 0 {
+		trust := "untrusted"
+		if s.EvidenceTrusted {
+			trust = "trusted"
+		}
+		fmt.Printf("  landing pads: %d marks (%s), %d candidates skipped, %d tables mark-bounded\n",
+			s.MarkSites, trust, s.EvidenceSkips, s.MarkBoundedTables)
+	}
 	fmt.Printf("  size:         %d -> %d bytes (+%.2f%%)\n",
 		s.OrigLoadedSize, s.NewLoadedSize, 100*s.SizeIncrease())
 }
 
 // checkRun executes orig and rewritten under the emulator and compares
-// their outputs byte for byte.
+// their outputs byte for byte. A binary that claims CFI runs under CET
+// enforcement, so the check also proves every indirect transfer in the
+// rewritten image still lands on a marker.
 func checkRun(orig, rewritten *bin.Binary) error {
-	want, err := execute(orig)
+	enforce := orig.CFI()
+	want, err := execute(orig, enforce)
 	if err != nil {
 		return fmt.Errorf("original binary: %w", err)
 	}
-	got, err := execute(rewritten)
+	got, err := execute(rewritten, enforce)
 	if err != nil {
 		return fmt.Errorf("rewritten binary: %w", err)
 	}
@@ -279,12 +306,12 @@ func checkRun(orig, rewritten *bin.Binary) error {
 	return nil
 }
 
-func execute(img *bin.Binary) (emu.Result, error) {
+func execute(img *bin.Binary, enforceCET bool) (emu.Result, error) {
 	lib, err := rtlib.Preload(img)
 	if err != nil {
 		return emu.Result{}, err
 	}
-	m, err := emu.Load(img, emu.Options{Runtime: lib, MaxInstrs: checkMaxInstrs})
+	m, err := emu.Load(img, emu.Options{Runtime: lib, MaxInstrs: checkMaxInstrs, EnforceCET: enforceCET})
 	if err != nil {
 		return emu.Result{}, err
 	}

@@ -66,6 +66,12 @@ func fuzzProfile(seed, nfuncs, flags, pct int64) workload.Profile {
 		p.GoRuntime = true
 		p.SwitchFrac, p.SpillFrac, p.OpaqueFrac = 0, 0, 0
 	}
+	if flags&32 != 0 {
+		// The marker lane: a CFI build must hold the same four-path
+		// byte-equivalence, and every rewritten output must run clean
+		// under CET enforcement.
+		p.CFI = true
+	}
 	return p
 }
 
@@ -132,6 +138,9 @@ func FuzzDifferentialRewrite(f *testing.F) {
 	f.Add(int64(99), int64(16), int64(0), int64(0xff00ff), int64(4))
 	f.Add(int64(1234), int64(20), int64(8), int64(0), int64(2))
 	f.Add(int64(555), int64(28), int64(0x0304), int64(0x00f000), int64(5))
+	// CFI (landing-pad) builds: switch-heavy and Go-runtime profiles.
+	f.Add(int64(77), int64(36), int64(32|2), int64(0x0f00ff), int64(3))
+	f.Add(int64(2048), int64(24), int64(32|8), int64(0), int64(1))
 
 	f.Fuzz(func(t *testing.T, seed, nfuncs, flags, pct, k int64) {
 		prof := fuzzProfile(seed, nfuncs, flags, pct)
@@ -147,6 +156,22 @@ func FuzzDifferentialRewrite(f *testing.F) {
 			if err != nil {
 				continue
 			}
+			// Marker lane: pin the original builds' CET-enforced outputs;
+			// every rewritten output below must reproduce them while
+			// keeping every indirect transfer on a landing pad.
+			var origCET, v2CET []byte
+			if prof.CFI {
+				origCET = runCET(t, a.String()+"/original", prog.Binary, 1)
+				v2CET = runCET(t, a.String()+"/v2-original", v2, 1)
+			}
+			assertCET := func(label string, want []byte, res *core.Result) {
+				if !prof.CFI {
+					return
+				}
+				if got := runCET(t, label, res.Binary, 1); !bytes.Equal(want, got) {
+					t.Fatalf("%s: output diverges under CET enforcement", label)
+				}
+			}
 			for _, mode := range []core.Mode{core.ModeDir, core.ModeJT, core.ModeFuncPtr} {
 				label := fmt.Sprintf("%s/%s", a, mode)
 				opts := core.Options{Mode: mode, Request: blockEmpty(), PatchJobs: 1}
@@ -159,6 +184,7 @@ func FuzzDifferentialRewrite(f *testing.F) {
 					}
 					t.Fatalf("%s: cold rewrite: %v", label, err)
 				}
+				assertCET(label+"/cold-cet", origCET, coldRes)
 				cold := marshalAndRecycle(coldRes)
 
 				// Staged path, parallel emit.
@@ -193,6 +219,7 @@ func FuzzDifferentialRewrite(f *testing.F) {
 					}
 					t.Fatalf("%s: cold v2 rewrite: %v", label, err)
 				}
+				assertCET(label+"/cold-v2-cet", v2CET, coldV2Res)
 				coldV2 := marshalAndRecycle(coldV2Res)
 				units := core.NewUnitStore(0)
 				if _, err := core.Analyze(prog.Binary, core.AnalysisConfig{Mode: mode, Units: units}); err != nil {
@@ -221,6 +248,7 @@ func FuzzDifferentialRewrite(f *testing.F) {
 					t.Fatalf("%s: guided cold rewrite: %v", label, err)
 				}
 				variants := gcoldRes.Stats.VariantFuncs
+				assertCET(label+"/guided-cold-cet", origCET, gcoldRes)
 				gcold := marshalAndRecycle(gcoldRes)
 				gpar := gopts
 				gpar.PatchJobs = 4

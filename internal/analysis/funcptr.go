@@ -15,23 +15,24 @@ import (
 // modifying an over- or under-approximated pointer set changes program
 // behaviour, so func-ptr mode must refuse rather than guess — the
 // situation the paper hits with Go's language-specific function tables.
+// Trusted landing-pad evidence narrows the refusal: candidates that
+// provably cannot be indirect targets are skipped instead.
 var ErrImprecise = errors.New("analysis: imprecise function pointers")
 
-// PtrSiteKind classifies where a function pointer is defined.
-type PtrSiteKind uint8
+// PtrSiteKind classifies where a function pointer is defined. It is the
+// evidence-source vocabulary; the historical names below remain the
+// values the rewriter switches on.
+type PtrSiteKind = SourceKind
 
-// Pointer definition sites.
+// Pointer definition sites (aliases of the evidence sources).
 const (
-	// PtrReloc is a runtime relocation whose value is a code address
-	// (the PIE case Egalito and RetroWrite rely on).
-	PtrReloc PtrSiteKind = iota
+	// PtrReloc is a runtime relocation whose value is a code address.
+	PtrReloc = SourceReloc
 	// PtrDataCell is an 8-byte initialised data cell holding a code
 	// address in position dependent binaries.
-	PtrDataCell
-	// PtrCodeImm is a code-materialised pointer: a movimm (X64) or a
-	// movz/movk pair (fixed-width ISAs) whose composed value is a code
-	// address.
-	PtrCodeImm
+	PtrDataCell = SourceDataCell
+	// PtrCodeImm is a code-materialised pointer (movimm / movz+movk).
+	PtrCodeImm = SourceCodeImm
 )
 
 // PtrSite is one function pointer definition.
@@ -49,54 +50,101 @@ type PtrSite struct {
 }
 
 // FuncPointers identifies every function pointer definition in the
-// binary, or fails with ErrImprecise when a candidate cannot be
-// validated: a code-address-like value that does not land on an
-// instruction boundary of its function means the binary manufactures
-// code pointers the analysis cannot model (Go function tables).
+// binary with no marker evidence engaged — the conservative path, which
+// fails with ErrImprecise when a candidate cannot be validated: a
+// code-address-like value that does not land on an instruction boundary
+// of its function means the binary manufactures code pointers the
+// analysis cannot model (Go function tables).
 func FuncPointers(b *bin.Binary, g *cfg.Graph) ([]PtrSite, error) {
-	text := b.Text()
-	if text == nil {
+	return Untrusted().FuncPointers(b, g)
+}
+
+// FuncPointers runs the ranked pointer sources (reloc, data-cell,
+// code-imm) under this evidence. With trusted landing pads, candidates
+// the conservative analysis would refuse are skipped when no marker
+// covers them — provably not indirect targets — converting whole-binary
+// refusal into sound acceptance; without trust, behaviour and errors are
+// byte-identical to the historical conservative analysis.
+func (ev *Evidence) FuncPointers(b *bin.Binary, g *cfg.Graph) ([]PtrSite, error) {
+	if b.Text() == nil {
 		return nil, fmt.Errorf("analysis: no text section")
 	}
-	var sites []PtrSite
+	ev.sites = nil
+	ev.slotSeen = map[uint64]bool{}
+	for _, src := range []Source{relocSource{}, dataCellSource{}, codeImmSource{}} {
+		if err := src.Collect(b, g, ev); err != nil {
+			return nil, err
+		}
+		ev.Counts[src.Kind()] = countKind(ev.sites, src.Kind())
+	}
+	sites := ev.sites
+	ev.sites, ev.slotSeen = nil, nil
+	return sites, nil
+}
 
-	// validate classifies a code-address-like value: keep (a rewritable
-	// pointer into relocated code), skip (needs no rewriting: targets
-	// stay in place — pointers into unanalysable functions, in-code
-	// table data, inter-function padding), or fail (a pointer into
-	// relocated code that is not an instruction boundary: rewriting it
-	// cannot be precise, so func-ptr mode must refuse).
-	validate := func(v uint64, what string) (keep bool, err error) {
-		f, ok := g.FuncContaining(v)
-		if !ok {
-			return false, nil // padding or data-in-text; stays in place
+func countKind(sites []PtrSite, k SourceKind) int {
+	n := 0
+	for _, s := range sites {
+		if s.Kind == k {
+			n++
 		}
-		if !f.Instrumentable() {
-			return false, nil // function is not relocated; value stays valid
+	}
+	return n
+}
+
+// validate classifies a code-address-like value: keep (a rewritable
+// pointer into relocated code), skip (needs no rewriting: targets stay
+// in place — pointers into unanalysable functions, in-code table data,
+// inter-function padding), or fail (a pointer into relocated code that
+// is not an instruction boundary: rewriting it cannot be precise, so
+// func-ptr mode must refuse). Trusted landing-pad evidence intercepts
+// the failure paths: an unmarked target is provably unreachable by any
+// indirect transfer, so the value is skipped instead.
+func (ev *Evidence) validate(g *cfg.Graph, v uint64, what string) (keep bool, err error) {
+	f, ok := g.FuncContaining(v)
+	if !ok {
+		return false, nil // padding or data-in-text; stays in place
+	}
+	if !f.Instrumentable() {
+		return false, nil // function is not relocated; value stays valid
+	}
+	if v == f.Entry {
+		return true, nil
+	}
+	for _, dr := range f.DataRanges {
+		if v >= dr[0] && v < dr[1] {
+			return false, nil // pointer to embedded table data
 		}
-		if v == f.Entry {
+	}
+	blk, ok := f.BlockContaining(v)
+	if !ok {
+		if ev.provablyUnreachable(v) {
+			ev.Skipped++
+			return false, nil
+		}
+		return false, fmt.Errorf("%w: %s value %#x points into unexplored bytes of %s", ErrImprecise, what, v, f.Name)
+	}
+	for _, ins := range blk.Instrs {
+		if ins.Addr == v {
 			return true, nil
 		}
-		for _, dr := range f.DataRanges {
-			if v >= dr[0] && v < dr[1] {
-				return false, nil // pointer to embedded table data
-			}
-		}
-		blk, ok := f.BlockContaining(v)
-		if !ok {
-			return false, fmt.Errorf("%w: %s value %#x points into unexplored bytes of %s", ErrImprecise, what, v, f.Name)
-		}
-		for _, ins := range blk.Instrs {
-			if ins.Addr == v {
-				return true, nil
-			}
-		}
-		return false, fmt.Errorf("%w: %s value %#x is not an instruction boundary in %s", ErrImprecise, what, v, f.Name)
 	}
+	if ev.provablyUnreachable(v) {
+		ev.Skipped++
+		return false, nil
+	}
+	return false, fmt.Errorf("%w: %s value %#x is not an instruction boundary in %s", ErrImprecise, what, v, f.Name)
+}
 
-	slotSeen := map[uint64]bool{}
+// relocSource finds pointers defined by runtime relocations (PIE).
+type relocSource struct{}
 
-	// Runtime relocations (PIE).
+// Kind implements Source.
+func (relocSource) Kind() SourceKind { return SourceReloc }
+
+// Collect implements Source.
+func (relocSource) Collect(b *bin.Binary, g *cfg.Graph, ev *Evidence) error {
+	text := b.Text()
 	for _, rl := range b.Relocs {
 		if rl.Kind != bin.RelocRelative {
 			continue
@@ -105,41 +153,64 @@ func FuncPointers(b *bin.Binary, g *cfg.Graph) ([]PtrSite, error) {
 		if !text.Contains(v) {
 			continue
 		}
-		keep, err := validate(v, "relocation")
+		keep, err := ev.validate(g, v, "relocation")
 		if err != nil {
-			return nil, err
+			return err
 		}
-		slotSeen[rl.Off] = true
+		ev.slotSeen[rl.Off] = true
 		if !keep {
 			continue
 		}
-		sites = append(sites, PtrSite{Kind: PtrReloc, Slot: rl.Off, Value: v})
+		ev.sites = append(ev.sites, PtrSite{Kind: PtrReloc, Slot: rl.Off, Value: v})
 	}
+	return nil
+}
 
-	// Initialised data cells (position dependent binaries have no
-	// relocations, so pointers hide in plain data).
-	if data := b.Section(bin.SecData); data != nil {
-		for off := uint64(0); off+8 <= data.Size(); off += 8 {
-			slot := data.Addr + off
-			if slotSeen[slot] {
-				continue
-			}
-			v := binary.LittleEndian.Uint64(data.Data[off:])
-			if !text.Contains(v) {
-				continue
-			}
-			keep, err := validate(v, "data cell")
-			if err != nil {
-				return nil, err
-			}
-			if !keep {
-				continue
-			}
-			sites = append(sites, PtrSite{Kind: PtrDataCell, Slot: slot, Value: v})
+// dataCellSource finds pointers hiding in initialised data cells
+// (position dependent binaries have no relocations).
+type dataCellSource struct{}
+
+// Kind implements Source.
+func (dataCellSource) Kind() SourceKind { return SourceDataCell }
+
+// Collect implements Source.
+func (dataCellSource) Collect(b *bin.Binary, g *cfg.Graph, ev *Evidence) error {
+	text := b.Text()
+	data := b.Section(bin.SecData)
+	if data == nil {
+		return nil
+	}
+	for off := uint64(0); off+8 <= data.Size(); off += 8 {
+		slot := data.Addr + off
+		if ev.slotSeen[slot] {
+			continue
 		}
+		v := binary.LittleEndian.Uint64(data.Data[off:])
+		if !text.Contains(v) {
+			continue
+		}
+		keep, err := ev.validate(g, v, "data cell")
+		if err != nil {
+			return err
+		}
+		if !keep {
+			continue
+		}
+		ev.sites = append(ev.sites, PtrSite{Kind: PtrDataCell, Slot: slot, Value: v})
 	}
+	return nil
+}
 
-	// Code-materialised pointers.
+// codeImmSource finds code-materialised pointers: movimm (X64) and
+// movz/movk pairs (fixed-width ISAs).
+type codeImmSource struct{}
+
+// Kind implements Source.
+func (codeImmSource) Kind() SourceKind { return SourceCodeImm }
+
+// Collect implements Source.
+func (codeImmSource) Collect(b *bin.Binary, g *cfg.Graph, ev *Evidence) error {
+	text := b.Text()
 	for _, f := range g.Funcs {
 		if !f.Instrumentable() {
 			continue
@@ -152,14 +223,14 @@ func FuncPointers(b *bin.Binary, g *cfg.Graph) ([]PtrSite, error) {
 					if !text.Contains(v) {
 						continue
 					}
-					keep, err := validate(v, "immediate")
+					keep, err := ev.validate(g, v, "immediate")
 					if err != nil {
-						return nil, err
+						return err
 					}
 					if !keep {
 						continue
 					}
-					sites = append(sites, PtrSite{Kind: PtrCodeImm, Instrs: []uint64{ins.Addr}, Value: v})
+					ev.sites = append(ev.sites, PtrSite{Kind: PtrCodeImm, Instrs: []uint64{ins.Addr}, Value: v})
 				case arch.MovImm16:
 					// movz/movk pair materialisation.
 					if ins.Shift != 0 || i+1 >= len(blk.Instrs) {
@@ -173,17 +244,17 @@ func FuncPointers(b *bin.Binary, g *cfg.Graph) ([]PtrSite, error) {
 					if !text.Contains(v) {
 						continue
 					}
-					keep, err := validate(v, "movz/movk pair")
+					keep, err := ev.validate(g, v, "movz/movk pair")
 					if err != nil {
-						return nil, err
+						return err
 					}
 					if !keep {
 						continue
 					}
-					sites = append(sites, PtrSite{Kind: PtrCodeImm, Instrs: []uint64{ins.Addr, next.Addr}, Value: v})
+					ev.sites = append(ev.sites, PtrSite{Kind: PtrCodeImm, Instrs: []uint64{ins.Addr, next.Addr}, Value: v})
 				}
 			}
 		}
 	}
-	return sites, nil
+	return nil
 }

@@ -42,7 +42,36 @@ type JumpTables struct {
 	// StartRecording). Resolution is serial per binary, so a single
 	// slot suffices.
 	rec *recording
+	// marks, when non-nil, is trusted landing-pad evidence: inexact
+	// (Assumption-2) bounds are additionally trimmed at the first
+	// unmarked candidate target, since in a trusted-CFI binary every
+	// genuine case target carries a marker. Exact bounds are never
+	// tightened — they are proven, and tightening could only drop real
+	// entries.
+	marks *MarkIndex
+	// tablesResolved and markBounded attribute the source's work (see
+	// Collect): tables successfully resolved, and tables whose inexact
+	// bound was trimmed by marker evidence.
+	tablesResolved int
+	markBounded    int
 }
+
+// Kind implements Source.
+func (jt *JumpTables) Kind() SourceKind { return SourceJumpTable }
+
+// Collect implements Source: the jump-table source does its real work
+// during CFG construction (ResolveJump); Collect deposits the
+// attribution it accumulated into the evidence aggregate.
+func (jt *JumpTables) Collect(_ *bin.Binary, _ *cfg.Graph, ev *Evidence) error {
+	ev.Counts[SourceJumpTable] = jt.tablesResolved
+	ev.MarkBoundedTables = jt.markBounded
+	return nil
+}
+
+// UseMarks engages trusted landing-pad evidence for bound validation.
+// Callers must fold the trust decision into any cache identity covering
+// resolved tables (core does, via the unit environment string).
+func (jt *JumpTables) UseMarks(m *MarkIndex) { jt.marks = m }
 
 // NewJumpTables scans the binary for boundary hints and returns the
 // resolver.
@@ -366,7 +395,10 @@ func (jt *JumpTables) ResolveJump(b *bin.Binary, f *cfg.Func, jumpAddr uint64) (
 	tbl.BoundExact = exact
 
 	// Decode and validate entries; inexact bounds trim at the first
-	// implausible target instead of failing.
+	// implausible target instead of failing. Trusted landing-pad
+	// evidence tightens the trim: an Assumption-2 candidate that is
+	// plausible but unmarked is table overrun, not a case target.
+	markTrimmed := false
 	for k := 0; k < n; k++ {
 		entryAddr := tbl.TableAddr + uint64(k*tbl.EntrySize)
 		raw, err := jt.readAt(b, entryAddr, uint64(tbl.EntrySize))
@@ -383,6 +415,10 @@ func (jt *JumpTables) ResolveJump(b *bin.Binary, f *cfg.Func, jumpAddr uint64) (
 			}
 			break
 		}
+		if !exact && jt.marks != nil && !jt.marks.Marked(target) {
+			markTrimmed = true
+			break
+		}
 		tbl.Targets = append(tbl.Targets, target)
 	}
 	if len(tbl.Targets) == 0 {
@@ -396,6 +432,11 @@ func (jt *JumpTables) ResolveJump(b *bin.Binary, f *cfg.Func, jumpAddr uint64) (
 
 	// Collect base-forming instructions for cloning.
 	collectPatchSites(b.Arch, f, tbl)
+	tbl.MarkBounded = markTrimmed
+	jt.tablesResolved++
+	if markTrimmed {
+		jt.markBounded++
+	}
 	return tbl, nil
 }
 

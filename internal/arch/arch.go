@@ -175,6 +175,13 @@ const (
 	// faults. The paper's verification mode fills rewritten-away original
 	// code with illegal instructions to detect escaped control flow.
 	Illegal
+	// Mark is the endbr-analogue landing-pad marker: a no-op that tags
+	// its own address as a legitimate indirect-transfer target. Compilers
+	// building with hardware CFI emit one at every function entry and
+	// jump-table case; the emulator can enforce CET semantics (fault when
+	// an indirect call or jump lands off-marker), and the evidence layer
+	// treats marker sites as ground-truth indirect targets.
+	Mark
 )
 
 var kindNames = [...]string{
@@ -185,6 +192,7 @@ var kindNames = [...]string{
 	BranchCond: "bcond", Call: "call", CallInd: "callind",
 	CallIndMem: "callmem", JumpInd: "jumpind", Ret: "ret", Trap: "trap",
 	Halt: "halt", Syscall: "syscall", Throw: "throw", Illegal: "illegal",
+	Mark: "endbr",
 }
 
 // String returns the mnemonic of the kind.
@@ -367,7 +375,7 @@ func (i Instr) FallsThrough() bool {
 // String renders the instruction in a compact objdump-like syntax.
 func (i Instr) String() string {
 	switch i.Kind {
-	case Nop, Ret, Trap, Halt, Throw, Illegal:
+	case Nop, Ret, Trap, Halt, Throw, Illegal, Mark:
 		return i.Kind.String()
 	case MovImm:
 		return fmt.Sprintf("movimm %s, %#x", i.Rd, uint64(i.Imm))

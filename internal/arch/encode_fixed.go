@@ -43,6 +43,7 @@ const (
 	fopLoadS
 	fopLoadIdxS
 	fopLoadPCS
+	fopMark
 )
 
 // branchBits returns the displacement field width (in words) of the
@@ -128,6 +129,8 @@ func (e fixedEncoding) Encode(i Instr) ([]byte, error) {
 		op = fopHalt
 	case Throw:
 		op = fopThrow
+	case Mark:
+		op = fopMark
 	case Syscall:
 		if i.Imm < 0 || i.Imm > 255 {
 			return nil, rangeError(i, "syscall number", i.Imm)
@@ -338,6 +341,11 @@ func (e fixedEncoding) Decode(b []byte, addr uint64) (Instr, error) {
 		i.Kind = Halt
 	case fopThrow:
 		i.Kind = Throw
+	case fopMark:
+		i.Kind = Mark
+		if word != fopMark<<26 {
+			i.Kind = Illegal // mark with garbage operand bits
+		}
 	case fopSyscall:
 		i.Kind = Syscall
 		i.Imm = int64(r.get(8))

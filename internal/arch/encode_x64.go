@@ -33,6 +33,7 @@ const (
 	xopThrow      = 0x0B
 	xopCallIndMem = 0x0C
 	xopBranchCond = 0x0F
+	xopMark       = 0x1A
 	xopNop        = 0x90
 	xopRet        = 0xC3
 	xopTrap       = 0xCC
@@ -68,6 +69,8 @@ func (e x64Encoding) Encode(i Instr) ([]byte, error) {
 		return []byte{xopHalt}, nil
 	case Throw:
 		return []byte{xopThrow}, nil
+	case Mark:
+		return []byte{xopMark}, nil
 	case Syscall:
 		if i.Imm < 0 || i.Imm > 255 {
 			return nil, rangeError(i, "syscall number", i.Imm)
@@ -212,6 +215,8 @@ func (e x64Encoding) Decode(b []byte, addr uint64) (Instr, error) {
 		i.Kind, i.EncLen = Halt, 1
 	case xopThrow:
 		i.Kind, i.EncLen = Throw, 1
+	case xopMark:
+		i.Kind, i.EncLen = Mark, 1
 	case xopSyscall:
 		if !need(2) {
 			return ill, nil

@@ -9,7 +9,7 @@ func EncLen(a Arch, i Instr) int {
 		return 4
 	}
 	switch i.Kind {
-	case Nop, Ret, Trap, Halt, Throw, Illegal:
+	case Nop, Ret, Trap, Halt, Throw, Illegal, Mark:
 		return 1
 	case Syscall, MovReg, CallInd, JumpInd:
 		if i.Kind == MovReg {

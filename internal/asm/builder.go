@@ -11,6 +11,7 @@ type Builder struct {
 	arch     arch.Arch
 	pie      bool
 	shared   bool
+	cfi      bool
 	textBase uint64
 	meta     map[string]string
 	entry    string
@@ -69,6 +70,20 @@ func (b *Builder) KeepLinkRelocs() { b.keepLinkRelocs = true }
 
 // SetTextBase overrides the .text load address.
 func (b *Builder) SetTextBase(addr uint64) { b.textBase = addr }
+
+// SetCFI marks the program as compiled with hardware-CFI landing pads:
+// the linker prepends an arch.Mark to every function prologue (the
+// compiler's -fcf-protection behaviour), and the "cfi=1" note is
+// recorded so analyses know markers are supposed to be complete.
+// Builders must additionally call FuncBuilder.Mark at every jump-table
+// case label and any other computed-branch target they emit.
+func (b *Builder) SetCFI() {
+	b.cfi = true
+	b.meta["cfi"] = "1"
+}
+
+// CFI reports whether SetCFI was called.
+func (b *Builder) CFI() bool { return b.cfi }
 
 // Func starts a new function. Functions are laid out in declaration
 // order.
@@ -193,6 +208,11 @@ func (f *FuncBuilder) iref(ins arch.Instr, r ref) {
 
 // Nop emits a no-op.
 func (f *FuncBuilder) Nop() { f.I(arch.Instr{Kind: arch.Nop}) }
+
+// Mark emits a landing-pad marker (arch.Mark) at the current position.
+// CFI builders place one at every indirect-branch target that is not a
+// function entry (entries are marked automatically by SetCFI).
+func (f *FuncBuilder) Mark() { f.I(arch.Instr{Kind: arch.Mark}) }
 
 // Li loads the constant v into rd, synthesising movz/movk sequences on
 // the fixed-width ISAs.

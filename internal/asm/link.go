@@ -369,6 +369,11 @@ func (f *FuncBuilder) finalize() {
 	}
 
 	var prologue []slot
+	if f.b.cfi {
+		// The landing pad must be the function's first instruction — an
+		// indirect call lands exactly at the entry address.
+		prologue = append(prologue, slot{ins: arch.Instr{Kind: arch.Mark}, tableIx: -1})
+	}
 	if fixed && f.hasCall {
 		prologue = append(prologue, slot{ins: arch.Instr{Kind: arch.Store, Rs2: arch.LR, Rs1: arch.SP, Size: 8, Imm: -8}, tableIx: -1})
 	}

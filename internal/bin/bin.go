@@ -352,6 +352,12 @@ func (b *Binary) UsesExceptions() bool { return b.Meta["exceptions"] == "1" }
 // natively unwinds the stack (garbage collection, stack growth).
 func (b *Binary) GoRuntime() bool { return b.Meta["go-runtime"] == "1" }
 
+// CFI reports whether the binary claims to have been built with
+// hardware-CFI landing pads (arch.Mark at every indirect-transfer
+// target). The claim is advisory: the evidence layer verifies it
+// against the actual marker sites before trusting it.
+func (b *Binary) CFI() bool { return b.Meta["cfi"] == "1" }
+
 // Clone returns a deep copy of the binary; the rewriter mutates the clone
 // so callers keep the original for differential testing.
 func (b *Binary) Clone() *Binary {

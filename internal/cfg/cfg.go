@@ -100,6 +100,11 @@ type ResolvedTable struct {
 	FuncStart       uint64
 	Targets         []uint64
 	InText          bool // table data embedded in the code section (PPC)
+	// MarkBounded records that the table's inexact bound was tightened
+	// by trusted landing-pad evidence (trimmed at the first unmarked
+	// candidate entry) — the per-table attribution of the evidence
+	// layer's jump-table source.
+	MarkBounded bool
 }
 
 // DecodeEntry applies the recovered target expression tar(x) to a raw

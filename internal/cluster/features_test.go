@@ -1,0 +1,115 @@
+package cluster
+
+// Wire-level feature-bit contract: every door — the plain serve door, a
+// cluster node, the gateway front door, and the peer-units endpoint —
+// must reject unknown feature bits with 400, and the one known bit
+// (FeatureNoEvidence) must change rewrite semantics end to end over
+// HTTP: a CFI binary that func-ptr mode accepts under landing-pad
+// evidence must be refused when the client asks for the conservative
+// path.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"icfgpatch/internal/arch"
+	"icfgpatch/internal/core"
+	"icfgpatch/internal/service"
+	"icfgpatch/internal/workload"
+)
+
+// postRewrite posts raw to base/rewrite with a hand-built query string,
+// returning the status code and body text.
+func postRewrite(t *testing.T, base, query string, raw []byte) (int, string) {
+	t.Helper()
+	resp, err := http.Post(strings.TrimSuffix(base, "/")+"/rewrite?"+query,
+		"application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST %s: %v", query, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return resp.StatusCode, string(body)
+}
+
+func TestUnknownFeatureBitsRejectedAtEveryDoor(t *testing.T) {
+	tc := NewTestCluster(t, TestClusterConfig{Nodes: 2, Replicas: 2})
+	srv := service.New(service.Config{})
+	t.Cleanup(func() { srv.Shutdown(context.Background()) })
+	plain := httptest.NewServer(srv.Handler())
+	t.Cleanup(plain.Close)
+
+	raw := clusterBinary(t, arch.X64, 33)
+	doors := []struct{ name, base string }{
+		{"serve", plain.URL},
+		{"node", tc.URLs[0]},
+		{"gateway", tc.GatewayURL()},
+	}
+	for _, d := range doors {
+		// Bit 1 (the lowest unknown bit) must die with a 400 naming it.
+		status, body := postRewrite(t, d.base, "mode=jt&features=2", raw)
+		if status != http.StatusBadRequest {
+			t.Fatalf("%s door: features=2 got %d (%s), want 400", d.name, status, strings.TrimSpace(body))
+		}
+		if !strings.Contains(body, "unknown feature bits") {
+			t.Fatalf("%s door: 400 body does not name the unknown bits: %q", d.name, body)
+		}
+		// A garbage bitfield is equally a sender bug.
+		if status, _ := postRewrite(t, d.base, "mode=jt&features=zebra", raw); status != http.StatusBadRequest {
+			t.Fatalf("%s door: features=zebra got %d, want 400", d.name, status)
+		}
+		// The known bit passes and the rewrite is served.
+		status, body = postRewrite(t, d.base, fmt.Sprintf("mode=jt&features=%d", 1), raw)
+		if status != http.StatusOK {
+			t.Fatalf("%s door: features=1 got %d (%s), want 200", d.name, status, strings.TrimSpace(body))
+		}
+	}
+
+	// The peer-to-peer door holds the same line.
+	resp, err := http.Get(tc.URLs[0] + "/peer/units?hash=abc&arch=1&mode=1&features=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("peer units door: features=2 got %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestNoEvidenceFeatureEndToEnd drives the evidence axis over HTTP: the
+// Go-like CFI function-table binary rewrites soundly in func-ptr mode by
+// default (trusted landing pads), and the same request with the
+// no-evidence feature bit takes the conservative path and is refused —
+// proving the bit reaches core.Analyze and forks the cache identity
+// rather than being dropped at the door.
+func TestNoEvidenceFeatureEndToEnd(t *testing.T) {
+	tc := NewTestCluster(t, TestClusterConfig{Nodes: 2, Replicas: 2})
+	prog, err := workload.GoTableCFI(arch.X64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := prog.Binary.Marshal()
+	opts := clusterOpts(core.ModeFuncPtr)
+	for _, cl := range []*service.Client{tc.NodeClient(0), tc.GatewayClient()} {
+		_, reply, err := cl.Rewrite(context.Background(), raw, opts)
+		if err != nil {
+			t.Fatalf("evidence-enabled rewrite: %v", err)
+		}
+		if !reply.Stats.EvidenceTrusted || reply.Stats.EvidenceSkips == 0 {
+			t.Fatalf("evidence-enabled rewrite did not use landing pads: %+v", reply.Stats)
+		}
+		noEv := opts
+		noEv.NoEvidence = true
+		if _, _, err := cl.Rewrite(context.Background(), raw, noEv); err == nil ||
+			!strings.Contains(err.Error(), "imprecise") {
+			t.Fatalf("no-evidence rewrite: got %v, want the conservative imprecise-func-ptr refusal", err)
+		}
+	}
+}

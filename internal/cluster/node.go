@@ -301,7 +301,16 @@ func (n *Node) handlePeerUnits(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad mode", http.StatusBadRequest)
 		return
 	}
-	key := service.AnalysisKey{Hash: hash, Arch: arch.Arch(archN), Mode: core.Mode(modeN)}
+	// The peer door holds the same feature-bit line as the client doors:
+	// an unknown bit means the peers disagree about what an analysis key
+	// even addresses, so refuse rather than serve the wrong cache slice.
+	feats, err := wire.ParseFeatures(q.Get("features"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := service.AnalysisKey{Hash: hash, Arch: arch.Arch(archN), Mode: core.Mode(modeN),
+		NoEvidence: feats&wire.FeatureNoEvidence != 0}
 	units := n.srv.Stores().CachedUnits(key)
 	if len(units) == 0 {
 		http.Error(w, "no cached analysis", http.StatusNotFound)
@@ -364,8 +373,12 @@ func (n *Node) warmUnits(ctx context.Context, key service.AnalysisKey) {
 // "don't have it" (nil, nil); transport errors propagate for health
 // accounting.
 func (n *Node) fetchUnits(ctx context.Context, owner string, key service.AnalysisKey) ([]*core.FuncUnit, error) {
-	u := fmt.Sprintf("%s/peer/units?hash=%s&arch=%d&mode=%d",
-		strings.TrimSuffix(owner, "/"), url.QueryEscape(key.Hash), key.Arch, key.Mode)
+	var feats uint64
+	if key.NoEvidence {
+		feats |= wire.FeatureNoEvidence
+	}
+	u := fmt.Sprintf("%s/peer/units?hash=%s&arch=%d&mode=%d&features=%d",
+		strings.TrimSuffix(owner, "/"), url.QueryEscape(key.Hash), key.Arch, key.Mode, feats)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, err

@@ -24,6 +24,13 @@ import (
 type AnalysisConfig struct {
 	Mode    Mode
 	Variant Variant
+	// NoEvidence disables the landing-pad evidence layer: the binary is
+	// analysed as if it carried no markers, taking the historical
+	// conservative path everywhere. It IS part of the analysis identity
+	// (unlike Trace/Units): with evidence engaged a func-ptr analysis of
+	// a CFI binary can differ from the conservative one, so the two must
+	// never share cache entries.
+	NoEvidence bool
 	// Trace, when non-nil, receives an "analyze" span with per-stage
 	// laps. It is NOT part of the analysis identity: caches key analyses
 	// by (hash, arch, mode, variant) only, and Analyze clears it before
@@ -53,6 +60,10 @@ type Analysis struct {
 	// PtrSites holds the function-pointer analysis result (func-ptr mode
 	// only; nil otherwise).
 	PtrSites []analysis.PtrSite
+	// Evidence is the landing-pad evidence layer the analysis ran under:
+	// marker index, trust decision, and per-source attribution. Never nil
+	// (marker-less and NoEvidence analyses carry untrusted evidence).
+	Evidence *analysis.Evidence
 	// Metrics records the analysis-phase stage timings (cfg,
 	// funcptr-analysis). Patch copies them into its Result so a cold
 	// Rewrite reports the same stage shape as before the split; a warm
@@ -134,11 +145,27 @@ func Analyze(b *bin.Binary, cfgc AnalysisConfig) (*Analysis, error) {
 	resolver := analysis.NewJumpTables(b)
 	resolver.Strict = cfgc.Variant.StrictJumpTableBounds
 
+	// Evidence scan: before any unit is keyed, because the trust decision
+	// changes CFG construction (mark-bounded jump tables) and so must be
+	// part of every unit's identity.
+	ev := analysis.Untrusted()
+	if !cfgc.NoEvidence {
+		ev = analysis.ScanEvidence(b)
+	}
+
 	// Pass 2: per-function identities. The full name→ID map must exist
 	// before any unit is validated or built: reuse validation compares
 	// dependency edges against it, and fresh builds stamp their deps
 	// from it.
 	env := deltaEnv(b)
+	if cfgc.Mode == ModeFuncPtr && ev.Trusted {
+		// Marker evidence engages only in func-ptr mode, where it converts
+		// refusal into sound acceptance; dir/jt stay byte-identical to the
+		// conservative path. The suffix forks the unit identity so trusted
+		// and conservative units never validate against each other.
+		resolver.UseMarks(ev.Marks)
+		env += "|lp1"
+	}
 	type fent struct {
 		sym bin.Symbol
 		id  string
@@ -218,7 +245,7 @@ func Analyze(b *bin.Binary, cfgc AnalysisConfig) (*Analysis, error) {
 	// only safe when every pointer is identified precisely.
 	var ptrSites []analysis.PtrSite
 	if cfgc.Mode == ModeFuncPtr {
-		sites, err := analysis.FuncPointers(b, g)
+		sites, err := ev.FuncPointers(b, g)
 		if err != nil {
 			if errors.Is(err, analysis.ErrImprecise) {
 				return nil, fmt.Errorf("%w: %v", ErrImpreciseFuncPtrs, err)
@@ -227,11 +254,14 @@ func Analyze(b *bin.Binary, cfgc AnalysisConfig) (*Analysis, error) {
 		}
 		ptrSites = sites
 	}
+	// Deposit the jump-table source's attribution (tables resolved,
+	// mark-bounded count) into the evidence layer.
+	_ = resolver.Collect(b, g, ev)
 	sp.Record(StageFuncPtr, mx.lap(StageFuncPtr, &clock))
 
 	return &Analysis{
 		Binary: b, Config: cfgc, Graph: g, PtrSites: ptrSites, Metrics: mx,
-		FuncUnits: fus, Delta: delta, unitOf: unitOf,
+		Evidence: ev, FuncUnits: fus, Delta: delta, unitOf: unitOf,
 	}, nil
 }
 

@@ -90,6 +90,11 @@ type Options struct {
 	// NoRAMap suppresses return-address map emission even for binaries
 	// that need it, to demonstrate the resulting failures.
 	NoRAMap bool
+	// NoEvidence disables the landing-pad evidence layer, analysing the
+	// binary as if it carried no markers (the historical conservative
+	// path). Part of the analysis — and therefore cache — identity; see
+	// AnalysisConfig.NoEvidence.
+	NoEvidence bool
 	// Variant selects baseline behaviours (package baseline); the zero
 	// value is incremental CFG patching as published.
 	Variant Variant
@@ -179,6 +184,15 @@ type Stats struct {
 	// those received a fast variant body plus dispatch stub.
 	HotFuncs     int
 	VariantFuncs int
+	// Landing-pad evidence attribution (analysis.Evidence): marker sites
+	// indexed, whether the marker evidence was trusted, candidate
+	// pointers soundly skipped instead of refused (func-ptr mode), and
+	// jump tables whose inexact bounds were tightened at an unmarked
+	// entry.
+	MarkSites         int
+	EvidenceTrusted   bool
+	EvidenceSkips     int
+	MarkBoundedTables int
 }
 
 // Coverage returns the instrumented fraction of functions, the paper's

@@ -362,6 +362,15 @@ func (p *PatchPlan) buildUnit(g *cfg.Graph, f *cfg.Func, cell uint64, varSlot in
 		// layout's first claim wins). Target kinds are assigned by
 		// instruction kind exactly as for counter snippets, plus the
 		// trailing conditional branch resolving through varAddr.
+		//
+		// A CFI function's entry marker must precede the stub: indirect
+		// calls dispatch through the entry's relocMap claim, so the claim
+		// has to decode as a marker under CET enforcement. The marker item
+		// takes the claim (first claim wins); the full body's own copy of
+		// the marker is then redundant but harmless (markers are no-ops).
+		if eb, ok := f.BlockAt(f.Entry); ok && len(eb.Instrs) > 0 && eb.Instrs[0].Kind == arch.Mark {
+			u.items = append(u.items, planItem{ins: arch.Instr{Kind: arch.Mark}, mapAddr: f.Entry})
+		}
 		for k, ins := range p.emitter.DispatchStub(p.env, selCell) {
 			it := planItem{ins: ins}
 			if k == 0 {
@@ -404,11 +413,31 @@ func (p *PatchPlan) appendFullBody(u *planUnit, g *cfg.Graph, f *cfg.Func, cell 
 		}
 	}
 	for bi, blk := range blocks {
+		instrs := blk.Instrs
+		// A landing-pad marker opening a block must stay the relocated
+		// block's first instruction: indirect transfers resolve through
+		// the block's relocMap claim, and CET enforcement requires the
+		// landing address to decode as a marker before any inserted
+		// snippet runs. Hoist it above the snippet; marker-less blocks
+		// take the historical item order byte-for-byte.
+		var markAddr uint64
+		if len(instrs) > 0 && instrs[0].Kind == arch.Mark {
+			ins := instrs[0]
+			it := planItem{ins: ins, origAddr: ins.Addr, origLen: ins.EncLen, mapAddr: ins.Addr}
+			it.ins.Short = false
+			p.classify(g, f, &it)
+			add(it)
+			markAddr = ins.Addr
+			instrs = instrs[1:]
+		}
 		if p.req.Where == instrument.BlockEntry ||
 			(p.req.Where == instrument.FuncEntry && blk.Start == f.Entry) {
 			p.addSnippet(u, blk.Start, cell, cells)
 		}
-		for _, ins := range blk.Instrs {
+		if markAddr != 0 && p.req.WantsAddr(markAddr) {
+			p.addSnippet(u, markAddr, cell, cells)
+		}
+		for _, ins := range instrs {
 			if p.req.WantsAddr(ins.Addr) {
 				p.addSnippet(u, ins.Addr, cell, cells)
 			}

@@ -20,7 +20,7 @@ import (
 // binary repeatedly with different instrumentation sets should run
 // Analyze once (or hit it in a store.Store) and Patch per request.
 func Rewrite(b *bin.Binary, opts Options) (*Result, error) {
-	an, err := Analyze(b, AnalysisConfig{Mode: opts.Mode, Variant: opts.Variant, Trace: opts.Trace})
+	an, err := Analyze(b, AnalysisConfig{Mode: opts.Mode, Variant: opts.Variant, NoEvidence: opts.NoEvidence, Trace: opts.Trace})
 	if err != nil {
 		return nil, err
 	}
@@ -84,6 +84,12 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 		Trampolines:    map[arch.TrampolineClass]int{},
 		OrigLoadedSize: b.LoadedSize(),
 		TotalFuncs:     len(g.Funcs),
+	}
+	if ev := an.Evidence; ev != nil {
+		stats.MarkSites = ev.Marks.Count()
+		stats.EvidenceTrusted = ev.Trusted
+		stats.EvidenceSkips = ev.Skipped
+		stats.MarkBoundedTables = ev.MarkBoundedTables
 	}
 
 	// Stage 1: plan. Counters land directly above the loaded image; the
@@ -178,12 +184,16 @@ func (an *Analysis) Patch(opts Options) (*Result, error) {
 			if !ok {
 				return nil, fmt.Errorf("core: CFL block %#x in %s has no relocated address", job.sb.Start, ft.fn.Name)
 			}
-			tr, ok := directOrLong(b, job.sb, to, job.scratch)
+			sb, err := preserveMark(nb, job.sb)
+			if err != nil {
+				return nil, err
+			}
+			tr, ok := directOrLong(b, sb, to, job.scratch)
 			if !ok {
-				deferred = append(deferred, hopJob{sb: job.sb, to: to, scratch: job.scratch, heat: p.profCount[ft.fn.Name]})
+				deferred = append(deferred, hopJob{sb: sb, to: to, scratch: job.scratch, heat: p.profCount[ft.fn.Name]})
 				continue
 			}
-			if err := installTrampoline(nb, text, tr, pool, job.sb, &stats); err != nil {
+			if err := installTrampoline(nb, text, tr, pool, sb, &stats); err != nil {
 				return nil, err
 			}
 		}

@@ -13,6 +13,37 @@ import (
 // deterministic order the multi-hop pass depends on — but it consumes
 // the plan's precomputed trampoline jobs.
 
+// preserveMark keeps a landing-pad marker live at a trampoline site:
+// when the superblock's block opens with an arch.Mark, the marker bytes
+// are rewritten at the block start (the Verify fill may have overwritten
+// them) and the superblock comes back shifted past the marker, so the
+// installed sequence is [marker][trampoline]. Indirect transfers that
+// still target the original address — dir/jt modes never rewrite
+// pointers — then land on a marker under CET enforcement and bounce to
+// relocated code as before. Blocks that do not open with a marker (every
+// block of a marker-less binary) come back unchanged, preserving
+// byte-identity. The shift is skipped when it would leave no room for
+// the guaranteed trap fallback.
+func preserveMark(nb *bin.Binary, sb superblock) (superblock, error) {
+	blk := sb.Block
+	if blk == nil || sb.Start != blk.Start || len(blk.Instrs) == 0 || blk.Instrs[0].Kind != arch.Mark {
+		return sb, nil
+	}
+	a := nb.Arch
+	markLen := blk.Instrs[0].EncLen
+	if sb.Space-markLen < arch.TrapTrampolineLen(a) {
+		return sb, nil
+	}
+	bs, err := arch.ForArch(a).Encode(arch.Instr{Kind: arch.Mark})
+	if err != nil {
+		return sb, err
+	}
+	if err := nb.WriteAt(sb.Start, bs); err != nil {
+		return sb, err
+	}
+	return superblock{Block: blk, Start: sb.Start + uint64(markLen), Space: sb.Space - markLen}, nil
+}
+
 // directOrLong tries the in-place trampoline forms: a single direct
 // branch, then the long sequence, within the superblock's space.
 func directOrLong(b *bin.Binary, sb superblock, to uint64, scratch arch.Reg) (arch.Trampoline, bool) {

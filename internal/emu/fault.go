@@ -31,6 +31,10 @@ const (
 	// FaultBudget means the instruction budget was exhausted — a hang
 	// detector, counted as a failed run.
 	FaultBudget
+	// FaultCET is an indirect call or jump landing on an instruction
+	// that is not a landing-pad marker, raised only under
+	// Options.EnforceCET — the hardware-CFI control-protection fault.
+	FaultCET
 )
 
 var faultNames = [...]string{
@@ -39,6 +43,7 @@ var faultNames = [...]string{
 	FaultUncaught: "uncaught exception", FaultGoRuntime: "go runtime traceback failed",
 	FaultDiv: "division by zero", FaultRet: "return past entry frame",
 	FaultBudget: "instruction budget exhausted",
+	FaultCET:    "indirect transfer to non-landing-pad",
 }
 
 // String names the fault kind.

@@ -88,6 +88,14 @@ type Options struct {
 	// Arg is placed in r1 at startup (the argv model: workloads select
 	// their command or benchmark input through it).
 	Arg uint64
+	// EnforceCET makes every indirect call and indirect jump fault
+	// (FaultCET) unless it lands on a landing-pad marker instruction
+	// (arch.Mark) — the hardware-CFI semantics of CET's endbr. Returns
+	// are not tracked (the shadow stack is out of scope). Running a
+	// rewritten CFI binary under enforcement is a dynamic soundness
+	// oracle: any indirect target the rewriter failed to preserve a
+	// marker at faults immediately.
+	EnforceCET bool
 }
 
 // DefaultPIEBase is where PIE images load unless overridden.
@@ -135,6 +143,7 @@ type Machine struct {
 	unwindN  uint64
 	walks    uint64
 	max      uint64
+	cet      bool
 	halted   bool
 	profile  map[uint64]uint64
 	heat     map[uint64]uint64
@@ -165,6 +174,7 @@ func Load(b *bin.Binary, opts Options) (*Machine, error) {
 		m.icache = &ICache{}
 	}
 	m.rt = opts.Runtime
+	m.cet = opts.EnforceCET
 	if len(opts.ProfileAddrs) > 0 {
 		m.profile = map[uint64]uint64{}
 		for _, a := range opts.ProfileAddrs {
@@ -348,7 +358,9 @@ func (m *Machine) step() error {
 	next := m.pc + uint64(ins.EncLen)
 
 	switch ins.Kind {
-	case arch.Nop:
+	case arch.Nop, arch.Mark:
+		// Mark executes as a no-op; its significance is where it sits,
+		// not what it does (see checkCET).
 	case arch.MovImm:
 		m.regs[ins.Rd] = uint64(ins.Imm)
 	case arch.MovImm16:
@@ -416,6 +428,9 @@ func (m *Machine) step() error {
 		m.cycles += m.costs.CallRet
 		next = m.pc + uint64(ins.Imm)
 	case arch.CallInd:
+		if err := m.checkCET(m.regs[ins.Rs1]); err != nil {
+			return err
+		}
 		if err := m.pushRA(next); err != nil {
 			return err
 		}
@@ -426,12 +441,18 @@ func (m *Machine) step() error {
 		if err != nil {
 			return &Fault{Kind: FaultFetch, PC: m.pc, Msg: err.Error()}
 		}
+		if err := m.checkCET(target); err != nil {
+			return err
+		}
 		if err := m.pushRA(next); err != nil {
 			return err
 		}
 		m.cycles += m.costs.CallRet
 		next = target
 	case arch.JumpInd:
+		if err := m.checkCET(m.regs[ins.Rs1]); err != nil {
+			return err
+		}
 		m.cycles += m.costs.TakenBranch
 		next = m.regs[ins.Rs1]
 	case arch.Ret:
@@ -470,6 +491,26 @@ func (m *Machine) step() error {
 		return &Fault{Kind: FaultIllegal, PC: m.pc, Msg: ins.String()}
 	}
 	m.pc = next
+	return nil
+}
+
+// checkCET enforces landing-pad semantics on an indirect transfer
+// target: under Options.EnforceCET the instruction at target must be a
+// Mark, anything else is a control-protection fault. The fault is
+// reported at the target (where hardware raises #CP) with the
+// transferring instruction's PC in the message.
+func (m *Machine) checkCET(target uint64) error {
+	if !m.cet {
+		return nil
+	}
+	window := m.mem.FetchWindow(target, m.enc.MaxLen())
+	if window == nil {
+		return &Fault{Kind: FaultCET, PC: target, Msg: fmt.Sprintf("indirect transfer from %#x to unmapped target", m.pc)}
+	}
+	ins, err := m.enc.Decode(window, target)
+	if err != nil || ins.Kind != arch.Mark {
+		return &Fault{Kind: FaultCET, PC: target, Msg: fmt.Sprintf("indirect transfer from %#x", m.pc)}
+	}
 	return nil
 }
 

@@ -23,6 +23,10 @@ type runOpts struct {
 	arg      uint64
 	loadBase uint64
 	maxInstr uint64
+	// enforceCET faults any indirect transfer that lands off an
+	// arch.Mark (the landing-pad experiments run CFI builds this way, so
+	// a pass certifies marker preservation as well as output equality).
+	enforceCET bool
 }
 
 // run executes a binary with the runtime library preloaded, returning
@@ -33,9 +37,10 @@ func run(img *bin.Binary, o runOpts) (emu.Result, error) {
 		return emu.Result{}, err
 	}
 	m, err := emu.Load(img, emu.Options{
-		Runtime:  lib,
-		Arg:      o.arg,
-		LoadBase: o.loadBase,
+		Runtime:    lib,
+		Arg:        o.arg,
+		LoadBase:   o.loadBase,
+		EnforceCET: o.enforceCET,
 		MaxInstrs: func() uint64 {
 			if o.maxInstr != 0 {
 				return o.maxInstr

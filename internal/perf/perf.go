@@ -104,6 +104,17 @@ type Trajectory struct {
 	// is gated.
 	ProfileWorkloads map[string]ProfileStats `json:"profile_workloads"`
 
+	// FuncPtrCoverageRatio is evidence-path over conservative-path
+	// acceptance of func-ptr mode across the landing-pad workload pairs
+	// (go-table, 600.perlbench_s, docker, libxul — each built plain and
+	// with CFI landing pads, X64), the same pairing — and so the same
+	// ratio — experiments.LandingPads reports for this arch. Above
+	// 1 means trusted marker evidence converts ErrImprecise refusals
+	// into sound rewrites. Acceptance counts are deterministic, so
+	// Compare gates this field exactly instead of with the latency
+	// tolerance.
+	FuncPtrCoverageRatio float64 `json:"funcptr_coverage_ratio"`
+
 	// AllocBudgets are the ceilings TestAllocBudget asserts: the
 	// measured allocs/op at recording time with headroom baked in.
 	AllocBudgets map[string]float64 `json:"alloc_budgets"`
@@ -330,7 +341,69 @@ func Record(opts RecordOptions) (*Trajectory, error) {
 		}
 		t.ProfileWorkloads[w.name] = st
 	}
+
+	// Evidence-layer acceptance ratio.
+	ratio, err := funcPtrCoverageRatio()
+	if err != nil {
+		return nil, fmt.Errorf("perf: funcptr coverage: %w", err)
+	}
+	t.FuncPtrCoverageRatio = ratio
 	return t, nil
+}
+
+// funcPtrCoverageRatio attempts a func-ptr-mode rewrite of each
+// landing-pad workload pair member on both the evidence and the
+// conservative (NoEvidence) path, counting acceptances. ErrImprecise
+// is a recorded refusal; any other failure is an error — a build that
+// faults the rewriter must not be scored as a mere refusal.
+func funcPtrCoverageRatio() (float64, error) {
+	perlbench := func(cfi bool) (*workload.Program, error) {
+		if cfi {
+			return workload.SPECCFI(arch.X64, false, "600.perlbench_s")
+		}
+		suite, err := workload.SPECSuiteCached(arch.X64, false)
+		if err != nil {
+			return nil, err
+		}
+		return suite[0], nil
+	}
+	loaders := []func() (*workload.Program, error){
+		func() (*workload.Program, error) { return workload.GoTable(arch.X64) },
+		func() (*workload.Program, error) { return workload.GoTableCFI(arch.X64) },
+		func() (*workload.Program, error) { return perlbench(false) },
+		func() (*workload.Program, error) { return perlbench(true) },
+		func() (*workload.Program, error) { return workload.DockerCached(arch.X64) },
+		func() (*workload.Program, error) { return workload.DockerCFICached(arch.X64) },
+		func() (*workload.Program, error) { return workload.LibxulCached(arch.X64) },
+		func() (*workload.Program, error) { return workload.LibxulCFICached(arch.X64) },
+	}
+	evidence, conservative := 0, 0
+	for _, load := range loaders {
+		p, err := load()
+		if err != nil {
+			return 0, err
+		}
+		for _, noEv := range []bool{false, true} {
+			res, err := core.Rewrite(p.Binary, core.Options{
+				Mode: core.ModeFuncPtr, Request: benchRequest(), NoEvidence: noEv})
+			switch {
+			case err == nil:
+				res.Recycle()
+				if noEv {
+					conservative++
+				} else {
+					evidence++
+				}
+			case errors.Is(err, core.ErrImpreciseFuncPtrs):
+			default:
+				return 0, fmt.Errorf("%s (noEvidence=%t): %w", p.Profile.Name, noEv, err)
+			}
+		}
+	}
+	if conservative == 0 {
+		return 0, errors.New("no workload accepted on the conservative path — the ratio is undefined")
+	}
+	return float64(evidence) / float64(conservative), nil
 }
 
 // guidedRatio captures one emulated run's block heat, rewrites the
@@ -721,6 +794,10 @@ func Compare(base, cand *Trajectory, tol Tolerances) ([]Regression, error) {
 		{"warm_analyze_allocs_per_op", base.WarmAnalyzeAllocsPerOp, cand.WarmAnalyzeAllocsPerOp, tol.AllocsPct, false},
 		{"delta_analyze_allocs_per_op", base.DeltaAnalyzeAllocsPerOp, cand.DeltaAnalyzeAllocsPerOp, tol.AllocsPct, false},
 		{"profile_guided_overhead_ratio", base.ProfileGuidedOverheadRatio, cand.ProfileGuidedOverheadRatio, tol.LatencyPct, false},
+		// Acceptance counts are deterministic — no machine variance to
+		// tolerate — so the evidence layer's coverage ratio is gated
+		// tight: losing even one accepted build fails the gate.
+		{"funcptr_coverage_ratio", base.FuncPtrCoverageRatio, cand.FuncPtrCoverageRatio, 1, true},
 	}
 	// Every per-workload guided-overhead ratio in the baseline is gated
 	// too: a missing candidate entry means the measurement was dropped,

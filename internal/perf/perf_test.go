@@ -28,6 +28,7 @@ func sample() *Trajectory {
 		BatchItemsPerSec:           40,
 		BatchItems:                 12,
 		ProfileGuidedOverheadRatio: 0.31,
+		FuncPtrCoverageRatio:       1.5,
 		ProfileWorkloads: map[string]ProfileStats{
 			"docker-x64":           {HotFuncs: 22, VariantFuncs: 22, Ratio: 0.24},
 			"libcuda-stripped-x64": {HotFuncs: 80, VariantFuncs: 80, Ratio: 0.44},
@@ -66,6 +67,7 @@ func TestCompareDetectsRegression(t *testing.T) {
 		{"throughput-drop", func(c *Trajectory) { c.EmitThroughputMBps /= 10 }, "emit_throughput_mbps"},
 		{"batch-throughput-drop", func(c *Trajectory) { c.BatchItemsPerSec /= 10 }, "batch_items_per_sec"},
 		{"guided-ratio", func(c *Trajectory) { c.ProfileGuidedOverheadRatio *= 2 }, "profile_guided_overhead_ratio"},
+		{"funcptr-coverage-drop", func(c *Trajectory) { c.FuncPtrCoverageRatio = 1.25 }, "funcptr_coverage_ratio"},
 		{"workload-guided-ratio", func(c *Trajectory) {
 			st := c.ProfileWorkloads["docker-x64"]
 			st.Ratio *= 2

@@ -394,7 +394,7 @@ func (s *Server) rewriteOnce(ctx context.Context, req *Request) (*Response, erro
 // content-addressed store (single-flighted across concurrent requests
 // for the same binary), then a per-request patch.
 func (s *Server) analyzeAndPatch(ctx context.Context, req *Request) (*storage.CachedResult, bool, error) {
-	key := AnalysisKey{Hash: req.Hash, Arch: req.Binary.Arch, Mode: req.Opts.Mode, Variant: req.Opts.Variant}
+	key := AnalysisKey{Hash: req.Hash, Arch: req.Binary.Arch, Mode: req.Opts.Mode, Variant: req.Opts.Variant, NoEvidence: req.Opts.NoEvidence}
 	an, hit, err := s.stores.Analyses.GetOrCreate(key, func() (*core.Analysis, error) {
 		// An analysis-store miss is the cluster's warm-path moment: ask
 		// the owning peer for this binary's cached function units before
@@ -410,8 +410,8 @@ func (s *Server) analyzeAndPatch(ctx context.Context, req *Request) (*storage.Ca
 		// version of a known binary into a delta: unchanged functions'
 		// units are pulled instead of recomputed.
 		return core.Analyze(req.Binary, core.AnalysisConfig{
-			Mode: req.Opts.Mode, Variant: req.Opts.Variant, Trace: req.Opts.Trace,
-			Units: s.stores.Units,
+			Mode: req.Opts.Mode, Variant: req.Opts.Variant, NoEvidence: req.Opts.NoEvidence,
+			Trace: req.Opts.Trace, Units: s.stores.Units,
 		})
 	})
 	if err != nil {

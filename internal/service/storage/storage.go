@@ -25,6 +25,10 @@ type AnalysisKey struct {
 	Arch    arch.Arch
 	Mode    core.Mode
 	Variant core.Variant
+	// NoEvidence mirrors core.AnalysisConfig.NoEvidence: on a CFI binary
+	// the evidence-enabled func-ptr analysis can differ from the
+	// conservative one, so the two must never share a cache entry.
+	NoEvidence bool
 }
 
 // CachedResult is the result cache's artifact (gob-encoded on disk).
@@ -107,9 +111,9 @@ func decodeResult(data []byte) (CachedResult, error) {
 // degraded guided requests share the unguided entry).
 func Fingerprint(hash string, o core.Options) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s|m%d|w%d|p%d|v%t|g%d|nr%t|%+v|f:%s|ph:%s|a:",
+	fmt.Fprintf(&b, "%s|m%d|w%d|p%d|v%t|g%d|nr%t|ne%t|%+v|f:%s|ph:%s|a:",
 		hash, o.Mode, o.Request.Where, o.Request.Payload,
-		o.Verify, o.InstrGap, o.NoRAMap, o.Variant,
+		o.Verify, o.InstrGap, o.NoRAMap, o.NoEvidence, o.Variant,
 		strings.Join(o.Request.Funcs, ","), o.Profile.Hash())
 	for _, a := range o.Request.Addrs {
 		fmt.Fprintf(&b, "%x,", a)

@@ -8,7 +8,7 @@
 //
 // The /rewrite frame:
 //
-//	POST /rewrite?mode=jt&where=block&payload=empty[&funcs=a,b][&verify=1][&gap=N][&profile=1]
+//	POST /rewrite?mode=jt&where=block&payload=empty[&funcs=a,b][&verify=1][&gap=N][&profile=1][&features=N]
 //	  body: serialised input binary (.icfg bytes); with profile=1 the
 //	        body is FrameProfile's framing — an 8-byte little-endian
 //	        profile length, the serialised profile artifact, then the
@@ -18,6 +18,13 @@
 //	            the serialised rewritten binary
 //	  errors: 400 bad request/options, 422 rewrite failure,
 //	          429 queue full, 503 shutting down, 504 deadline exceeded
+//
+// features=N is the option bitfield (decimal; see FeatureNoEvidence).
+// Every door — the plain serve door, a cluster node, the gateway —
+// rejects unknown bits with 400 rather than serving the request with
+// part of its semantics silently dropped: a feature bit changes what
+// the rewrite MEANS (and therefore its cache identity), so an old
+// process that does not understand one must refuse, not guess.
 package wire
 
 import (
@@ -33,6 +40,44 @@ import (
 	"icfgpatch/internal/core"
 	"icfgpatch/internal/instrument"
 )
+
+// Feature bits carried by the features=<bits> query parameter.
+const (
+	// FeatureNoEvidence disables the landing-pad evidence layer for the
+	// request (core.Options.NoEvidence): the binary is analysed on the
+	// historical conservative path as if it carried no markers.
+	FeatureNoEvidence uint64 = 1 << 0
+
+	// KnownFeatures is the mask of feature bits this build understands.
+	KnownFeatures = FeatureNoEvidence
+)
+
+// ParseFeatures parses a features=<bits> parameter value. The empty
+// string is the zero bitfield. Unknown bits are an error — the caller
+// turns it into a 400 — because each bit alters rewrite semantics and
+// cache identity, so ignoring one would serve a subtly wrong answer.
+func ParseFeatures(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	bits, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad features %q: %v", s, err)
+	}
+	if unknown := bits &^ KnownFeatures; unknown != 0 {
+		return 0, fmt.Errorf("unknown feature bits %#x in features=%s (this build understands %#x)", unknown, s, uint64(KnownFeatures))
+	}
+	return bits, nil
+}
+
+// FeatureBits renders the options that travel as feature bits.
+func FeatureBits(o core.Options) uint64 {
+	var bits uint64
+	if o.NoEvidence {
+		bits |= FeatureNoEvidence
+	}
+	return bits
+}
 
 // Reply is the JSON half of a /rewrite response.
 type Reply struct {
@@ -131,6 +176,9 @@ func EncodeOptions(o core.Options) (url.Values, error) {
 	if o.InstrGap > 0 {
 		v.Set("gap", strconv.FormatUint(o.InstrGap, 10))
 	}
+	if bits := FeatureBits(o); bits != 0 {
+		v.Set("features", strconv.FormatUint(bits, 10))
+	}
 	if o.Variant != (core.Variant{}) {
 		return nil, errors.New("wire: baseline variants are not expressible on the wire")
 	}
@@ -211,6 +259,11 @@ func ParseOptions(v url.Values) (core.Options, error) {
 		o.Request.Funcs = strings.Split(f, ",")
 	}
 	o.Verify = v.Get("verify") == "1" || v.Get("verify") == "true"
+	bits, err := ParseFeatures(v.Get("features"))
+	if err != nil {
+		return o, err
+	}
+	o.NoEvidence = bits&FeatureNoEvidence != 0
 	if g := v.Get("gap"); g != "" {
 		gap, err := strconv.ParseUint(g, 10, 64)
 		if err != nil {

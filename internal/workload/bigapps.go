@@ -12,7 +12,21 @@ import (
 // "browser benchmark" command IDs (1 = latency benchmark, 2 =
 // JetStream2) select different workloads through the command dispatch.
 func Libxul(a arch.Arch) (*Program, error) {
-	return Generate(a, true, Profile{
+	return Generate(a, true, libxulProfile())
+}
+
+// LibxulCFI generates the same libxul.so-like program built with
+// landing pads (Profile.CFI): marker prologues and marked jump-table
+// cases, for the evidence-layer experiments (mark-bounded tables,
+// marker overhead).
+func LibxulCFI(a arch.Arch) (*Program, error) {
+	p := libxulProfile()
+	p.CFI = true
+	return Generate(a, true, p)
+}
+
+func libxulProfile() Profile {
+	return Profile{
 		Name:           "libxul.so",
 		Seed:           8080,
 		Lang:           "c++/rust",
@@ -28,7 +42,7 @@ func Libxul(a arch.Arch) (*Program, error) {
 		Iters:          40,
 		DtorFuncs:      6,
 		Commands:       2,
-	})
+	}
 }
 
 // LatencyBenchmarkRuns and JetStreamRuns are the command IDs and repeat
@@ -44,7 +58,23 @@ const (
 // function-table cell that defeats precise pointer analysis (func-ptr
 // mode must refuse), no jump tables (dir ≡ jt), and 13 command IDs.
 func Docker(a arch.Arch) (*Program, error) {
-	return Generate(a, true, Profile{
+	return Generate(a, true, dockerProfile())
+}
+
+// DockerCFI generates the same Docker-like Go program built with
+// landing pads (Profile.CFI). The function-table cell that makes
+// conservative func-ptr analysis refuse the plain build is still
+// present — but its mid-instruction target carries no marker, so
+// trusted landing-pad evidence proves it unreachable and the build
+// rewrites soundly in func-ptr mode.
+func DockerCFI(a arch.Arch) (*Program, error) {
+	p := dockerProfile()
+	p.CFI = true
+	return Generate(a, true, p)
+}
+
+func dockerProfile() Profile {
+	return Profile{
 		Name:       "docker",
 		Seed:       1903,
 		Lang:       "go",
@@ -55,12 +85,46 @@ func Docker(a arch.Arch) (*Program, error) {
 		StackCalls: true,
 		Iters:      30,
 		Commands:   13,
-	})
+	}
 }
 
 // DockerCommands is the number of docker commands the correctness test
 // exercises (pull, run, exec, ... — 13 in the paper).
 const DockerCommands = 13
+
+// GoTable generates a small Go-like function-table program: Go runtime,
+// goexit pointer arithmetic, and the mid-instruction vtable cell that
+// makes conservative func-ptr analysis refuse. Unlike Docker it has no
+// command dispatch (whose mixing immediate exceeds the fixed-width ALU
+// range), so it generates on every ISA — the cross-architecture
+// evidence-layer tests run on it.
+func GoTable(a arch.Arch) (*Program, error) {
+	return Generate(a, true, goTableProfile())
+}
+
+// GoTableCFI generates the landing-pad (CFI) build of GoTable: the
+// vtable cell is still present, but trusted marker evidence proves its
+// mid-instruction target unreachable, so func-ptr mode accepts the
+// binary it refuses when built without markers.
+func GoTableCFI(a arch.Arch) (*Program, error) {
+	p := goTableProfile()
+	p.CFI = true
+	return Generate(a, true, p)
+}
+
+func goTableProfile() Profile {
+	return Profile{
+		Name:       "go-table",
+		Seed:       4120,
+		Lang:       "go",
+		Funcs:      48,
+		TinyFrac:   0.12,
+		GoRuntime:  true,
+		GoVtab:     true,
+		StackCalls: true,
+		Iters:      8,
+	}
+}
 
 // Libcuda generates the libcuda.so-like GPU driver library for the
 // Diogenes case study: ~12644 functions in the real driver scaled 1:10,

@@ -16,11 +16,15 @@ import (
 // that sharing is safe because the rewriter clones before mutating and
 // the emulator copies section data into its own pages.
 
-// cacheKey identifies one memoised generation request.
+// cacheKey identifies one memoised generation request. The CFI axis is
+// part of the identity: a landing-pad build is a different binary of the
+// same program, and mixing the two would hand one experiment cell the
+// other's bytes.
 type cacheKey struct {
 	kind string
 	a    arch.Arch
 	pie  bool
+	cfi  bool
 }
 
 // cacheEntry single-flights one generation: the first caller runs gen,
@@ -80,20 +84,33 @@ func cachedOne(key cacheKey, gen func() (*Program, error)) (*Program, error) {
 // architecture/PIE configuration. Callers must treat the programs as
 // read-only.
 func SPECSuiteCached(a arch.Arch, pie bool) ([]*Program, error) {
-	return cached(cacheKey{"spec", a, pie}, func() ([]*Program, error) { return SPECSuite(a, pie) })
+	return cached(cacheKey{kind: "spec", a: a, pie: pie}, func() ([]*Program, error) { return SPECSuite(a, pie) })
 }
 
 // LibxulCached returns the memoised Firefox libxul.so-like workload.
 func LibxulCached(a arch.Arch) (*Program, error) {
-	return cachedOne(cacheKey{"libxul", a, true}, func() (*Program, error) { return Libxul(a) })
+	return cachedOne(cacheKey{kind: "libxul", a: a, pie: true}, func() (*Program, error) { return Libxul(a) })
+}
+
+// LibxulCFICached returns the memoised landing-pad (CFI) build of the
+// libxul.so-like workload.
+func LibxulCFICached(a arch.Arch) (*Program, error) {
+	return cachedOne(cacheKey{kind: "libxul", a: a, pie: true, cfi: true}, func() (*Program, error) { return LibxulCFI(a) })
 }
 
 // DockerCached returns the memoised Docker-like Go binary.
 func DockerCached(a arch.Arch) (*Program, error) {
-	return cachedOne(cacheKey{"docker", a, true}, func() (*Program, error) { return Docker(a) })
+	return cachedOne(cacheKey{kind: "docker", a: a, pie: true}, func() (*Program, error) { return Docker(a) })
+}
+
+// DockerCFICached returns the memoised landing-pad (CFI) build of the
+// Docker-like Go binary — the workload conservative func-ptr analysis
+// refuses and landing-pad evidence rewrites soundly.
+func DockerCFICached(a arch.Arch) (*Program, error) {
+	return cachedOne(cacheKey{kind: "docker", a: a, pie: true, cfi: true}, func() (*Program, error) { return DockerCFI(a) })
 }
 
 // LibcudaCached returns the memoised libcuda.so-like driver library.
 func LibcudaCached(a arch.Arch) (*Program, error) {
-	return cachedOne(cacheKey{"libcuda", a, true}, func() (*Program, error) { return Libcuda(a) })
+	return cachedOne(cacheKey{kind: "libcuda", a: a, pie: true}, func() (*Program, error) { return Libcuda(a) })
 }

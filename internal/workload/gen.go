@@ -68,6 +68,14 @@ type Profile struct {
 	// mid-instruction code address, which function-pointer analysis
 	// must refuse (func-ptr mode fails on Docker, Section 8.2).
 	GoVtab bool
+	// CFI builds the program with CET-style landing pads: the linker
+	// prepends an arch.Mark to every function prologue (asm.Builder
+	// SetCFI), the generator emits one at every jump-table case label,
+	// and the binary carries the cfi=1 note the evidence layer's trust
+	// decision keys on. It is a workload-identity axis: a CFI build is a
+	// different binary (different bytes, different content hash) of the
+	// same program.
+	CFI bool
 	// Commands > 0 makes main dispatch on the startup argument so that
 	// distinct command IDs produce distinct workloads and outputs (the
 	// 13 Docker commands; the two browser benchmarks).
@@ -122,6 +130,9 @@ const accSlot = 8
 func (g *generator) build() error {
 	p := g.p
 	g.b.SetMeta("lang", p.Lang)
+	if p.CFI {
+		g.b.SetCFI()
+	}
 	if p.Exceptions {
 		g.b.SetMeta("exceptions", "1")
 	}
@@ -141,17 +152,36 @@ func (g *generator) build() error {
 		pv.OpI(arch.Add, arch.R0, arch.R1, 0)
 		pv.Return()
 		// runtime.goexit with the Listing 1 entry nop and the +nop
-		// pointer cell the loader relocates.
+		// pointer cell the loader relocates. A CFI build carries a second,
+		// explicit landing pad at the cell's target: the prologue marker
+		// covers only the entry, and the real runtime's goexit sentinel is
+		// a legitimate indirect-transfer target, so its mid-function
+		// address must decode as a marker for the evidence layer to keep
+		// (rather than skip) the cell's func-ptr rewrite.
 		gx := g.b.Func("runtime.goexit")
 		gx.Nop()
+		if p.CFI {
+			gx.Mark()
+		}
 		gx.OpI(arch.Add, arch.R0, arch.R1, 7)
 		gx.Return()
 		nopLen := int64(1)
 		if g.a.FixedWidth() {
 			nopLen = 4
 		}
-		g.b.FuncPtrGlobal("go.goexitfn", "runtime.goexit", nopLen)
-		g.ptrCells = append(g.ptrCells, "go.goexitfn")
+		off := nopLen
+		if p.CFI {
+			// Past the prologue marker and the nop, onto the explicit
+			// marker (marker and nop encode to the same length per ISA).
+			off += nopLen
+		}
+		// The cell is a return-address sentinel the stack walker compares
+		// against, as in the real runtime — never a call target. Keep it
+		// out of the callable pointer pool: dir/jt modes leave pointers
+		// unrewritten and only place trampolines at CFL block starts, so
+		// calling through a mid-function pointer is outside their
+		// soundness contract (the paper handles goexit+1 via the RA map).
+		g.b.FuncPtrGlobal("go.goexitfn", "runtime.goexit", off)
 	}
 
 	// Worker functions, generated leaf-to-root so calls only target
@@ -282,6 +312,9 @@ func (g *generator) worker(i int) {
 		f.Switch(arch.R8, arch.R9, arch.R10, cases, def, opts)
 		for k, c := range cases {
 			f.Bind(c)
+			if p.CFI {
+				f.Mark() // jump-table targets are indirect-transfer targets
+			}
 			f.OpI(arch.Add, arch.R3, arch.R3, int64(10+k*3))
 			f.BranchTo(join)
 		}
@@ -365,6 +398,9 @@ func (g *generator) dispatcher(f *asm.FuncBuilder, n int) {
 	f.Switch(arch.R8, arch.R9, arch.R10, cases, def, asm.SwitchOpts{})
 	for _, c := range cases {
 		f.Bind(c)
+		if g.p.CFI {
+			f.Mark()
+		}
 		f.Return() // one-instruction case block
 	}
 	f.Bind(def)

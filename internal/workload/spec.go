@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"fmt"
+
 	"icfgpatch/internal/arch"
 )
 
@@ -52,6 +54,22 @@ func archAdjust(a arch.Arch, p Profile) Profile {
 		}
 	}
 	return p
+}
+
+// SPECCFI generates the landing-pad (CFI) build of one named SPEC-like
+// benchmark: the same program with marker prologues and marked
+// jump-table cases. The switch-heavy interpreters (600.perlbench_s,
+// 602.gcc_s) are the interesting builds — their spilled-index switches
+// produce the inexact bounds marker evidence tightens.
+func SPECCFI(a arch.Arch, pie bool, name string) (*Program, error) {
+	for _, p := range specProfiles() {
+		if p.Name == name {
+			p = archAdjust(a, p)
+			p.CFI = true
+			return Generate(a, pie, p)
+		}
+	}
+	return nil, fmt.Errorf("workload: no SPEC profile named %q", name)
 }
 
 // SPECSuite generates the 19-benchmark suite for one architecture.
